@@ -1,0 +1,111 @@
+// Command sdso-bench regenerates the paper's evaluation: Figures 5-8 of
+// "Exploiting Temporal and Spatial Constraints on Distributed Shared
+// Objects" (ICDCS 1997), measured on the simulated 16-workstation /
+// 10 Mbps-Ethernet cluster.
+//
+// Usage:
+//
+//	sdso-bench                 # all figures, both ranges
+//	sdso-bench -fig 5 -range 3 # one panel
+//	sdso-bench -seeds 5        # average over more game seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdso/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdso-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdso-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, blocking, datasize, or all")
+	rng := fs.Int("range", 0, "tank visibility range (1 or 3); 0 means both")
+	seeds := fs.Int("seeds", 3, "number of game seeds to average over")
+	maxTicks := fs.Int("ticks", 200, "game horizon in logical ticks")
+	extras := fs.Bool("extensions", false, "also run the LRC and causal-memory baselines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ranges := []int{1, 3}
+	if *rng == 1 || *rng == 3 {
+		ranges = []int{*rng}
+	} else if *rng != 0 {
+		return fmt.Errorf("range must be 1 or 3, got %d", *rng)
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	protos := append([]harness.Protocol(nil), harness.PaperProtocols...)
+	if *extras {
+		protos = append(protos, harness.LRC, harness.Causal)
+	}
+
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+
+	for _, r := range ranges {
+		needSweep := want("5") || want("6") || want("7") || (want("8") && r == 1)
+		if !needSweep {
+			continue
+		}
+		sw, err := harness.RunSweep(harness.SweepConfig{
+			Protocols: protos,
+			Range:     r,
+			Seeds:     seedList,
+			MaxTicks:  *maxTicks,
+		})
+		if err != nil {
+			return err
+		}
+		if want("5") {
+			title := fmt.Sprintf("Figure 5 (range %d): avg execution time per process / avg object modifications", r)
+			fmt.Println(sw.Table(title, "ms per modification", harness.MetricNormalizedTime))
+		}
+		if want("6") {
+			title := fmt.Sprintf("Figure 6 (range %d): total message transfers (control + data)", r)
+			fmt.Println(sw.Table(title, "messages", harness.MetricTotalMsgs))
+		}
+		if want("7") {
+			title := fmt.Sprintf("Figure 7 (range %d): data message transfers", r)
+			fmt.Println(sw.Table(title, "data messages", harness.MetricDataMsgs))
+		}
+		if want("8") && r == 1 {
+			fmt.Println(sw.Table("Figure 8: protocol overhead as % of execution time (range 1)",
+				"% of execution time", harness.MetricOverheadPct))
+			fmt.Println(sw.OverheadBreakdown(16))
+		}
+	}
+
+	// The paper's §4 announced future-work analyses, implemented here.
+	if want("blocking") {
+		rows, err := harness.BlockingAnalysis(1, seedList, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderBlocking(rows))
+	}
+	if want("datasize") {
+		rows, err := harness.DataSizeSweep(nil, 8, 1, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderDataSize(rows, 8))
+	}
+
+	switch *fig {
+	case "all", "5", "6", "7", "8", "blocking", "datasize":
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q (want 5, 6, 7, 8, blocking, datasize, or all)", *fig)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-range", "7"}); err == nil {
+		t.Error("bad range accepted")
+	}
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("bad figure accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	if err := run([]string{"-fig", "7", "-range", "1", "-seeds", "1", "-ticks", "100"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

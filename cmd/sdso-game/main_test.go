@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-protocol", "NOPE"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSmallGame(t *testing.T) {
+	if err := run([]string{"-protocol", "MSYNC2", "-teams", "3", "-ticks", "80", "-show"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-protocol", "EC", "-teams", "2", "-ticks", "60"}); err != nil {
+		t.Fatalf("run EC: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Command sdso-node runs one game process of a genuinely distributed S-DSO
+// deployment over TCP — the configuration the paper ran on its workstation
+// cluster. Start one process per team, each naming the full address list
+// and its own index:
+//
+//	sdso-node -id 0 -peers "host0:7000,host1:7000" -protocol MSYNC2 &
+//	sdso-node -id 1 -peers "host0:7000,host1:7000" -protocol MSYNC2
+//
+// Every node must use identical -peers, -protocol, and game flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdso/internal/game"
+	"sdso/internal/protocol/lookahead"
+	"sdso/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdso-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdso-node", flag.ContinueOnError)
+	id := fs.Int("id", -1, "this node's index into -peers")
+	peers := fs.String("peers", "", "comma-separated listen addresses, one per node, indexed by -id")
+	proto := fs.String("protocol", "MSYNC2", "lookahead protocol: BSYNC, MSYNC, or MSYNC2")
+	rng := fs.Int("range", 1, "tank visibility range")
+	seed := fs.Int64("seed", 1, "world placement seed (identical on every node)")
+	ticks := fs.Int("ticks", 200, "game horizon in logical ticks")
+	race := fs.Bool("race", true, "end the game when the first team reaches the goal")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || len(addrs) < 2 {
+		return fmt.Errorf("-peers must list at least two addresses")
+	}
+	if *id < 0 || *id >= len(addrs) {
+		return fmt.Errorf("-id %d out of range for %d peers", *id, len(addrs))
+	}
+	var variant lookahead.Protocol
+	switch strings.ToUpper(*proto) {
+	case "BSYNC":
+		variant = lookahead.BSYNC
+	case "MSYNC":
+		variant = lookahead.MSYNC
+	case "MSYNC2":
+		variant = lookahead.MSYNC2
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+
+	g := game.DefaultConfig(len(addrs), *rng)
+	g.Seed = *seed
+	g.MaxTicks = *ticks
+	g.EndOnFirstGoal = *race
+
+	fmt.Printf("node %d: joining %d-node mesh...\n", *id, len(addrs))
+	ep, err := transport.DialTCP(*id, addrs)
+	if err != nil {
+		return fmt.Errorf("mesh: %w", err)
+	}
+	defer ep.Close()
+	fmt.Printf("node %d: mesh up, playing team %d under %s\n", *id, *id, variant)
+
+	stats, err := lookahead.RunPlayer(lookahead.PlayerConfig{
+		Game:     g,
+		Protocol: variant,
+		Endpoint: ep,
+	})
+	if err != nil {
+		return fmt.Errorf("game: %w", err)
+	}
+	fmt.Printf("node %d finished: ticks=%d mods=%d score=%d reachedGoal=%v destroyed=%v (%.2fs wall)\n",
+		*id, stats.Ticks, stats.Mods, stats.Score, stats.ReachedGoal, stats.Destroyed,
+		ep.Now().Seconds())
+	return nil
+}

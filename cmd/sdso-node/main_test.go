@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing peers accepted")
+	}
+	if err := run([]string{"-peers", "a:1,b:2", "-id", "5"}); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if err := run([]string{"-peers", "a:1,b:2", "-id", "0", "-protocol", "NOPE"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-peers", "onlyone:1", "-id", "0"}); err == nil {
+		t.Error("single peer accepted")
+	}
+}

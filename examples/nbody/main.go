@@ -1,0 +1,290 @@
+// Nbody: a 2D n-body simulation with a gravitational cutoff radius — the
+// paper's §2.1 scientific motivation ("n-body simulations, where the
+// gravitational effects of bodies on each other are considered only when
+// two bodies are within minimum distance d of each other"). Each process
+// owns a cluster of bodies; clusters far apart skip exchanges entirely, and
+// the same distance-halving lookahead the tank game uses schedules the next
+// rendezvous.
+//
+//	go run ./examples/nbody
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"sdso"
+)
+
+const (
+	procs        = 3
+	bodiesPer    = 4
+	steps        = 60
+	cutoff       = 12.0 // gravitational cutoff radius d
+	dt           = 0.1
+	gravity      = 8.0
+	maxBodySpeed = 1.0 // enforced speed cap; the lookahead bound relies on it
+)
+
+type body struct {
+	x, y, vx, vy float64
+}
+
+func encodeBody(b body) []byte {
+	out := make([]byte, 32)
+	binary.BigEndian.PutUint64(out[0:], math.Float64bits(b.x))
+	binary.BigEndian.PutUint64(out[8:], math.Float64bits(b.y))
+	binary.BigEndian.PutUint64(out[16:], math.Float64bits(b.vx))
+	binary.BigEndian.PutUint64(out[24:], math.Float64bits(b.vy))
+	return out
+}
+
+func decodeBody(buf []byte) body {
+	return body{
+		x:  math.Float64frombits(binary.BigEndian.Uint64(buf[0:])),
+		y:  math.Float64frombits(binary.BigEndian.Uint64(buf[8:])),
+		vx: math.Float64frombits(binary.BigEndian.Uint64(buf[16:])),
+		vy: math.Float64frombits(binary.BigEndian.Uint64(buf[24:])),
+	}
+}
+
+// initialBody places process p's k-th body: three clusters far apart, on
+// slow collision courses.
+func initialBody(p, k int) body {
+	angle := 2 * math.Pi * float64(k) / bodiesPer
+	cx := []float64{0, 60, 30}[p]
+	cy := []float64{0, 0, 50}[p]
+	toward := []float64{1, -1, 0}[p]
+	return body{
+		x:  cx + 3*math.Cos(angle),
+		y:  cy + 3*math.Sin(angle),
+		vx: 0.6 * toward,
+		vy: -0.4 * []float64{0, 0, 1}[p],
+	}
+}
+
+func objID(p, k int) sdso.ObjectID { return sdso.ObjectID(p*bodiesPer + k) }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	endpoints := sdso.LocalGroup(procs)
+	defer func() {
+		for _, ep := range endpoints {
+			ep.Close()
+		}
+	}()
+
+	finals := make([][]body, procs)
+	stats := make([]sdso.Stats, procs)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			finals[p], stats[p], errs[p] = simulate(endpoints[p])
+		}()
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return fmt.Errorf("process %d: %w", p, err)
+		}
+	}
+
+	for p := 1; p < procs; p++ {
+		for i := range finals[0] {
+			if finals[p][i] != finals[0][i] {
+				return fmt.Errorf("replica %d body %d diverged after reconciliation", p, i)
+			}
+		}
+	}
+	fmt.Printf("%d bodies, %d steps, cutoff radius %.0f\n", procs*bodiesPer, steps, cutoff)
+	for i, b := range finals[0] {
+		fmt.Printf("body %2d: pos=(%7.2f, %7.2f) vel=(%5.2f, %5.2f)\n", i, b.x, b.y, b.vx, b.vy)
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.MessagesSent
+	}
+	fmt.Printf("replicas agree; messages: %d (every-step broadcast would send ~%d)\n",
+		total, procs*(procs-1)*2*steps)
+	return nil
+}
+
+// simulate runs one process: integrate owned bodies, exchanging with other
+// clusters only when they could come within the cutoff.
+func simulate(ep sdso.Endpoint) ([]body, sdso.Stats, error) {
+	clusters := make(map[int][]body) // last-known bodies per peer
+	rt, err := sdso.New(ep, sdso.WithBeaconObserver(func(peer int, ints []int64) {
+		bodies := make([]body, 0, len(ints)/2)
+		for i := 0; i+1 < len(ints); i += 2 {
+			bodies = append(bodies, body{
+				x: float64(ints[i]) / 1000,
+				y: float64(ints[i+1]) / 1000,
+			})
+		}
+		clusters[peer] = bodies
+	}))
+	if err != nil {
+		return nil, sdso.Stats{}, err
+	}
+	me := rt.ID()
+
+	mine := make([]body, bodiesPer)
+	for p := 0; p < procs; p++ {
+		for k := 0; k < bodiesPer; k++ {
+			b := initialBody(p, k)
+			if err := rt.Share(objID(p, k), encodeBody(b)); err != nil {
+				return nil, sdso.Stats{}, err
+			}
+			if p == me {
+				mine[k] = b
+			} else {
+				clusters[p] = append(clusters[p], b)
+			}
+		}
+	}
+
+	minDist := func(a, b []body) float64 {
+		best := math.Inf(1)
+		for _, p := range a {
+			for _, q := range b {
+				d := math.Hypot(p.x-q.x, p.y-q.y)
+				if d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+	// quantize mirrors the beacon encoding so both rendezvous partners
+	// compute the schedule from bit-identical inputs (schedule symmetry).
+	quantize := func(bs []body) []body {
+		out := make([]body, len(bs))
+		for i, b := range bs {
+			out[i] = body{x: float64(int64(b.x*1000)) / 1000, y: float64(int64(b.y*1000)) / 1000}
+		}
+		return out
+	}
+	// Bodies move at most maxBodySpeed*dt per step, so two clusters at
+	// distance D cannot come within the cutoff for at least
+	// (D - cutoff) / (2 * maxBodySpeed * dt) steps.
+	sfunc := func(peer int, now int64, _ []int64) int64 {
+		d := minDist(quantize(mine), clusters[peer])
+		gap := int64((d - cutoff) / (2 * maxBodySpeed * dt) / 2) // extra 2x margin
+		if gap < 1 {
+			gap = 1
+		}
+		return now + gap
+	}
+	beacon := func(peer int) []int64 {
+		out := make([]int64, 0, 2*len(mine))
+		for _, b := range mine {
+			out = append(out, int64(b.x*1000), int64(b.y*1000))
+		}
+		return out
+	}
+
+	for step := 1; step <= steps; step++ {
+		// Forces from every body within the cutoff: own bodies exactly,
+		// remote bodies from the replicated objects (fresh whenever
+		// within the cutoff, by the lookahead schedule).
+		var others []body
+		for p := 0; p < procs; p++ {
+			if p == me {
+				continue
+			}
+			for k := 0; k < bodiesPer; k++ {
+				buf, err := rt.Read(objID(p, k))
+				if err != nil {
+					return nil, sdso.Stats{}, err
+				}
+				others = append(others, decodeBody(buf))
+			}
+		}
+		next := make([]body, len(mine))
+		for i, b := range mine {
+			ax, ay := 0.0, 0.0
+			accumulate := func(o body) {
+				dx, dy := o.x-b.x, o.y-b.y
+				d2 := dx*dx + dy*dy
+				d := math.Sqrt(d2)
+				if d < 1e-3 || d > cutoff {
+					return // outside the cutoff radius: ignored, as in the paper
+				}
+				f := gravity / (d2 + 1)
+				ax += f * dx / d
+				ay += f * dy / d
+			}
+			for j, o := range mine {
+				if j != i {
+					accumulate(o)
+				}
+			}
+			for _, o := range others {
+				accumulate(o)
+			}
+			nb := body{
+				x: b.x + b.vx*dt, y: b.y + b.vy*dt,
+				vx: clampAbs(b.vx+ax*dt, maxBodySpeed),
+				vy: clampAbs(b.vy+ay*dt, maxBodySpeed),
+			}
+			next[i] = nb
+		}
+		mine = next
+		for k, b := range mine {
+			if err := rt.Write(objID(me, k), encodeBody(b)); err != nil {
+				return nil, sdso.Stats{}, err
+			}
+		}
+		err := rt.Exchange(sdso.ExchangeOptions{
+			Resync: true,
+			SFunc:  sfunc,
+			SendData: func(peer int) bool {
+				return minDist(mine, clusters[peer]) <= 2*cutoff
+			},
+			Beacon: beacon,
+		})
+		if err != nil {
+			return nil, sdso.Stats{}, err
+		}
+	}
+
+	// Reconcile all replicas with one broadcast exchange.
+	err = rt.Exchange(sdso.ExchangeOptions{Resync: true, How: sdso.Broadcast, SFunc: sdso.EveryTick})
+	if err != nil {
+		return nil, sdso.Stats{}, err
+	}
+
+	out := make([]body, 0, procs*bodiesPer)
+	for p := 0; p < procs; p++ {
+		for k := 0; k < bodiesPer; k++ {
+			buf, err := rt.Read(objID(p, k))
+			if err != nil {
+				return nil, sdso.Stats{}, err
+			}
+			out = append(out, decodeBody(buf))
+		}
+	}
+	return out, rt.Stats(), nil
+}
+
+func clampAbs(v, lim float64) float64 {
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}

@@ -1,0 +1,70 @@
+// Tankgame runs the paper's evaluation application — the distributed
+// multi-player "capture the flag" tank game — under every consistency
+// protocol and prints a side-by-side comparison, a miniature of the paper's
+// §4 evaluation.
+//
+//	go run ./examples/tankgame
+//	go run ./examples/tankgame -teams 16 -range 3 -seed 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sdso/internal/game"
+	"sdso/internal/harness"
+)
+
+func main() {
+	teams := flag.Int("teams", 8, "number of teams (= processes)")
+	rng := flag.Int("range", 1, "tank visibility range")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	if err := run(*teams, *rng, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(teams, rng int, seed int64) error {
+	g := game.DefaultConfig(teams, rng)
+	g.Seed = seed
+	g.MaxTicks = 200
+	g.EndOnFirstGoal = true
+
+	w, err := game.NewWorld(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("the arena (%d teams racing to the goal G, $ bonus, * bomb):\n\n%s\n", teams, w)
+
+	fmt.Printf("%-8s %-10s %-9s %-10s %-11s %-10s\n",
+		"protocol", "winner", "in-ticks", "messages", "data-msgs", "virtual-time")
+	for _, proto := range []harness.Protocol{
+		harness.BSYNC, harness.MSYNC, harness.MSYNC2, harness.EC, harness.LRC, harness.Causal, harness.Central,
+	} {
+		res, err := harness.Run(harness.Config{Game: g, Protocol: proto})
+		if err != nil {
+			return fmt.Errorf("%s: %w", proto, err)
+		}
+		winner, winTick := "-", int64(0)
+		for _, st := range res.Stats {
+			if st.ReachedGoal {
+				winner = fmt.Sprintf("team %d", st.Team)
+				winTick = st.DoneTick
+				break
+			}
+		}
+		fmt.Printf("%-8s %-10s %-9d %-10d %-11d %-10v\n",
+			proto, winner, winTick,
+			res.Metrics.TotalMsgs(), res.Metrics.DataMsgs(),
+			res.VirtualDuration.Round(time.Millisecond))
+	}
+	fmt.Println("\nSame game, same seed: the lookahead protocols (BSYNC/MSYNC/MSYNC2) and")
+	fmt.Println("causal memory reproduce the identical match; EC and LRC play it with locks;")
+	fmt.Println("CENTRAL routes everything through one authoritative server. Note MSYNC2's")
+	fmt.Println("message economy and EC's data-message frugality at lock-RTT cost.")
+	return nil
+}

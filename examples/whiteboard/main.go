@@ -1,0 +1,212 @@
+// Whiteboard: a collaborative canvas where each user paints inside a
+// drifting viewport. Users only need fresh tiles where viewports meet, so
+// the exchange schedule is driven by a custom semantic function over
+// viewport distance — the whiteboard analogue of the paper's tank-distance
+// lookahead. Far-apart users exchange rarely; approaching users exchange
+// every tick; a final broadcast reconciles everything.
+//
+//	go run ./examples/whiteboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"sdso"
+)
+
+const (
+	users    = 4
+	gridW    = 24
+	gridH    = 16
+	ticks    = 40
+	overlapR = 4 // viewports closer than this must stay fresh
+)
+
+type vec struct{ x, y int }
+
+// viewportAt returns user u's deterministic drifting viewport center at a
+// tick: each user orbits a different quadrant and they brush past each
+// other mid-board.
+func viewportAt(u int, tick int64) vec {
+	baseX := (u%2)*gridW/2 + gridW/4
+	baseY := (u/2)*gridH/2 + gridH/4
+	dx := int(tick) % 7
+	dy := (int(tick) / 2) % 5
+	if u%2 == 0 {
+		return vec{baseX + dx - 3, baseY + dy - 2}
+	}
+	return vec{baseX - dx + 3, baseY - dy + 2}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func dist(a, b vec) int {
+	dx, dy := a.x-b.x, a.y-b.y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+func tile(p vec) sdso.ObjectID {
+	return sdso.ObjectID(clamp(p.y, 0, gridH-1)*gridW + clamp(p.x, 0, gridW-1))
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	endpoints := sdso.LocalGroup(users)
+	defer func() {
+		for _, ep := range endpoints {
+			ep.Close()
+		}
+	}()
+
+	canvases := make([][]byte, users)
+	stats := make([]sdso.Stats, users)
+	errs := make([]error, users)
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			canvases[u], stats[u], errs[u] = paint(endpoints[u])
+		}()
+	}
+	wg.Wait()
+	for u, err := range errs {
+		if err != nil {
+			return fmt.Errorf("user %d: %w", u, err)
+		}
+	}
+
+	// After the final broadcast every replica must be identical.
+	for u := 1; u < users; u++ {
+		if string(canvases[u]) != string(canvases[0]) {
+			return fmt.Errorf("user %d's canvas diverged after reconciliation", u)
+		}
+	}
+	fmt.Println(render(canvases[0]))
+	total := 0
+	for _, st := range stats {
+		total += st.MessagesSent
+	}
+	naive := users * (users - 1) * 2 * ticks // per-tick (data,SYNC) pairs to everyone
+	fmt.Printf("all %d canvases identical after reconciliation\n", users)
+	fmt.Printf("messages: %d (an every-tick broadcast schedule would send ~%d)\n", total, naive)
+	return nil
+}
+
+// paint runs one user: stroke the tile under the viewport each tick,
+// exchanging per the spatial schedule; finish with a broadcast flush.
+func paint(ep sdso.Endpoint) ([]byte, sdso.Stats, error) {
+	// Beacons carry the sender's viewport center; remember peers'.
+	lastSeen := make(map[int]vec)
+	rt, err := sdso.New(ep, sdso.WithBeaconObserver(func(peer int, b []int64) {
+		if len(b) == 2 {
+			lastSeen[peer] = vec{int(b[0]), int(b[1])}
+		}
+	}))
+	if err != nil {
+		return nil, sdso.Stats{}, err
+	}
+	me := rt.ID()
+
+	for i := 0; i < gridW*gridH; i++ {
+		if err := rt.Share(sdso.ObjectID(i), []byte{' '}); err != nil {
+			return nil, sdso.Stats{}, err
+		}
+	}
+	for peer := 0; peer < rt.N(); peer++ {
+		if peer != me {
+			lastSeen[peer] = viewportAt(peer, 0)
+		}
+	}
+
+	// The whiteboard s-function: viewports drift at most one tile per
+	// tick each, so they cannot meet (come within overlapR) for at least
+	// (d - overlapR) / 2 ticks.
+	sfunc := func(peer int, now int64, _ []int64) int64 {
+		d := dist(viewportAt(me, now), lastSeen[peer])
+		gap := int64((d - overlapR) / 2)
+		if gap < 1 {
+			gap = 1
+		}
+		return now + gap
+	}
+
+	for k := int64(1); k <= ticks; k++ {
+		vp := viewportAt(me, k)
+		mark := byte('A' + me)
+		if err := rt.Write(tile(vp), []byte{mark}); err != nil {
+			return nil, sdso.Stats{}, err
+		}
+		err := rt.Exchange(sdso.ExchangeOptions{
+			Resync: true,
+			SFunc:  sfunc,
+			// Ship strokes only to users whose viewports could reach
+			// ours soon; others keep buffering.
+			SendData: func(peer int) bool {
+				return dist(viewportAt(me, rt.Now()), lastSeen[peer]) <= 4*overlapR
+			},
+			// Both sides' semantic functions must see the same inputs
+			// (schedule symmetry): the beacon carries this tick's
+			// viewport, and sfunc compares same-tick viewports.
+			Beacon: func(peer int) []int64 {
+				v := viewportAt(me, rt.Now())
+				return []int64{int64(v.x), int64(v.y)}
+			},
+		})
+		if err != nil {
+			return nil, sdso.Stats{}, err
+		}
+	}
+
+	// Reconcile: one broadcast exchange flushes every buffered stroke to
+	// everyone (the paper's how=broadcast mode).
+	err = rt.Exchange(sdso.ExchangeOptions{
+		Resync: true,
+		How:    sdso.Broadcast,
+		SFunc:  sdso.EveryTick,
+	})
+	if err != nil {
+		return nil, sdso.Stats{}, err
+	}
+
+	canvas := make([]byte, gridW*gridH)
+	for i := range canvas {
+		b, err := rt.Read(sdso.ObjectID(i))
+		if err != nil {
+			return nil, sdso.Stats{}, err
+		}
+		canvas[i] = b[0]
+	}
+	return canvas, rt.Stats(), nil
+}
+
+func render(canvas []byte) string {
+	out := make([]byte, 0, (gridW+1)*gridH)
+	for y := 0; y < gridH; y++ {
+		out = append(out, canvas[y*gridW:(y+1)*gridW]...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}

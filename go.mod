@@ -1,0 +1,3 @@
+module sdso
+
+go 1.22

@@ -1,0 +1,157 @@
+// Package clock provides the logical-time machinery used by the
+// consistency protocols: plain Lamport clocks (the lookahead protocols need
+// only integer timestamps — the paper notes BSYNC "does not require vector
+// timestamps") and vector clocks (required by the lazy-release and
+// causal-memory baselines of §2.3).
+package clock
+
+import "fmt"
+
+// Lamport is a scalar logical clock.
+type Lamport struct {
+	t int64
+}
+
+// Now returns the current logical time.
+func (l *Lamport) Now() int64 { return l.t }
+
+// Tick advances the clock by one and returns the new time.
+func (l *Lamport) Tick() int64 {
+	l.t++
+	return l.t
+}
+
+// Observe folds in a remote timestamp: the clock jumps to max(local, remote).
+func (l *Lamport) Observe(remote int64) {
+	if remote > l.t {
+		l.t = remote
+	}
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// Vector clock orderings.
+const (
+	Before Ordering = iota + 1
+	After
+	Equal
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Equal:
+		return "equal"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Vector is a vector clock over a fixed-size process group.
+type Vector []int64
+
+// NewVector returns a zero vector clock for n processes.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Tick increments process i's component and returns its new value.
+func (v Vector) Tick(i int) int64 {
+	v[i]++
+	return v[i]
+}
+
+// Merge folds other into v component-wise (max).
+func (v Vector) Merge(other Vector) {
+	for i := range v {
+		if i < len(other) && other[i] > v[i] {
+			v[i] = other[i]
+		}
+	}
+}
+
+// Compare returns the causal relationship of v to other.
+func (v Vector) Compare(other Vector) Ordering {
+	if len(v) != len(other) {
+		// Treat differing lengths as comparing the common prefix with
+		// missing entries at zero.
+		n := len(v)
+		if len(other) > n {
+			n = len(other)
+		}
+		a, b := make(Vector, n), make(Vector, n)
+		copy(a, v)
+		copy(b, other)
+		return a.Compare(b)
+	}
+	less, greater := false, false
+	for i := range v {
+		switch {
+		case v[i] < other[i]:
+			less = true
+		case v[i] > other[i]:
+			greater = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// HappensBefore reports whether v causally precedes other (strictly).
+func (v Vector) HappensBefore(other Vector) bool { return v.Compare(other) == Before }
+
+// Ints returns the vector's components for embedding in a wire message.
+func (v Vector) Ints() []int64 { return append([]int64(nil), v...) }
+
+// VectorFromInts reconstructs a vector clock from wire data.
+func VectorFromInts(ints []int64) Vector { return append(Vector(nil), ints...) }
+
+// CausallyReady reports whether an update stamped with msgClock from sender
+// may be applied at a receiver whose clock is local: every event the sender
+// had seen must already be seen locally, and the update must be the
+// sender's next unseen event. This is the standard causal-broadcast
+// delivery condition.
+func CausallyReady(msgClock, local Vector, sender int) bool {
+	if sender < 0 || sender >= len(msgClock) {
+		return false
+	}
+	for i := range msgClock {
+		if i == sender {
+			if msgClock[i] != localAt(local, i)+1 {
+				return false
+			}
+			continue
+		}
+		if msgClock[i] > localAt(local, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func localAt(v Vector, i int) int64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamport(t *testing.T) {
+	var l Lamport
+	if l.Now() != 0 {
+		t.Errorf("zero value Now = %d", l.Now())
+	}
+	if got := l.Tick(); got != 1 {
+		t.Errorf("Tick = %d", got)
+	}
+	l.Observe(10)
+	if l.Now() != 10 {
+		t.Errorf("after Observe(10) Now = %d", l.Now())
+	}
+	l.Observe(5) // older timestamps don't regress the clock
+	if l.Now() != 10 {
+		t.Errorf("Observe(5) regressed clock to %d", l.Now())
+	}
+	if got := l.Tick(); got != 11 {
+		t.Errorf("Tick = %d", got)
+	}
+}
+
+func TestVectorCompareBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want Ordering
+	}{
+		{"equal", Vector{1, 2}, Vector{1, 2}, Equal},
+		{"before", Vector{1, 2}, Vector{1, 3}, Before},
+		{"after", Vector{4, 2}, Vector{1, 2}, After},
+		{"concurrent", Vector{1, 0}, Vector{0, 1}, Concurrent},
+		{"empty equal", Vector{}, Vector{}, Equal},
+		{"len mismatch before", Vector{1}, Vector{1, 1}, Before},
+		{"len mismatch equal", Vector{1, 0}, Vector{1}, Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorCompareAntisymmetric(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		va := make(Vector, len(a))
+		vb := make(Vector, len(b))
+		for i, x := range a {
+			va[i] = int64(x)
+		}
+		for i, x := range b {
+			vb[i] = int64(x)
+		}
+		ab, ba := va.Compare(vb), vb.Compare(va)
+		switch ab {
+		case Before:
+			return ba == After
+		case After:
+			return ba == Before
+		case Equal:
+			return ba == Equal
+		case Concurrent:
+			return ba == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorHappensBeforeTransitive(t *testing.T) {
+	// Simulate message passing: each receive merges; ticks create new
+	// events. Happens-before must match the simulated causality.
+	rng := rand.New(rand.NewSource(7))
+	const n = 4
+	clocks := make([]Vector, n)
+	for i := range clocks {
+		clocks[i] = NewVector(n)
+	}
+	type event struct {
+		v    Vector
+		proc int
+		seq  int
+	}
+	var events []event
+	for step := 0; step < 100; step++ {
+		p := rng.Intn(n)
+		if rng.Intn(3) == 0 { // receive from a random earlier event
+			if len(events) > 0 {
+				e := events[rng.Intn(len(events))]
+				clocks[p].Merge(e.v)
+			}
+		}
+		clocks[p].Tick(p)
+		events = append(events, event{v: clocks[p].Clone(), proc: p, seq: step})
+	}
+	// a -> b -> c implies a -> c.
+	for i := 0; i < 40; i++ {
+		a := events[rng.Intn(len(events))]
+		b := events[rng.Intn(len(events))]
+		c := events[rng.Intn(len(events))]
+		if a.v.HappensBefore(b.v) && b.v.HappensBefore(c.v) && !a.v.HappensBefore(c.v) {
+			t.Fatalf("transitivity violated: %v -> %v -> %v", a.v, b.v, c.v)
+		}
+	}
+	// Events on the same process are totally ordered.
+	for i := 0; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			if events[i].proc == events[j].proc {
+				if ord := events[i].v.Compare(events[j].v); ord != Before {
+					t.Fatalf("same-process events not ordered: %v vs %v (%v)", events[i].v, events[j].v, ord)
+				}
+			}
+		}
+	}
+}
+
+func TestVectorCloneAndInts(t *testing.T) {
+	v := Vector{3, 1, 4}
+	c := v.Clone()
+	c.Tick(0)
+	if v[0] != 3 {
+		t.Error("Clone aliases original")
+	}
+	ints := v.Ints()
+	ints[1] = 99
+	if v[1] == 99 {
+		t.Error("Ints aliases original")
+	}
+	back := VectorFromInts([]int64{3, 1, 4})
+	if back.Compare(v) != Equal {
+		t.Errorf("round trip mismatch: %v", back)
+	}
+}
+
+func TestCausallyReady(t *testing.T) {
+	local := Vector{2, 1, 0}
+	tests := []struct {
+		name   string
+		msg    Vector
+		sender int
+		want   bool
+	}{
+		{"next from sender 0", Vector{3, 1, 0}, 0, true},
+		{"gap from sender 0", Vector{4, 1, 0}, 0, false},
+		{"already seen", Vector{2, 1, 0}, 0, false},
+		{"missing dependency", Vector{3, 2, 1}, 0, false},
+		{"next from sender 2", Vector{2, 1, 1}, 2, true},
+		{"dependency satisfied", Vector{1, 2, 0}, 1, true},
+		{"bad sender", Vector{1, 1, 1}, 9, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CausallyReady(tt.msg, local, tt.sender); got != tt.want {
+				t.Errorf("CausallyReady(%v, %v, %d) = %v, want %v", tt.msg, local, tt.sender, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for _, o := range []Ordering{Before, After, Equal, Concurrent} {
+		if o.String() == "" {
+			t.Errorf("empty String for %d", o)
+		}
+	}
+	if Ordering(99).String() == "" {
+		t.Error("unknown ordering should still render")
+	}
+}

@@ -1,0 +1,721 @@
+// Package core implements the S-DSO runtime: the library the paper's §3.1
+// describes. It offers the paper's calls — share, exchange, async_put,
+// sync_put, async_get, sync_get — on top of a transport endpoint, and keeps
+// the lookahead machinery: a logical system clock that advances one tick per
+// exchange, the exchange-list of (exchange-time, process) pairs, the slotted
+// buffer of per-process pending object diffs, and buffering of "early"
+// messages stamped ahead of the local clock.
+//
+// Consistency protocols are configurations of this runtime:
+//
+//   - BSYNC passes an s-function that schedules every peer at every tick
+//     and exchanges with resync (push-pull) semantics.
+//   - MSYNC/MSYNC2 pass the distance-halving s-function and a spatial data
+//     filter choosing which peers receive data (versus a bare SYNC).
+//   - Entry consistency uses the put/get primitives together with the lock
+//     manager in internal/lockmgr (see internal/protocol/ec).
+//
+// Rendezvous symmetry. The lookahead schedule is pairwise: after processes
+// i and j exchange at tick T they both compute the next exchange tick
+// T' = sfunc(...). For the schedule to stay agreed (and hence deadlock-free)
+// both sides must evaluate the s-function over identical inputs. The runtime
+// therefore lets the application attach a small "beacon" (a few int64s — the
+// game uses tank coordinates) to every SYNC message; at a rendezvous each
+// side hands the peer's beacon to the s-function. Data payloads (object
+// diffs) may be filtered spatially without breaking symmetry because beacons
+// always flow.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sdso/internal/diff"
+	"sdso/internal/metrics"
+	"sdso/internal/store"
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+	"sdso/internal/xlist"
+)
+
+// SFunc is a semantic function: given a peer, the current logical tick, and
+// the peer's beacon from the rendezvous just completed, it returns the next
+// tick at which the local process must exchange with that peer. It must
+// return a value strictly greater than now, and — for deadlock freedom —
+// must be symmetric: both rendezvous partners, evaluating their own SFunc
+// with the other's beacon, must produce the same tick.
+type SFunc func(peer int, now int64, peerBeacon []int64) int64
+
+// EveryTick is the BSYNC s-function: exchange with everyone at every tick.
+func EveryTick(peer int, now int64, _ []int64) int64 { return now + 1 }
+
+// SendMode selects multicast (exchange-list driven) or broadcast delivery,
+// mirroring the paper's send_t.
+type SendMode int
+
+// Send modes.
+const (
+	// Multicast exchanges only with the processes due in the
+	// exchange-list.
+	Multicast SendMode = iota + 1
+	// Broadcast forces this exchange (and all buffered modifications) out
+	// to every live process immediately.
+	Broadcast
+)
+
+// ExchangeOpts parameterizes one exchange() call, mirroring the paper's
+// argument list (resync_flag, how, s_func, arg — the arg is closed over by
+// the Go closures).
+type ExchangeOpts struct {
+	// Resync selects push-pull mode: the call blocks until every process
+	// exchanged-with this tick has exchanged back. Without it, exchange
+	// pushes updates and returns.
+	Resync bool
+	// How selects multicast (default) or broadcast delivery.
+	How SendMode
+	// SFunc recomputes the next exchange time for each rendezvous
+	// partner. Required when Resync is set.
+	SFunc SFunc
+	// SendData decides whether object data flows to a peer this
+	// rendezvous (the spatial filter). Nil means always send. Withheld
+	// diffs stay buffered in the peer's slot.
+	SendData func(peer int) bool
+	// Beacon supplies the local coordination payload carried on the SYNC
+	// message to each peer. It is evaluated per peer after that peer's
+	// data (if any) has been flushed, so it can accurately describe what
+	// remains buffered (the game advertises its "dirty box" this way).
+	// Nil means empty.
+	Beacon func(peer int) []int64
+}
+
+// Config assembles a runtime.
+type Config struct {
+	// Endpoint connects the runtime to its peer group. Required.
+	Endpoint transport.Endpoint
+	// Metrics receives counters; nil allocates a private collector.
+	Metrics *metrics.Collector
+	// MergeDiffs enables the slotted buffer's diff merging (paper §3.1
+	// optimization; on by default in protocols, off in the ablation).
+	MergeDiffs bool
+	// FirstExchange is the tick of the initial rendezvous with every
+	// peer; zero means tick 1 (everyone synchronizes once at the start,
+	// which seeds the beacons).
+	FirstExchange int64
+	// OnBeacon, when set, is invoked with each peer's beacon as a
+	// rendezvous with that peer completes.
+	OnBeacon func(peer int, beacon []int64)
+	// Debug, when set, receives a line per notable runtime event
+	// (rendezvous targets, data application, DONE processing); used by
+	// tests to diff executions.
+	Debug func(event string)
+}
+
+// Runtime is one process's S-DSO instance.
+type Runtime struct {
+	ep  transport.Endpoint
+	st  *store.Store
+	mc  *metrics.Collector
+	cfg Config
+
+	now  int64
+	xl   *xlist.List
+	buf  *xlist.SlottedBuffer
+	seen map[int]int64 // latest applied data stamp per peer (diagnostics)
+
+	// Early (future-stamped) traffic, at most one outstanding rendezvous
+	// per peer: earlySync records SYNC stamps seen ahead of the local
+	// clock, earlyData buffers their DATA payloads unapplied.
+	earlySync map[int]map[int64][]int64 // peer -> stamp -> beacon
+	earlyData map[int][]*wire.Msg
+
+	peerDone  map[int]bool
+	localDone bool
+	gameOver  bool  // some process announced DONE with the won flag
+	corr      int64 // correlation-stamp counter for put/get replies
+
+	pendingReplies []*wire.Msg // ObjReply messages awaiting a SyncGet
+}
+
+// Errors returned by the runtime.
+var (
+	ErrDone       = errors.New("core: process already announced done")
+	ErrNeedsSFunc = errors.New("core: resync exchange requires an s-function")
+)
+
+// New builds a runtime over the endpoint. Objects are registered afterwards
+// via Share, before the first Exchange.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("core: config requires an endpoint")
+	}
+	mc := cfg.Metrics
+	if mc == nil {
+		mc = metrics.NewCollector()
+	}
+	ep := cfg.Endpoint
+	first := cfg.FirstExchange
+	if first == 0 {
+		first = 1
+	}
+	r := &Runtime{
+		ep:        ep,
+		st:        store.New(),
+		mc:        mc,
+		cfg:       cfg,
+		xl:        xlist.NewList(),
+		buf:       xlist.NewSlottedBuffer(ep.ID(), ep.N(), cfg.MergeDiffs),
+		seen:      make(map[int]int64),
+		earlySync: make(map[int]map[int64][]int64),
+		earlyData: make(map[int][]*wire.Msg),
+		peerDone:  make(map[int]bool),
+	}
+	for peer := 0; peer < ep.N(); peer++ {
+		if peer == ep.ID() {
+			continue
+		}
+		r.xl.Set(peer, first)
+	}
+	return r, nil
+}
+
+// ID returns the local process identity.
+func (r *Runtime) ID() int { return r.ep.ID() }
+
+// N returns the group size.
+func (r *Runtime) N() int { return r.ep.N() }
+
+// Now returns the logical system clock (ticks advanced by Exchange).
+func (r *Runtime) Now() int64 { return r.now }
+
+// Store exposes the local object replicas.
+func (r *Runtime) Store() *store.Store { return r.st }
+
+// Metrics exposes the collector.
+func (r *Runtime) Metrics() *metrics.Collector { return r.mc }
+
+// PeerDone reports whether peer has announced completion.
+func (r *Runtime) PeerDone(peer int) bool { return r.peerDone[peer] }
+
+// PendingObjects returns the IDs of objects with modifications buffered for
+// peer but not yet sent (spatial s-functions use this to advertise the
+// local "dirty region").
+func (r *Runtime) PendingObjects(peer int) []store.ID { return r.buf.Objects(peer) }
+
+// LivePeers returns the peers that have not announced done, ascending.
+func (r *Runtime) LivePeers() []int {
+	var out []int
+	for peer := 0; peer < r.ep.N(); peer++ {
+		if peer == r.ep.ID() || r.peerDone[peer] {
+			continue
+		}
+		out = append(out, peer)
+	}
+	return out
+}
+
+// Share registers a shared object with its initial state — the paper's
+// share() call, used once per object at initialization.
+func (r *Runtime) Share(id store.ID, initial []byte) error {
+	return r.st.Register(id, initial)
+}
+
+// Write applies a local modification to a shared object and buffers the
+// update for every live peer. It does not communicate; the next Exchange
+// distributes (or continues to buffer) the change.
+//
+// What is buffered is a whole-state replacement at the object's new
+// version, not the byte-level diff of this write. Different processes may
+// write the same object at different ticks, and a receiver can meet their
+// updates in any order; version-gated replacements make application
+// commutative (the highest version wins regardless of arrival order),
+// whereas byte-run diffs would patch the wrong base. Versions are sound to
+// compare across writers because a process only writes an object while the
+// consistency protocol guarantees its replica of that object is fresh, so
+// each write's version extends the true chain. The paper's diff machinery
+// (internal/diff) still carries the updates — a replacement is one kind of
+// diff — and slotted-buffer merging still collapses successive writes.
+func (r *Runtime) Write(id store.ID, data []byte) error {
+	d, err := r.st.Update(id, data)
+	if err != nil {
+		return fmt.Errorf("write object %d: %w", id, err)
+	}
+	if d.Empty() {
+		return nil
+	}
+	r.debugf("now=%d write obj=%d", r.now, id)
+	ver, err := r.st.Version(id)
+	if err != nil {
+		return err
+	}
+	state := make([]byte, len(data))
+	copy(state, data)
+	repl := diff.Diff{Replace: true, Len: len(state), Runs: []diff.Run{{Off: 0, Data: state}}}
+	skip := make(map[int]bool, len(r.peerDone))
+	for peer, done := range r.peerDone {
+		if done {
+			skip[peer] = true
+		}
+	}
+	return r.buf.AddAll(id, ver, repl, skip)
+}
+
+// send transmits m and counts it.
+func (r *Runtime) send(to int, m *wire.Msg) error {
+	r.mc.CountSend(m, m.EncodedSize())
+	return r.ep.Send(to, m)
+}
+
+// Exchange is the paper's exchange() call (Figure 4): advance the logical
+// clock, ship buffered and current modifications to the processes due now,
+// and — in resync mode — block until each of them has exchanged back, then
+// use the s-function to schedule the next rendezvous with each.
+func (r *Runtime) Exchange(opts ExchangeOpts) error {
+	if r.localDone {
+		return ErrDone
+	}
+	if opts.Resync && opts.SFunc == nil {
+		return ErrNeedsSFunc
+	}
+	if opts.How == 0 {
+		opts.How = Multicast
+	}
+	startWall := r.ep.Now()
+	r.now++
+	r.mc.AddTick()
+
+	// Determine this tick's rendezvous set.
+	var targets []int
+	switch opts.How {
+	case Broadcast:
+		targets = r.LivePeers()
+	default:
+		for _, e := range r.xl.Due(r.now) {
+			if !r.peerDone[e.Proc] {
+				targets = append(targets, e.Proc)
+			}
+		}
+	}
+
+	// Apply any buffered early traffic that has become current; collect
+	// beacons of partners whose SYNC already arrived.
+	gotSync := make(map[int][]int64)
+	haveSync := make(map[int]bool)
+	r.absorbEarly(gotSync, haveSync)
+
+	// Push (data, SYNC) pairs to each target. Broadcast mode "forces the
+	// modifications ... as well as all buffered modifications to be
+	// immediately flushed to all remote processes" (paper §3.1): the
+	// spatial filter does not apply.
+	for _, peer := range targets {
+		sendData := opts.How == Broadcast || opts.SendData == nil || opts.SendData(peer)
+		if sendData && r.buf.Pending(peer) > 0 {
+			diffs := r.buf.Flush(peer)
+			data := &wire.Msg{
+				Kind:    wire.KindData,
+				Stamp:   r.now,
+				Payload: xlist.EncodeDiffs(diffs),
+			}
+			if err := r.send(peer, data); err != nil {
+				return fmt.Errorf("exchange data to %d: %w", peer, err)
+			}
+		}
+		var beacon []int64
+		if opts.Beacon != nil {
+			beacon = opts.Beacon(peer)
+		}
+		sync := &wire.Msg{Kind: wire.KindSync, Stamp: r.now, Ints: beacon}
+		if err := r.send(peer, sync); err != nil {
+			return fmt.Errorf("exchange sync to %d: %w", peer, err)
+		}
+	}
+
+	if opts.Resync {
+		if err := r.awaitRendezvous(targets, gotSync, haveSync); err != nil {
+			return err
+		}
+		// Reschedule every partner that is still live.
+		for _, peer := range targets {
+			if r.peerDone[peer] {
+				continue
+			}
+			pb := gotSync[peer]
+			if r.cfg.OnBeacon != nil {
+				r.cfg.OnBeacon(peer, pb)
+			}
+			next := opts.SFunc(peer, r.now, pb)
+			if next <= r.now {
+				return fmt.Errorf("core: s-function scheduled peer %d at %d, not after now=%d", peer, next, r.now)
+			}
+			r.debugf("now=%d reschedule peer=%d next=%d", r.now, peer, next)
+			r.xl.Set(peer, next)
+		}
+	}
+
+	r.mc.AddTime(metrics.CatExchange, r.ep.Now()-startWall)
+	return nil
+}
+
+// absorbEarly moves buffered early messages whose stamp is now current into
+// effect: DATA payloads are applied, SYNC beacons recorded.
+func (r *Runtime) absorbEarly(gotSync map[int][]int64, haveSync map[int]bool) {
+	for peer, msgs := range r.earlyData {
+		var keep []*wire.Msg
+		for _, m := range msgs {
+			if m.Stamp <= r.now {
+				r.applyData(m)
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		if len(keep) == 0 {
+			delete(r.earlyData, peer)
+		} else {
+			r.earlyData[peer] = keep
+		}
+	}
+	for peer, stamps := range r.earlySync {
+		best := int64(-1)
+		for stamp := range stamps {
+			if stamp <= r.now && stamp > best {
+				best = stamp
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		gotSync[peer] = stamps[best]
+		haveSync[peer] = true
+		for stamp := range stamps {
+			if stamp <= r.now {
+				delete(stamps, stamp)
+			}
+		}
+		if len(stamps) == 0 {
+			delete(r.earlySync, peer)
+		}
+	}
+}
+
+// awaitRendezvous blocks until every target has answered this tick's
+// exchange with a SYNC (or announced DONE).
+func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSync map[int]bool) error {
+	outstanding := make(map[int]bool, len(targets))
+	for _, peer := range targets {
+		if r.peerDone[peer] || haveSync[peer] {
+			continue
+		}
+		outstanding[peer] = true
+	}
+	for len(outstanding) > 0 {
+		m, err := r.ep.Recv()
+		if err != nil {
+			return fmt.Errorf("exchange recv at tick %d: %w", r.now, err)
+		}
+		r.dispatch(m, func(peer int, beacon []int64) {
+			if outstanding[peer] {
+				gotSync[peer] = beacon
+				delete(outstanding, peer)
+			}
+		}, func(peer int) {
+			delete(outstanding, peer)
+		})
+	}
+	return nil
+}
+
+// dispatch routes one incoming message. onSync fires for SYNC messages
+// stamped with the current tick; onPeerDone fires when a peer announces
+// completion.
+func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64), onPeerDone func(peer int)) {
+	peer := int(m.Src)
+	switch m.Kind {
+	case wire.KindData:
+		if m.Stamp > r.now {
+			r.earlyData[peer] = append(r.earlyData[peer], m)
+			return
+		}
+		r.applyData(m)
+	case wire.KindSync:
+		if m.Stamp > r.now || onSync == nil {
+			// Ahead of our clock, or nobody is awaiting a rendezvous
+			// right now: hold the SYNC until the matching Exchange.
+			stamps, ok := r.earlySync[peer]
+			if !ok {
+				stamps = make(map[int64][]int64)
+				r.earlySync[peer] = stamps
+			}
+			stamps[m.Stamp] = m.Ints
+			return
+		}
+		onSync(peer, m.Ints)
+	case wire.KindDone:
+		r.handleDone(peer, m)
+		if onPeerDone != nil {
+			onPeerDone(peer)
+		}
+	case wire.KindObjReq:
+		if m.Mode == modePut {
+			r.acceptPut(peer, m)
+		} else {
+			r.serveObj(peer, m)
+		}
+	case wire.KindObjReply:
+		if m.Mode == modeAuto {
+			// Reply to an AsyncGet: apply as soon as it arrives.
+			ver := int64(0)
+			if len(m.Ints) > 0 {
+				ver = m.Ints[0]
+			}
+			if cur, err := r.st.Version(store.ID(m.Obj)); err == nil && ver >= cur {
+				_ = r.st.SetState(store.ID(m.Obj), m.Payload, ver)
+			}
+			return
+		}
+		r.pendingReplies = append(r.pendingReplies, m)
+	default:
+		// Unknown traffic for this runtime (e.g., misrouted lock
+		// messages) is ignored; the lock-based protocols use their own
+		// node loops.
+	}
+}
+
+func (r *Runtime) handleDone(peer int, m *wire.Msg) {
+	// A DONE carries the peer's final data (if any) implicitly via
+	// earlier DATA messages (FIFO). Mark it gone everywhere.
+	if m.Mode == doneWon {
+		r.gameOver = true
+	}
+	if r.peerDone[peer] {
+		return
+	}
+	r.peerDone[peer] = true
+	r.debugf("now=%d peerDone peer=%d stamp=%d", r.now, peer, m.Stamp)
+	r.xl.Remove(peer)
+	r.buf.Drop(peer)
+	// The peer's final flush may already sit in earlyData (stamped one
+	// tick ahead of its DONE); it must survive and be absorbed at its
+	// stamped tick — dropping it would lose the departing process's last
+	// writes. Early SYNCs, by contrast, have no rendezvous left to serve.
+	delete(r.earlySync, peer)
+}
+
+func (r *Runtime) debugf(format string, args ...any) {
+	if r.cfg.Debug != nil {
+		r.cfg.Debug(fmt.Sprintf(format, args...))
+	}
+}
+
+// applyData decodes and applies a DATA message's diff batch.
+func (r *Runtime) applyData(m *wire.Msg) {
+	if r.cfg.Debug != nil {
+		if dd, err := xlist.DecodeDiffs(m.Payload); err == nil {
+			objs := ""
+			for _, od := range dd {
+				objs += fmt.Sprintf("%d@v%d ", od.Obj, od.Version)
+			}
+			r.debugf("now=%d applyData from=%d stamp=%d objs=[%s]", r.now, m.Src, m.Stamp, objs)
+		}
+	}
+	diffs, err := xlist.DecodeDiffs(m.Payload)
+	if err != nil {
+		// Corrupt payloads are dropped; shared state stays at the last
+		// good version and the next rendezvous re-syncs.
+		return
+	}
+	for _, od := range diffs {
+		// Version gate: updates from different writers can arrive in
+		// any order; only content newer than the local replica is
+		// applied (see Write).
+		cur, err := r.st.Version(od.Obj)
+		if err != nil || od.Version <= cur {
+			continue
+		}
+		_ = r.st.ApplyDiff(od.Obj, od.D, od.Version)
+	}
+	if m.Stamp > r.seen[int(m.Src)] {
+		r.seen[int(m.Src)] = m.Stamp
+	}
+}
+
+func (r *Runtime) serveObj(peer int, m *wire.Msg) {
+	id := store.ID(m.Obj)
+	state, err := r.st.Get(id)
+	if err != nil {
+		return
+	}
+	ver, _ := r.st.Version(id)
+	reply := &wire.Msg{
+		Kind:    wire.KindObjReply,
+		Obj:     m.Obj,
+		Stamp:   m.Stamp,
+		Mode:    m.Mode, // echoed so AsyncGet replies self-identify
+		Ints:    []int64{ver},
+		Payload: state,
+	}
+	_ = r.send(peer, reply)
+}
+
+// doneWon marks a DONE from a process that reached the application's goal;
+// in first-to-goal (race) games it ends the game for everyone.
+const doneWon uint8 = 1
+
+// GameOver reports whether any process has announced a winning DONE.
+func (r *Runtime) GameOver() bool { return r.gameOver }
+
+// Poll drains already-delivered messages without blocking, dispatching them
+// exactly as Exchange would. Race-mode drivers call it each tick so a
+// winner's announcement is noticed even on ticks without a rendezvous. On
+// the simulated transport arrival is deterministic; on real transports the
+// observation tick may vary with scheduling.
+func (r *Runtime) Poll() {
+	for {
+		m, ok, err := r.ep.TryRecv()
+		if err != nil || !ok {
+			return
+		}
+		r.dispatch(m, nil, nil)
+	}
+}
+
+// Done announces that this process has finished: it pushes every buffered
+// modification out (so peers see its final writes) and broadcasts DONE. won
+// marks a process that reached the goal (ending a first-to-goal game).
+func (r *Runtime) Done(won bool) error {
+	if r.localDone {
+		return ErrDone
+	}
+	r.localDone = true
+	var mode uint8
+	if won {
+		mode = doneWon
+	}
+	// Done replaces the Exchange of the tick in progress, so the final
+	// flush is stamped now+1 — the tick those writes logically belong to.
+	// Peers at that tick apply them on receipt; peers behind buffer them
+	// until their own clocks arrive, exactly as a regular rendezvous
+	// would, independent of wall-clock message timing.
+	for _, peer := range r.LivePeers() {
+		if r.buf.Pending(peer) > 0 {
+			diffs := r.buf.Flush(peer)
+			data := &wire.Msg{
+				Kind:    wire.KindData,
+				Stamp:   r.now + 1,
+				Payload: xlist.EncodeDiffs(diffs),
+			}
+			if err := r.send(peer, data); err != nil {
+				return fmt.Errorf("final flush to %d: %w", peer, err)
+			}
+		}
+		done := &wire.Msg{Kind: wire.KindDone, Stamp: r.now, Mode: mode}
+		if err := r.send(peer, done); err != nil {
+			return fmt.Errorf("done to %d: %w", peer, err)
+		}
+	}
+	return nil
+}
+
+// AsyncPut sends obj's full current state to a remote process without
+// waiting — the paper's async_put.
+func (r *Runtime) AsyncPut(id store.ID, to int) error {
+	state, err := r.st.Get(id)
+	if err != nil {
+		return err
+	}
+	ver, _ := r.st.Version(id)
+	m := &wire.Msg{Kind: wire.KindObjReply, Obj: uint32(id), Ints: []int64{ver}, Payload: state}
+	return r.send(to, m)
+}
+
+// SyncPut sends obj's state and blocks until the remote acknowledges — the
+// paper's sync_put. The acknowledgment is the peer's ObjReply echo carrying
+// the same stamp.
+func (r *Runtime) SyncPut(id store.ID, to int) error {
+	state, err := r.st.Get(id)
+	if err != nil {
+		return err
+	}
+	ver, _ := r.st.Version(id)
+	stamp := r.nextCorrelation(id)
+	m := &wire.Msg{
+		Kind: wire.KindObjReq, Mode: modePut, Obj: uint32(id),
+		Stamp: stamp, Ints: []int64{ver}, Payload: state,
+	}
+	if err := r.send(to, m); err != nil {
+		return err
+	}
+	return r.waitReply(uint32(id), stamp, false)
+}
+
+// modePut marks an ObjReq as carrying a put (state push needing an ack)
+// rather than a get; modeAuto marks an async get whose reply should be
+// applied on arrival without a waiter.
+const (
+	modePut  uint8 = 3
+	modeAuto uint8 = 4
+)
+
+// nextCorrelation builds a correlation stamp for request/reply matching.
+func (r *Runtime) nextCorrelation(id store.ID) int64 {
+	r.corr++
+	return r.corr<<20 | int64(id)&0xfffff
+}
+
+// acceptPut applies a pushed object state and acknowledges it.
+func (r *Runtime) acceptPut(peer int, m *wire.Msg) {
+	ver := int64(0)
+	if len(m.Ints) > 0 {
+		ver = m.Ints[0]
+	}
+	cur, err := r.st.Version(store.ID(m.Obj))
+	if err == nil && ver >= cur {
+		_ = r.st.SetState(store.ID(m.Obj), m.Payload, ver)
+	}
+	ack := &wire.Msg{Kind: wire.KindObjReply, Obj: m.Obj, Stamp: m.Stamp}
+	_ = r.send(peer, ack)
+}
+
+// AsyncGet requests obj's state from a remote process and returns without
+// blocking; the reply is applied whenever it arrives — the paper's
+// async_get.
+func (r *Runtime) AsyncGet(id store.ID, from int) error {
+	m := &wire.Msg{Kind: wire.KindObjReq, Mode: modeAuto, Obj: uint32(id), Stamp: r.now}
+	return r.send(from, m)
+}
+
+// SyncGet requests obj's state from a remote process and blocks until it
+// arrives — the paper's sync_get, used by pull-based protocols to fetch the
+// up-to-date copy from an owner.
+func (r *Runtime) SyncGet(id store.ID, from int) error {
+	stamp := r.nextCorrelation(id)
+	m := &wire.Msg{Kind: wire.KindObjReq, Obj: uint32(id), Stamp: stamp}
+	if err := r.send(from, m); err != nil {
+		return err
+	}
+	return r.waitReply(uint32(id), stamp, true)
+}
+
+// waitReply blocks until an ObjReply for (obj, stamp) arrives, applying it
+// if apply is set.
+func (r *Runtime) waitReply(obj uint32, stamp int64, apply bool) error {
+	take := func(m *wire.Msg) bool { return m.Kind == wire.KindObjReply && m.Obj == obj && m.Stamp == stamp }
+	for {
+		for i, m := range r.pendingReplies {
+			if take(m) {
+				r.pendingReplies = append(r.pendingReplies[:i], r.pendingReplies[i+1:]...)
+				if apply {
+					ver := int64(0)
+					if len(m.Ints) > 0 {
+						ver = m.Ints[0]
+					}
+					return r.st.SetState(store.ID(m.Obj), m.Payload, ver)
+				}
+				return nil
+			}
+		}
+		m, err := r.ep.Recv()
+		if err != nil {
+			return fmt.Errorf("await reply for obj %d: %w", obj, err)
+		}
+		r.dispatch(m, nil, nil)
+	}
+}

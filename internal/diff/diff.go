@@ -1,0 +1,295 @@
+// Package diff computes, applies, merges, and encodes byte-level diffs of
+// shared-object state. S-DSO buffers "diffs of the state of each object
+// since their previous modification" in the slotted buffer, and "can be
+// tuned to merge multiple diffs to the same object into one diff since the
+// last exchange with a given process" (paper §3.1) — Merge implements that
+// optimization, and the bench harness measures its effect.
+//
+// A Diff is a sorted list of non-overlapping byte runs to overlay on a base
+// state of the same length, or a whole-state replacement when the lengths
+// differ (the common case in the game never changes object sizes).
+package diff
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Run is one contiguous edit: Data overwrites the bytes at [Off, Off+len).
+type Run struct {
+	Off  int
+	Data []byte
+}
+
+// Diff describes how to transform one object state into another.
+type Diff struct {
+	// Replace, when true, means Runs holds exactly one run at offset 0
+	// whose data is the complete new state (used when lengths differ).
+	Replace bool
+	// Len is the length of the state the diff produces.
+	Len int
+	// Runs are sorted by offset and non-overlapping.
+	Runs []Run
+}
+
+// coalesceGap joins two differing runs separated by fewer than this many
+// identical bytes; small gaps cost more in run headers than they save.
+const coalesceGap = 8
+
+// Errors returned by this package.
+var (
+	ErrLengthMismatch = errors.New("diff: state length mismatch")
+	ErrOutOfBounds    = errors.New("diff: run exceeds state bounds")
+	ErrCorrupt        = errors.New("diff: corrupt encoding")
+)
+
+// Compute returns the diff that transforms old into new. If the lengths
+// differ it returns a whole-state replacement.
+func Compute(old, new []byte) Diff {
+	if len(old) != len(new) {
+		data := make([]byte, len(new))
+		copy(data, new)
+		return Diff{Replace: true, Len: len(new), Runs: []Run{{Off: 0, Data: data}}}
+	}
+	d := Diff{Len: len(new)}
+	i := 0
+	for i < len(new) {
+		if old[i] == new[i] {
+			i++
+			continue
+		}
+		start := i
+		// Extend the run past short equal gaps.
+		last := i // last differing index seen
+		for i < len(new) {
+			if old[i] != new[i] {
+				last = i
+				i++
+				continue
+			}
+			// Probe ahead: if another difference occurs within the
+			// coalesce gap, absorb the equal stretch.
+			j := i
+			for j < len(new) && j-i < coalesceGap && old[j] == new[j] {
+				j++
+			}
+			if j < len(new) && j-i < coalesceGap {
+				i = j
+				continue
+			}
+			break
+		}
+		data := make([]byte, last+1-start)
+		copy(data, new[start:last+1])
+		d.Runs = append(d.Runs, Run{Off: start, Data: data})
+	}
+	return d
+}
+
+// Empty reports whether the diff changes nothing.
+func (d Diff) Empty() bool { return !d.Replace && len(d.Runs) == 0 }
+
+// ByteSize returns the number of payload bytes the diff carries (run data
+// plus per-run headers), used for wire-size accounting.
+func (d Diff) ByteSize() int {
+	n := 8 // len + flags header
+	for _, r := range d.Runs {
+		n += 8 + len(r.Data)
+	}
+	return n
+}
+
+// Apply transforms base according to the diff, returning a fresh slice.
+func Apply(base []byte, d Diff) ([]byte, error) {
+	if d.Replace {
+		if len(d.Runs) != 1 || d.Runs[0].Off != 0 || len(d.Runs[0].Data) != d.Len {
+			return nil, fmt.Errorf("%w: malformed replacement", ErrCorrupt)
+		}
+		out := make([]byte, d.Len)
+		copy(out, d.Runs[0].Data)
+		return out, nil
+	}
+	if len(base) != d.Len {
+		return nil, fmt.Errorf("%w: base %d, diff %d", ErrLengthMismatch, len(base), d.Len)
+	}
+	out := make([]byte, len(base))
+	copy(out, base)
+	for _, r := range d.Runs {
+		if r.Off < 0 || r.Off+len(r.Data) > len(out) {
+			return nil, fmt.Errorf("%w: run at %d len %d in state of %d", ErrOutOfBounds, r.Off, len(r.Data), len(out))
+		}
+		copy(out[r.Off:], r.Data)
+	}
+	return out, nil
+}
+
+// Merge returns a single diff equivalent to applying first and then second.
+// Later writes win on overlap. Both diffs must produce states of the same
+// length unless one is a replacement.
+func Merge(first, second Diff) (Diff, error) {
+	switch {
+	case second.Replace:
+		return second.clone(), nil
+	case first.Replace:
+		// Apply second on top of the replacement state.
+		state, err := Apply(first.Runs[0].Data, second)
+		if err != nil {
+			return Diff{}, fmt.Errorf("merge onto replacement: %w", err)
+		}
+		return Diff{Replace: true, Len: len(state), Runs: []Run{{Off: 0, Data: state}}}, nil
+	case first.Empty():
+		return second.clone(), nil
+	case second.Empty():
+		return first.clone(), nil
+	case first.Len != second.Len:
+		return Diff{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, first.Len, second.Len)
+	}
+
+	// Overlay: second's runs shadow first's where they overlap.
+	type span struct {
+		off  int
+		data []byte
+	}
+	var spans []span
+	for _, r := range first.Runs {
+		// Clip r against every run of second.
+		cur := span{off: r.Off, data: r.Data}
+		pieces := []span{cur}
+		for _, s := range second.Runs {
+			var next []span
+			for _, p := range pieces {
+				pEnd := p.off + len(p.data)
+				sEnd := s.Off + len(s.Data)
+				if sEnd <= p.off || s.Off >= pEnd {
+					next = append(next, p)
+					continue
+				}
+				if s.Off > p.off {
+					next = append(next, span{off: p.off, data: p.data[:s.Off-p.off]})
+				}
+				if sEnd < pEnd {
+					next = append(next, span{off: sEnd, data: p.data[sEnd-p.off:]})
+				}
+			}
+			pieces = next
+		}
+		spans = append(spans, pieces...)
+	}
+	for _, r := range second.Runs {
+		spans = append(spans, span{off: r.Off, data: r.Data})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+
+	out := Diff{Len: first.Len}
+	for _, sp := range spans {
+		if len(sp.data) == 0 {
+			continue
+		}
+		// Coalesce adjacent spans.
+		if n := len(out.Runs); n > 0 && out.Runs[n-1].Off+len(out.Runs[n-1].Data) == sp.off {
+			out.Runs[n-1].Data = append(out.Runs[n-1].Data, sp.data...)
+			continue
+		}
+		data := make([]byte, len(sp.data))
+		copy(data, sp.data)
+		out.Runs = append(out.Runs, Run{Off: sp.off, Data: data})
+	}
+	return out, nil
+}
+
+func (d Diff) clone() Diff {
+	c := Diff{Replace: d.Replace, Len: d.Len}
+	if d.Runs != nil {
+		c.Runs = make([]Run, len(d.Runs))
+		for i, r := range d.Runs {
+			data := make([]byte, len(r.Data))
+			copy(data, r.Data)
+			c.Runs[i] = Run{Off: r.Off, Data: data}
+		}
+	}
+	return c
+}
+
+// Encode serializes the diff for transmission.
+func Encode(d Diff) []byte {
+	size := 1 + binary.MaxVarintLen64*2
+	for _, r := range d.Runs {
+		size += binary.MaxVarintLen64*2 + len(r.Data)
+	}
+	buf := make([]byte, 0, size)
+	var flags byte
+	if d.Replace {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(d.Len))
+	buf = binary.AppendUvarint(buf, uint64(len(d.Runs)))
+	for _, r := range d.Runs {
+		buf = binary.AppendUvarint(buf, uint64(r.Off))
+		buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+		buf = append(buf, r.Data...)
+	}
+	return buf
+}
+
+// Decode parses an encoded diff.
+func Decode(buf []byte) (Diff, error) {
+	if len(buf) < 1 {
+		return Diff{}, ErrCorrupt
+	}
+	d := Diff{Replace: buf[0] == 1}
+	if buf[0] > 1 {
+		return Diff{}, fmt.Errorf("%w: bad flags %d", ErrCorrupt, buf[0])
+	}
+	buf = buf[1:]
+	length, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Diff{}, fmt.Errorf("%w: length", ErrCorrupt)
+	}
+	buf = buf[n:]
+	nRuns, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Diff{}, fmt.Errorf("%w: run count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	d.Len = int(length)
+	if nRuns > uint64(len(buf))+1 { // each run needs at least 2 bytes of header
+		return Diff{}, fmt.Errorf("%w: %d runs in %d bytes", ErrCorrupt, nRuns, len(buf))
+	}
+	prevEnd := -1
+	for i := uint64(0); i < nRuns; i++ {
+		off, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Diff{}, fmt.Errorf("%w: run %d offset", ErrCorrupt, i)
+		}
+		buf = buf[n:]
+		dlen, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Diff{}, fmt.Errorf("%w: run %d length", ErrCorrupt, i)
+		}
+		buf = buf[n:]
+		if dlen > uint64(len(buf)) {
+			return Diff{}, fmt.Errorf("%w: run %d data truncated", ErrCorrupt, i)
+		}
+		if int(off) <= prevEnd {
+			return Diff{}, fmt.Errorf("%w: runs unsorted or overlapping", ErrCorrupt)
+		}
+		if int(off)+int(dlen) > d.Len {
+			return Diff{}, fmt.Errorf("%w: run %d out of bounds", ErrCorrupt, i)
+		}
+		data := make([]byte, dlen)
+		copy(data, buf)
+		buf = buf[dlen:]
+		d.Runs = append(d.Runs, Run{Off: int(off), Data: data})
+		prevEnd = int(off) + int(dlen) - 1
+	}
+	if len(buf) != 0 {
+		return Diff{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	if d.Replace && (len(d.Runs) != 1 || d.Runs[0].Off != 0 || len(d.Runs[0].Data) != d.Len) {
+		return Diff{}, fmt.Errorf("%w: malformed replacement", ErrCorrupt)
+	}
+	return d, nil
+}

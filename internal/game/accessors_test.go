@@ -1,0 +1,89 @@
+package game
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	for k := Empty; k <= Tank; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "CellKind(") {
+			t.Errorf("kind %d renders %q", k, k)
+		}
+	}
+	if !strings.Contains(CellKind(99).String(), "99") {
+		t.Error("unknown kind should render its value")
+	}
+	for _, ak := range []ActionKind{Stay, Move, Fire} {
+		if ak.String() == "" || strings.HasPrefix(ak.String(), "ActionKind(") {
+			t.Errorf("action kind %d renders %q", ak, ak)
+		}
+	}
+	if !strings.Contains(ActionKind(42).String(), "42") {
+		t.Error("unknown action kind should render its value")
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !(Pos{3, 7}).Aligned(Pos{3, 1}) {
+		t.Error("same column not aligned")
+	}
+	if !(Pos{2, 5}).Aligned(Pos{9, 5}) {
+		t.Error("same row not aligned")
+	}
+	if (Pos{1, 2}).Aligned(Pos{3, 4}) {
+		t.Error("diagonal aligned")
+	}
+}
+
+func TestTankPositions(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := w.TankPositions()
+	if len(ps) != 3 {
+		t.Fatalf("teams = %d", len(ps))
+	}
+	for team, positions := range ps {
+		for _, p := range positions {
+			c := w.At(p)
+			if c.Kind != Tank || c.Team != team {
+				t.Errorf("team %d position %v holds %+v", team, p, c)
+			}
+		}
+	}
+}
+
+func TestTraceActionForms(t *testing.T) {
+	cases := []Action{
+		{Kind: Move, From: Pos{1, 2}, To: Pos{1, 3}},
+		{Kind: Fire, Target: Pos{4, 4}},
+		{Kind: Stay, Suppressed: true},
+	}
+	for _, a := range cases {
+		s := TraceAction(7, a)
+		if !strings.Contains(s, "tick=7") {
+			t.Errorf("trace %q missing tick", s)
+		}
+	}
+}
+
+func TestTankStateAdvance(t *testing.T) {
+	ts := NewTankState(Pos{5, 5})
+	if ts.Prev != ts.Pos {
+		t.Error("fresh tank state should have Prev == Pos")
+	}
+	moved := ts.Advance(Action{Kind: Move, From: Pos{5, 5}, To: Pos{6, 5}})
+	if moved.Pos != (Pos{6, 5}) || moved.Prev != (Pos{5, 5}) {
+		t.Errorf("Advance(move) = %+v", moved)
+	}
+	stayed := moved.Advance(Action{Kind: Stay})
+	if stayed != moved {
+		t.Errorf("Advance(stay) changed state: %+v", stayed)
+	}
+	if got := Positions([]TankState{ts, moved}); len(got) != 2 || got[1] != (Pos{6, 5}) {
+		t.Errorf("Positions = %v", got)
+	}
+}

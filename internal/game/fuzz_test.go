@@ -1,0 +1,41 @@
+package game
+
+import "testing"
+
+// FuzzDecodeBeacon: arbitrary beacon payloads (attacker- or bug-shaped)
+// must never panic, and accepted beacons must round trip.
+func FuzzDecodeBeacon(f *testing.F) {
+	f.Add([]byte{1, 5, 6, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ints := make([]int64, len(raw))
+		for i, b := range raw {
+			ints[i] = int64(b) - 4 // small signed values hit every branch
+		}
+		b, err := DecodeBeacon(ints)
+		if err != nil {
+			return
+		}
+		b2, err := DecodeBeacon(EncodeBeacon(b))
+		if err != nil {
+			t.Fatalf("accepted beacon failed to round trip: %v", err)
+		}
+		if len(b2.Tanks) != len(b.Tanks) || (b.Box == nil) != (b2.Box == nil) {
+			t.Fatalf("round trip changed beacon: %+v vs %+v", b, b2)
+		}
+	})
+}
+
+// FuzzDecodeCell: cell payloads from the wire must never panic the decoder.
+func FuzzDecodeCell(f *testing.F) {
+	f.Add(EncodeCell(Cell{Kind: Tank, Team: 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCell(data)
+		if err != nil {
+			return
+		}
+		c2, err := DecodeCell(EncodeCell(c))
+		if err != nil || c2 != c {
+			t.Fatalf("round trip changed cell: %v vs %v (%v)", c, c2, err)
+		}
+	})
+}

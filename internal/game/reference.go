@@ -1,0 +1,249 @@
+package game
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sdso/internal/store"
+)
+
+// TeamStats summarizes one team's run.
+type TeamStats struct {
+	Team        int
+	Mods        int // object modifications issued
+	Ticks       int // ticks participated in
+	Score       int // bonuses collected
+	ReachedGoal bool
+	Destroyed   bool
+	DoneTick    int64 // tick the team finished (goal, death, or horizon)
+}
+
+// Result is the outcome of a complete game.
+type Result struct {
+	Cfg    Config
+	Stats  []TeamStats
+	Final  *World
+	Hashes []uint64 // world-state hash after each tick, for equivalence checks
+	Worlds []*World // per-tick snapshots when Config.TraceWorlds is set
+	// Actions, indexed by team, lists every decided action as
+	// "tick=N kind from->to" strings (populated when Config.TraceWorlds
+	// is set; used to diff executions in tests).
+	Actions map[int][]string
+}
+
+// TraceAction renders an action for execution diffing.
+func TraceAction(tick int64, a Action) string {
+	switch a.Kind {
+	case Move:
+		return fmt.Sprintf("tick=%d move %v->%v", tick, a.From, a.To)
+	case Fire:
+		return fmt.Sprintf("tick=%d fire %v", tick, a.Target)
+	default:
+		return fmt.Sprintf("tick=%d stay suppressed=%v", tick, a.Suppressed)
+	}
+}
+
+// WorldHash fingerprints a world's cells.
+func WorldHash(w *World) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 2)
+	for _, c := range w.Cells {
+		buf[0] = byte(c.Kind)
+		buf[1] = byte(c.Team)
+		_, _ = h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// teamState tracks one team during simulation.
+type teamState struct {
+	tanks []TankState
+	stats TeamStats
+	done  bool
+}
+
+// RunReference executes the game as a single-threaded lockstep simulation
+// with perfect knowledge: every team decides from the same previous-tick
+// snapshot, then all writes apply atomically. The lookahead protocols must
+// reproduce this execution exactly (the paper's "apparently sequentially
+// consistent actions"); integration tests assert it.
+func RunReference(cfg Config) (*Result, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	teams := make([]*teamState, cfg.Teams)
+	for pos, c := range w.Cells {
+		if c.Kind == Tank {
+			if teams[c.Team] == nil {
+				teams[c.Team] = &teamState{stats: TeamStats{Team: c.Team}}
+			}
+			teams[c.Team].tanks = append(teams[c.Team].tanks, NewTankState(cfg.PosOf(store.ID(pos))))
+		}
+	}
+	for i := range teams {
+		if teams[i] == nil {
+			teams[i] = &teamState{stats: TeamStats{Team: i}, done: true}
+		}
+	}
+
+	res := &Result{Cfg: cfg, Actions: make(map[int][]string)}
+	for tick := int64(1); tick <= int64(cfg.MaxTicks); tick++ {
+		live := 0
+		for _, ts := range teams {
+			if !ts.done {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+
+		// Enemy-position snapshot (previous tick's end state).
+		positions := make(map[int][]Pos, len(teams))
+		for i, ts := range teams {
+			if !ts.done {
+				positions[i] = Positions(ts.tanks)
+			}
+		}
+
+		type pendingWrite struct {
+			team int
+			w    CellWrite
+		}
+		var writes []pendingWrite
+		writer := make(map[store.ID]int) // single-writer audit
+
+		for teamID, ts := range teams {
+			if ts.done {
+				continue
+			}
+			ts.stats.Ticks++
+			// Team-local overlay so a team's second tank sees its first
+			// tank's move; cross-team reads stay at the snapshot.
+			overlay := make(map[store.ID]Cell)
+			cellAt := func(p Pos) Cell {
+				if c, ok := overlay[cfg.ObjectOf(p)]; ok {
+					return c
+				}
+				return w.At(p)
+			}
+			enemies := make(map[int][]Pos, len(positions))
+			for t, ps := range positions {
+				if t != teamID {
+					enemies[t] = ps
+				}
+			}
+
+			newTanks := make([]TankState, 0, len(ts.tanks))
+			modified := false
+			for _, tank := range ts.tanks {
+				act := Decide(View{
+					Cfg:     cfg,
+					Team:    teamID,
+					Self:    tank.Pos,
+					Prev:    tank.Prev,
+					Goal:    w.Goal,
+					CellAt:  cellAt,
+					Enemies: enemies,
+				})
+				if cfg.TraceWorlds {
+					res.Actions[teamID] = append(res.Actions[teamID], TraceAction(tick, act))
+				}
+				ws, reachedGoal := act.Writes(teamID, w.Goal)
+				for _, cw := range ws {
+					obj := cfg.ObjectOf(cw.Pos)
+					if prev, clash := writer[obj]; clash && prev != teamID {
+						return nil, fmt.Errorf(
+							"game: write race at %v between teams %d and %d on tick %d",
+							cw.Pos, prev, teamID, tick)
+					}
+					writer[obj] = teamID
+					overlay[obj] = cw.Cell
+					writes = append(writes, pendingWrite{team: teamID, w: cw})
+				}
+				if len(ws) > 0 {
+					modified = true
+				}
+				switch {
+				case reachedGoal:
+					ts.stats.ReachedGoal = true
+					ts.stats.Score += 5 // goal bounty
+				case act.Kind == Move:
+					if w.At(act.To).Kind == Bonus {
+						ts.stats.Score++
+					}
+					newTanks = append(newTanks, tank.Advance(act))
+				default:
+					newTanks = append(newTanks, tank)
+				}
+			}
+			if modified {
+				ts.stats.Mods++
+			}
+			ts.tanks = newTanks
+			if ts.stats.ReachedGoal && len(ts.tanks) == 0 {
+				ts.done = true
+				ts.stats.DoneTick = tick
+			}
+		}
+
+		// Apply all writes atomically.
+		for _, pw := range writes {
+			w.Set(pw.w.Pos, pw.w.Cell)
+		}
+
+		// Deaths: a team's tank is gone if its block no longer holds it.
+		for teamID, ts := range teams {
+			if ts.done {
+				continue
+			}
+			alive := ts.tanks[:0]
+			for _, tank := range ts.tanks {
+				c := w.At(tank.Pos)
+				if c.Kind == Tank && c.Team == teamID {
+					alive = append(alive, tank)
+				}
+			}
+			ts.tanks = alive
+			if len(ts.tanks) == 0 && !ts.done {
+				ts.done = true
+				ts.stats.DoneTick = tick
+				if !ts.stats.ReachedGoal {
+					ts.stats.Destroyed = true
+				}
+			}
+		}
+		res.Hashes = append(res.Hashes, WorldHash(w))
+		if cfg.TraceWorlds {
+			snap := &World{Cfg: cfg, Cells: append([]Cell(nil), w.Cells...), Goal: w.Goal}
+			res.Worlds = append(res.Worlds, snap)
+		}
+		if cfg.EndOnFirstGoal {
+			won := false
+			for _, ts := range teams {
+				if ts.stats.ReachedGoal {
+					won = true
+				}
+			}
+			if won {
+				for _, ts := range teams {
+					if !ts.done {
+						ts.done = true
+						ts.stats.DoneTick = tick
+					}
+				}
+				break
+			}
+		}
+	}
+
+	for _, ts := range teams {
+		if !ts.done {
+			ts.stats.DoneTick = int64(ts.stats.Ticks)
+		}
+		res.Stats = append(res.Stats, ts.stats)
+	}
+	res.Final = w
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+
+	"sdso/internal/game"
+	"sdso/internal/metrics"
+	"sdso/internal/netmodel"
+	"sdso/internal/protocol/central"
+	"sdso/internal/transport"
+	"sdso/internal/vtime"
+)
+
+// runCentralVtime runs the client-server alternative (paper §2.1) on the
+// simulated cluster: n client hosts plus one dedicated server host whose
+// NIC becomes the bottleneck.
+func runCentralVtime(cfg Config) (*Result, error) {
+	n := cfg.Game.Teams
+	sim := vtime.NewSim(vtime.Config{
+		Links:   netmodel.NewCluster(cfg.Net),
+		Horizon: cfg.Horizon,
+	})
+	collectors := make([]*metrics.Collector, n+1)
+	stats := make([]game.TeamStats, n)
+	errs := make([]error, n+1)
+	eps := make([]*transport.SimEndpoint, n+1)
+
+	for i := 0; i < n; i++ {
+		i := i
+		collectors[i] = metrics.NewCollector()
+		sim.Spawn(func(p *vtime.Proc) {
+			stats[i], errs[i] = central.RunClient(central.ClientConfig{
+				Game:           cfg.Game,
+				Endpoint:       eps[i],
+				Metrics:        collectors[i],
+				ComputePerTick: cfg.ComputePerTick,
+			})
+		})
+	}
+	collectors[n] = metrics.NewCollector()
+	sim.Spawn(func(p *vtime.Proc) {
+		errs[n] = central.RunServer(central.ServerConfig{
+			Game:     cfg.Game,
+			Endpoint: eps[n],
+			Metrics:  collectors[n],
+		})
+	})
+	for i := 0; i <= n; i++ {
+		eps[i] = transport.NewSimEndpoint(sim.Proc(i), n+1, transport.FixedSize(cfg.MsgSize))
+	}
+	if err := sim.Run(); err != nil {
+		return nil, fmt.Errorf("CENTRAL simulation: %w", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("CENTRAL process %d: %w", i, err)
+		}
+	}
+	// Client collectors carry the per-team stats; the server's messages
+	// are folded in as an extra snapshot (it has no game stats).
+	res := collect(cfg, stats, collectors[:n])
+	res.Metrics.Procs = append(res.Metrics.Procs, collectors[n].Snapshot())
+	return res, nil
+}

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"testing"
+
+	"sdso/internal/game"
+)
+
+func TestExploreECStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploratory")
+	}
+	for _, n := range []int{2, 8} {
+		g := game.DefaultConfig(n, 1)
+		res, err := Run(Config{Game: g, Protocol: EC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range res.Stats {
+			t.Logf("EC n=%d %+v", n, st)
+		}
+		ref, _ := game.RunReference(g)
+		for _, st := range ref.Stats {
+			t.Logf("REF n=%d %+v", n, st)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"testing"
+
+	"sdso/internal/game"
+)
+
+func TestExploreTickCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploratory")
+	}
+	for _, proto := range []Protocol{BSYNC, EC} {
+		for _, n := range []int{8, 16} {
+			g := game.DefaultConfig(n, 1)
+			g.MaxTicks = 200
+			g.EndOnFirstGoal = true
+			res, err := Run(Config{Game: g, Protocol: proto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			maxT := 0
+			for _, st := range res.Stats {
+				total += st.Ticks
+				if st.Ticks > maxT {
+					maxT = st.Ticks
+				}
+			}
+			t.Logf("%s n=%d: totalTicks=%d maxTicks=%d msgs=%d ctrl=%d", proto, n, total, maxT, res.Metrics.TotalMsgs(), res.Metrics.ControlMsgs())
+			for _, st := range res.Stats {
+				if st.ReachedGoal {
+					t.Logf("  winner team %d at tick %d", st.Team, st.DoneTick)
+				}
+			}
+		}
+	}
+}

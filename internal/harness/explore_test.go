@@ -1,0 +1,21 @@
+package harness
+
+import "testing"
+
+func TestExploreShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploratory")
+	}
+	for _, rng := range []int{1, 3} {
+		sw, err := RunSweep(SweepConfig{Range: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", sw.Table("Fig5", "ms/mod", MetricNormalizedTime))
+		t.Logf("\n%s", sw.Table("Fig6 total msgs", "msgs", MetricTotalMsgs))
+		t.Logf("\n%s", sw.Table("Fig7 data msgs", "msgs", MetricDataMsgs))
+		t.Logf("\n%s", sw.Table("control msgs", "msgs", MetricControlMsgs))
+		t.Logf("\n%s", sw.Table("Fig8 overhead", "%", MetricOverheadPct))
+		t.Logf("\n%s", sw.OverheadBreakdown(16))
+	}
+}

@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sdso/internal/game"
+	"sdso/internal/metrics"
+)
+
+// PaperNs are the process counts on the paper's x-axes.
+var PaperNs = []int{2, 4, 8, 16}
+
+// SweepConfig describes a sweep over process counts for a set of protocols
+// — the shape of every figure in the paper's evaluation.
+type SweepConfig struct {
+	// Protocols to run; defaults to the paper's four.
+	Protocols []Protocol
+	// Ns are the process counts; defaults to PaperNs.
+	Ns []int
+	// Range is the tank visibility range (1 for the left-hand figures,
+	// 3 for the right-hand ones).
+	Range int
+	// Seeds are the placement seeds; the reported metrics average over
+	// them (the paper fixes one seed and normalizes instead; averaging
+	// smooths the same game-randomness effects). Defaults to {1, 2, 3}.
+	Seeds []int64
+	// MaxTicks bounds each game; defaults to 200.
+	MaxTicks int
+}
+
+func (sc SweepConfig) withDefaults() SweepConfig {
+	if len(sc.Protocols) == 0 {
+		sc.Protocols = append([]Protocol(nil), PaperProtocols...)
+	}
+	if len(sc.Ns) == 0 {
+		sc.Ns = append([]int(nil), PaperNs...)
+	}
+	if len(sc.Seeds) == 0 {
+		sc.Seeds = []int64{1, 2, 3}
+	}
+	if sc.MaxTicks == 0 {
+		sc.MaxTicks = 200
+	}
+	if sc.Range == 0 {
+		sc.Range = 1
+	}
+	return sc
+}
+
+// Sweep holds the results of one sweep: Results[protocol][n] has one
+// result per seed.
+type Sweep struct {
+	Config  SweepConfig
+	Results map[Protocol]map[int][]*Result
+}
+
+// RunSweep executes every (protocol, n, seed) experiment of the sweep.
+func RunSweep(sc SweepConfig) (*Sweep, error) {
+	sc = sc.withDefaults()
+	sw := &Sweep{Config: sc, Results: make(map[Protocol]map[int][]*Result)}
+	for _, proto := range sc.Protocols {
+		sw.Results[proto] = make(map[int][]*Result)
+		for _, n := range sc.Ns {
+			for _, seed := range sc.Seeds {
+				g := game.DefaultConfig(n, sc.Range)
+				g.Seed = seed
+				g.MaxTicks = sc.MaxTicks
+				g.EndOnFirstGoal = true // the paper's race semantics
+				res, err := Run(Config{Game: g, Protocol: proto})
+				if err != nil {
+					return nil, fmt.Errorf("sweep %s n=%d range=%d seed=%d: %w", proto, n, sc.Range, seed, err)
+				}
+				sw.Results[proto][n] = append(sw.Results[proto][n], res)
+			}
+		}
+	}
+	return sw, nil
+}
+
+// Metric extracts one figure's series from a result.
+type Metric func(*Result) float64
+
+// Figure metrics.
+var (
+	// MetricNormalizedTime is Figure 5: average execution time per
+	// process normalized by the average number of object modifications,
+	// in milliseconds.
+	MetricNormalizedTime Metric = func(r *Result) float64 {
+		return float64(r.Metrics.NormalizedExecTime()) / float64(time.Millisecond)
+	}
+	// MetricTotalMsgs is Figure 6: total message transfers (control +
+	// data).
+	MetricTotalMsgs Metric = func(r *Result) float64 { return float64(r.Metrics.TotalMsgs()) }
+	// MetricDataMsgs is Figure 7: data messages only.
+	MetricDataMsgs Metric = func(r *Result) float64 { return float64(r.Metrics.DataMsgs()) }
+	// MetricControlMsgs separates the lock/SYNC traffic discussed with
+	// Figure 6.
+	MetricControlMsgs Metric = func(r *Result) float64 { return float64(r.Metrics.ControlMsgs()) }
+	// MetricOverheadPct is Figure 8: protocol overhead as a percentage of
+	// per-process execution time.
+	MetricOverheadPct Metric = func(r *Result) float64 { return r.Metrics.AvgOverheadPct() }
+)
+
+// Series returns seed-averaged metric values for one protocol across the
+// sweep's Ns.
+func (sw *Sweep) Series(p Protocol, m Metric) []float64 {
+	out := make([]float64, 0, len(sw.Config.Ns))
+	for _, n := range sw.Config.Ns {
+		out = append(out, sw.Value(p, n, m))
+	}
+	return out
+}
+
+// Value returns one metric for one (protocol, n) cell, averaged over the
+// sweep's seeds.
+func (sw *Sweep) Value(p Protocol, n int, m Metric) float64 {
+	rs := sw.Results[p][n]
+	if len(rs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rs {
+		sum += m(r)
+	}
+	return sum / float64(len(rs))
+}
+
+// Table renders a figure's data as the paper-style rows (one per process
+// count, one column per protocol).
+func (sw *Sweep) Table(title, unit string, m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%8s", "procs")
+	for _, p := range sw.Config.Protocols {
+		fmt.Fprintf(&b, "%12s", string(p))
+	}
+	fmt.Fprintf(&b, "    (%s)\n", unit)
+	for _, n := range sw.Config.Ns {
+		fmt.Fprintf(&b, "%8d", n)
+		for _, p := range sw.Config.Protocols {
+			fmt.Fprintf(&b, "%12.2f", sw.Value(p, n, m))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// CategoryPct averages the share of execution time spent in a category for
+// one (protocol, n) cell across seeds.
+func (sw *Sweep) CategoryPct(p Protocol, n int, cat metrics.Category) float64 {
+	rs := sw.Results[p][n]
+	if len(rs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rs {
+		sum += r.Metrics.AvgCategoryPct(cat)
+	}
+	return sum / float64(len(rs))
+}
+
+// OverheadBreakdown renders Figure 8's stacked components for one process
+// count: per-protocol percentages of execution time by category.
+func (sw *Sweep) OverheadBreakdown(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Protocol overhead breakdown at %d processes (%% of execution time)\n", n)
+	cats := metrics.Categories()
+	fmt.Fprintf(&b, "%8s", "")
+	for _, c := range cats {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	fmt.Fprintf(&b, "%14s\n", "total-ovh")
+	for _, p := range sw.Config.Protocols {
+		if _, ok := sw.Results[p][n]; !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%8s", string(p))
+		for _, c := range cats {
+			fmt.Fprintf(&b, "%14.1f", sw.CategoryPct(p, n, c))
+		}
+		fmt.Fprintf(&b, "%14.1f\n", sw.Value(p, n, MetricOverheadPct))
+	}
+	return b.String()
+}
+
+// Figures 5-8 conveniences: run the sweeps a figure needs and render it.
+
+// Figure5 reproduces the paper's Figure 5 panel for a range.
+func Figure5(rng int) (*Sweep, string, error) {
+	sw, err := RunSweep(SweepConfig{Range: rng})
+	if err != nil {
+		return nil, "", err
+	}
+	title := fmt.Sprintf("Figure 5 (range %d): avg execution time per process / avg object modifications", rng)
+	return sw, sw.Table(title, "ms per modification", MetricNormalizedTime), nil
+}
+
+// Figure6 reproduces the paper's Figure 6 panel for a range.
+func Figure6(rng int) (*Sweep, string, error) {
+	sw, err := RunSweep(SweepConfig{Range: rng})
+	if err != nil {
+		return nil, "", err
+	}
+	title := fmt.Sprintf("Figure 6 (range %d): total message transfers (control + data)", rng)
+	return sw, sw.Table(title, "messages", MetricTotalMsgs), nil
+}
+
+// Figure7 reproduces the paper's Figure 7 panel for a range.
+func Figure7(rng int) (*Sweep, string, error) {
+	sw, err := RunSweep(SweepConfig{Range: rng})
+	if err != nil {
+		return nil, "", err
+	}
+	title := fmt.Sprintf("Figure 7 (range %d): data message transfers", rng)
+	return sw, sw.Table(title, "data messages", MetricDataMsgs), nil
+}
+
+// Figure8 reproduces the paper's Figure 8 (overheads, range 1).
+func Figure8() (*Sweep, string, error) {
+	sw, err := RunSweep(SweepConfig{Range: 1})
+	if err != nil {
+		return nil, "", err
+	}
+	var b strings.Builder
+	b.WriteString(sw.Table("Figure 8: protocol overhead as % of execution time (range 1)", "% of execution time", MetricOverheadPct))
+	b.WriteString("\n")
+	ns := append([]int(nil), sw.Config.Ns...)
+	sort.Ints(ns)
+	b.WriteString(sw.OverheadBreakdown(ns[len(ns)-1]))
+	return sw, b.String(), nil
+}

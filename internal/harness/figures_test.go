@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"sdso/internal/metrics"
+)
+
+// These tests assert the paper's qualitative claims — who wins, by roughly
+// what factor, where crossovers fall — against the reproduced figures.
+// Absolute values differ from the paper (their testbed was real hardware,
+// ours a simulator); the shapes are the reproduction target.
+
+func runShapeSweep(t *testing.T, rng int) *Sweep {
+	t.Helper()
+	sw, err := RunSweep(SweepConfig{Range: rng})
+	if err != nil {
+		t.Fatalf("sweep range %d: %v", rng, err)
+	}
+	return sw
+}
+
+// TestFigure5Shapes: "entry consistency performs worse than all of the
+// semantically richer synchronous lookahead protocols, when the number of
+// processes varies from 2 to 16" — and MSYNC2 exhibits the highest
+// performance. At range 1 the gradients between 8 and 16 narrow the EC/BSYNC
+// gap (the paper's "eventually entry consistency will outperform" hint); at
+// range 3 EC remains worst regardless.
+func TestFigure5Shapes(t *testing.T) {
+	for _, rng := range []int{1, 3} {
+		sw := runShapeSweep(t, rng)
+		for _, n := range PaperNs {
+			ec := sw.Value(EC, n, MetricNormalizedTime)
+			for _, p := range LookaheadProtocols {
+				if v := sw.Value(p, n, MetricNormalizedTime); v >= ec {
+					t.Errorf("range %d n=%d: %s (%.2f ms) not faster than EC (%.2f ms)", rng, n, p, v, ec)
+				}
+			}
+			m2 := sw.Value(MSYNC2, n, MetricNormalizedTime)
+			if b := sw.Value(BSYNC, n, MetricNormalizedTime); m2 > b {
+				t.Errorf("range %d n=%d: MSYNC2 (%.2f) slower than BSYNC (%.2f)", rng, n, m2, b)
+			}
+		}
+	}
+
+	// Range 1 gradient claim: BSYNC's relative growth from 8 to 16
+	// exceeds EC's (their curves converge).
+	sw := runShapeSweep(t, 1)
+	bsyncGrowth := sw.Value(BSYNC, 16, MetricNormalizedTime) / sw.Value(BSYNC, 8, MetricNormalizedTime)
+	ecGrowth := sw.Value(EC, 16, MetricNormalizedTime) / sw.Value(EC, 8, MetricNormalizedTime)
+	if bsyncGrowth <= ecGrowth {
+		t.Errorf("range 1: BSYNC growth 8->16 (%.2fx) not above EC growth (%.2fx); curves should converge", bsyncGrowth, ecGrowth)
+	}
+}
+
+// TestFigure6Shapes: total message transfers. "With a range of 1 and only
+// two active processes, entry consistency performs significantly worse than
+// the synchronous protocols"; "as the number of processes increases to 16
+// ... entry consistency performing better [than BSYNC]"; and at range 3 /
+// 16 processes "entry consistency sends far more control messages than even
+// BSYNC".
+func TestFigure6Shapes(t *testing.T) {
+	sw1 := runShapeSweep(t, 1)
+	if ec, b := sw1.Value(EC, 2, MetricTotalMsgs), sw1.Value(BSYNC, 2, MetricTotalMsgs); ec < 4*b {
+		t.Errorf("range 1 n=2: EC (%.0f msgs) not significantly worse than BSYNC (%.0f)", ec, b)
+	}
+	if ec, b := sw1.Value(EC, 16, MetricTotalMsgs), sw1.Value(BSYNC, 16, MetricTotalMsgs); ec > b {
+		t.Errorf("range 1 n=16: EC (%.0f msgs) did not drop below BSYNC (%.0f)", ec, b)
+	}
+
+	sw3 := runShapeSweep(t, 3)
+	if ec, b := sw3.Value(EC, 16, MetricControlMsgs), sw3.Value(BSYNC, 16, MetricControlMsgs); ec <= b {
+		t.Errorf("range 3 n=16: EC control msgs (%.0f) not above BSYNC's (%.0f)", ec, b)
+	}
+	// More dynamically shared objects (range 3: 13 locks) must cost EC
+	// more lock traffic than range 1 (5 locks).
+	if c3, c1 := sw3.Value(EC, 8, MetricControlMsgs), sw1.Value(EC, 8, MetricControlMsgs); c3 <= c1 {
+		t.Errorf("EC control msgs at range 3 (%.0f) not above range 1 (%.0f)", c3, c1)
+	}
+}
+
+// TestFigure7Shapes: "entry consistency transfers the fewest number of data
+// messages overall, in both graphs" (pull-based); among the lookahead
+// protocols the spatial filters order the volumes MSYNC2 <= MSYNC <= BSYNC.
+func TestFigure7Shapes(t *testing.T) {
+	for _, rng := range []int{1, 3} {
+		sw := runShapeSweep(t, rng)
+		for _, n := range PaperNs {
+			ec := sw.Value(EC, n, MetricDataMsgs)
+			for _, p := range LookaheadProtocols {
+				if v := sw.Value(p, n, MetricDataMsgs); ec > v {
+					t.Errorf("range %d n=%d: EC data msgs (%.0f) above %s (%.0f)", rng, n, ec, p, v)
+				}
+			}
+			m2, m1, b := sw.Value(MSYNC2, n, MetricDataMsgs), sw.Value(MSYNC, n, MetricDataMsgs), sw.Value(BSYNC, n, MetricDataMsgs)
+			if !(m2 <= m1 && m1 <= b) {
+				t.Errorf("range %d n=%d: data ordering MSYNC2<=MSYNC<=BSYNC violated: %.0f/%.0f/%.0f", rng, n, m2, m1, b)
+			}
+		}
+	}
+}
+
+// TestFigure8Shapes: "in all cases, the protocol overheads dominate the
+// execution time of each process"; "MSYNC2 has lower overheads compared to
+// MSYNC and BSYNC"; EC's overhead is dominated by lock acquisition and its
+// lock component grows when the number of dynamically shared objects grows.
+func TestFigure8Shapes(t *testing.T) {
+	sw := runShapeSweep(t, 1)
+	for _, p := range PaperProtocols {
+		for _, n := range PaperNs {
+			if v := sw.Value(p, n, MetricOverheadPct); v < 50 {
+				t.Errorf("%s n=%d: overhead %.1f%% does not dominate execution", p, n, v)
+			}
+		}
+	}
+	n := 16
+	m2 := sw.Value(MSYNC2, n, MetricOverheadPct)
+	if m1 := sw.Value(MSYNC, n, MetricOverheadPct); m2 > m1 {
+		t.Errorf("MSYNC2 overhead (%.2f%%) above MSYNC (%.2f%%)", m2, m1)
+	}
+	if b := sw.Value(BSYNC, n, MetricOverheadPct); m2 > b {
+		t.Errorf("MSYNC2 overhead (%.2f%%) above BSYNC (%.2f%%)", m2, b)
+	}
+
+	// EC's time goes to locks (with a visible pull component); lookahead
+	// time goes to exchanges.
+	if lock := sw.CategoryPct(EC, n, metrics.CatLockAcquire); lock < 50 {
+		t.Errorf("EC lock-acquire share %.1f%% unexpectedly small", lock)
+	}
+	if ex := sw.CategoryPct(BSYNC, n, metrics.CatExchange); ex < 50 {
+		t.Errorf("BSYNC exchange share %.1f%% unexpectedly small", ex)
+	}
+
+	breakdown := sw.OverheadBreakdown(n)
+	if !strings.Contains(breakdown, "lock-acquire") {
+		t.Errorf("breakdown missing categories:\n%s", breakdown)
+	}
+}

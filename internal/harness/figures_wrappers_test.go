@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigureWrappers drives the one-call-per-figure conveniences end to end
+// and sanity-checks the rendered tables.
+func TestFigureWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full sweeps")
+	}
+	sw5, table5, err := Figure5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table5, "Figure 5") || !strings.Contains(table5, "MSYNC2") {
+		t.Errorf("figure 5 table:\n%s", table5)
+	}
+	series := sw5.Series(EC, MetricNormalizedTime)
+	if len(series) != len(PaperNs) {
+		t.Errorf("series length = %d", len(series))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i] <= 0 {
+			t.Errorf("series[%d] = %f", i, series[i])
+		}
+	}
+
+	_, table6, err := Figure6(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table6, "Figure 6 (range 3)") {
+		t.Errorf("figure 6 table:\n%s", table6)
+	}
+	_, table7, err := Figure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table7, "data messages") {
+		t.Errorf("figure 7 table:\n%s", table7)
+	}
+	_, table8, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table8, "overhead") || !strings.Contains(table8, "lock-acquire") {
+		t.Errorf("figure 8 table:\n%s", table8)
+	}
+}

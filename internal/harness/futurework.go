@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sdso/internal/game"
+	"sdso/internal/metrics"
+)
+
+// The paper's §4 closes with two announced-but-unreported analyses: "(1) an
+// analysis of the blocking overhead of lock-based protocols such as entry
+// consistency, versus the overheads of multicast synchronization in generic
+// lookahead schemes, and (2) the effects of different data sizes." Both are
+// implemented here.
+
+// BlockingRow is one line of the blocking analysis: the average virtual
+// time a process spends blocked, per logical tick, split by cause.
+type BlockingRow struct {
+	Protocol Protocol
+	N        int
+	// LockWaitPerTick is time blocked acquiring locks and pulling objects
+	// (the lock-based protocols' blocking).
+	LockWaitPerTick time.Duration
+	// ExchangeWaitPerTick is time spent inside exchange rendezvous (the
+	// lookahead protocols' multicast synchronization).
+	ExchangeWaitPerTick time.Duration
+}
+
+// BlockingAnalysis runs the game across process counts and reports each
+// protocol's blocking profile (future-work item 1).
+func BlockingAnalysis(rng int, seeds []int64, ns []int) ([]BlockingRow, error) {
+	if len(ns) == 0 {
+		ns = PaperNs
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	var rows []BlockingRow
+	for _, p := range PaperProtocols {
+		for _, n := range ns {
+			var lock, exch time.Duration
+			ticks := 0
+			for _, seed := range seeds {
+				g := game.DefaultConfig(n, rng)
+				g.Seed = seed
+				g.MaxTicks = 200
+				g.EndOnFirstGoal = true
+				res, err := Run(Config{Game: g, Protocol: p})
+				if err != nil {
+					return nil, fmt.Errorf("blocking %s n=%d seed=%d: %w", p, n, seed, err)
+				}
+				for _, s := range res.Metrics.Procs {
+					lock += s.Durations[metrics.CatLockAcquire] + s.Durations[metrics.CatObjPull]
+					exch += s.Durations[metrics.CatExchange]
+					ticks += s.Ticks
+				}
+			}
+			if ticks == 0 {
+				ticks = 1
+			}
+			rows = append(rows, BlockingRow{
+				Protocol:            p,
+				N:                   n,
+				LockWaitPerTick:     lock / time.Duration(ticks),
+				ExchangeWaitPerTick: exch / time.Duration(ticks),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderBlocking formats the blocking analysis as a table.
+func RenderBlocking(rows []BlockingRow) string {
+	var b strings.Builder
+	b.WriteString("Blocking analysis (paper §4 future-work 1): avg blocked time per tick\n")
+	fmt.Fprintf(&b, "%8s %6s %18s %18s\n", "proto", "procs", "lock-wait/tick", "exchange-wait/tick")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s %6d %18s %18s\n",
+			r.Protocol, r.N,
+			r.LockWaitPerTick.Round(10*time.Microsecond).String(),
+			r.ExchangeWaitPerTick.Round(10*time.Microsecond).String())
+	}
+	return b.String()
+}
+
+// DataSizeRow is one line of the data-size sweep: the normalized execution
+// time when every message carries `Size` bytes.
+type DataSizeRow struct {
+	Size   int
+	Values map[Protocol]float64 // ms per modification
+}
+
+// DataSizeSweep measures the effect of message size on each protocol
+// (future-work item 2: "it is interesting to understand the effect of
+// changes in the resolution of shared objects, where either more or less
+// data is transferred in each data message"). The lookahead protocols push
+// many data messages, so they gain the most from small objects and pay the
+// most for sensor-image-sized ones; EC's lock traffic is size-insensitive
+// in count but every control message grows too.
+func DataSizeSweep(sizes []int, n, rng int, seeds []int64) ([]DataSizeRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{512, 2048, 8192, 32768}
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	var rows []DataSizeRow
+	for _, size := range sizes {
+		row := DataSizeRow{Size: size, Values: make(map[Protocol]float64)}
+		for _, p := range PaperProtocols {
+			sum := 0.0
+			for _, seed := range seeds {
+				g := game.DefaultConfig(n, rng)
+				g.Seed = seed
+				g.MaxTicks = 200
+				g.EndOnFirstGoal = true
+				res, err := Run(Config{Game: g, Protocol: p, MsgSize: size})
+				if err != nil {
+					return nil, fmt.Errorf("datasize %s size=%d seed=%d: %w", p, size, seed, err)
+				}
+				sum += MetricNormalizedTime(res)
+			}
+			row.Values[p] = sum / float64(len(seeds))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderDataSize formats the data-size sweep as a table.
+func RenderDataSize(rows []DataSizeRow, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data-size sweep (paper §4 future-work 2) at %d processes: ms per modification\n", n)
+	fmt.Fprintf(&b, "%10s", "msg bytes")
+	for _, p := range PaperProtocols {
+		fmt.Fprintf(&b, "%12s", string(p))
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d", r.Size)
+		for _, p := range PaperProtocols {
+			fmt.Fprintf(&b, "%12.2f", r.Values[p])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBlockingAnalysisShapes: the §4 future-work hypothesis the paper
+// states — "entry consistent processes are spending far greater amounts of
+// time in blocked modes, while waiting for locks" whereas a lookahead
+// scheme "is able to [send more data] with far less blocking overhead".
+func TestBlockingAnalysisShapes(t *testing.T) {
+	rows, err := BlockingAnalysis(1, []int64{1, 2}, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(p Protocol, n int) BlockingRow {
+		for _, r := range rows {
+			if r.Protocol == p && r.N == n {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d", p, n)
+		return BlockingRow{}
+	}
+	for _, n := range []int{8, 16} {
+		ec := get(EC, n)
+		m2 := get(MSYNC2, n)
+		// EC blocks on locks, not exchanges; lookahead the reverse.
+		if ec.LockWaitPerTick == 0 || ec.ExchangeWaitPerTick != 0 {
+			t.Errorf("n=%d: EC blocking profile inverted: %+v", n, ec)
+		}
+		if m2.ExchangeWaitPerTick == 0 || m2.LockWaitPerTick != 0 {
+			t.Errorf("n=%d: MSYNC2 blocking profile inverted: %+v", n, m2)
+		}
+		// The paper's hypothesis: EC's per-tick blocking exceeds
+		// MSYNC2's multicast-synchronization cost.
+		if ec.LockWaitPerTick <= m2.ExchangeWaitPerTick {
+			t.Errorf("n=%d: EC lock wait (%v) not above MSYNC2 exchange wait (%v)",
+				n, ec.LockWaitPerTick, m2.ExchangeWaitPerTick)
+		}
+	}
+	out := RenderBlocking(rows)
+	if !strings.Contains(out, "lock-wait/tick") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestDataSizeSweepShapes: larger messages hurt the message-heavy lookahead
+// protocols more than the message-light EC — the paper predicted data size
+// would matter most "when sensor images of enemy tanks are employed".
+func TestDataSizeSweepShapes(t *testing.T) {
+	rows, err := DataSizeSweep([]int{512, 16384}, 8, 1, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	small, large := rows[0], rows[1]
+	for _, p := range PaperProtocols {
+		if large.Values[p] <= small.Values[p] {
+			t.Errorf("%s: larger messages did not cost more (%.2f vs %.2f)",
+				p, large.Values[p], small.Values[p])
+		}
+	}
+	// BSYNC sends the most messages, so its size sensitivity (cost ratio
+	// large/small) must exceed EC's.
+	bsyncRatio := large.Values[BSYNC] / small.Values[BSYNC]
+	ecRatio := large.Values[EC] / small.Values[EC]
+	if bsyncRatio <= ecRatio {
+		t.Errorf("BSYNC size sensitivity (%.2fx) not above EC's (%.2fx)", bsyncRatio, ecRatio)
+	}
+	out := RenderDataSize(rows, 8)
+	if !strings.Contains(out, "msg bytes") {
+		t.Errorf("render:\n%s", out)
+	}
+}

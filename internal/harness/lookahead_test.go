@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"sdso/internal/game"
+)
+
+// TestVtimeLookaheadMatchesReference runs the lookahead protocols on the
+// simulated cluster and checks exact equivalence with the lockstep
+// reference — the deterministic counterpart of the memnet tests.
+func TestVtimeLookaheadMatchesReference(t *testing.T) {
+	for _, proto := range LookaheadProtocols {
+		for seed := int64(1); seed <= 3; seed++ {
+			g := game.DefaultConfig(8, 1)
+			g.Seed = seed
+			g.MaxTicks = 150
+			ref, err := game.RunReference(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{Game: g, Protocol: proto})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", proto, seed, err)
+			}
+			for i, st := range res.Stats {
+				want := ref.Stats[i]
+				if st.Mods != want.Mods || st.Ticks != want.Ticks || st.Score != want.Score ||
+					st.ReachedGoal != want.ReachedGoal || st.Destroyed != want.Destroyed {
+					t.Errorf("%s seed=%d team %d:\n got %+v\nwant %+v", proto, seed, i, st, want)
+				}
+			}
+		}
+	}
+}
+
+// TestVtimeDeterministic: identical configs produce identical measurements.
+func TestVtimeDeterministic(t *testing.T) {
+	g := game.DefaultConfig(8, 1)
+	g.MaxTicks = 120
+	a, err := Run(Config{Game: g, Protocol: MSYNC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Game: g, Protocol: MSYNC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Error("stats differ between identical runs")
+	}
+	if a.VirtualDuration != b.VirtualDuration {
+		t.Errorf("virtual durations differ: %v vs %v", a.VirtualDuration, b.VirtualDuration)
+	}
+	if a.Metrics.TotalMsgs() != b.Metrics.TotalMsgs() {
+		t.Errorf("message counts differ: %d vs %d", a.Metrics.TotalMsgs(), b.Metrics.TotalMsgs())
+	}
+}

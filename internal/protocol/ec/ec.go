@@ -1,0 +1,531 @@
+// Package ec implements the paper's entry consistency baseline (§2.3, §4):
+//
+//   - one lock per block object, managed by a lock manager; "the lock
+//     managers are distributed evenly and statically amongst the processors
+//     in the system" (object k's manager lives on node k mod n);
+//   - a process acquires exclusive write-locks on the blocks it may modify
+//     (its own block and the four adjacent ones) and shared read-locks on
+//     the rest of its visibility set — range 1 means 5 locks per move,
+//     range 3 means 13 locks of which 5 are write locks, as in §4;
+//   - locks are acquired in ascending object-ID order, the paper's
+//     total-order deadlock prevention for applications that lock multiple
+//     objects simultaneously;
+//   - acquiring a lock "pulls" the up-to-date copy from the owner of the
+//     freshest version when the local replica is stale, and a dirty release
+//     makes the releaser the new owner.
+//
+// Each game node runs two processes on the same (simulated) host: the
+// application process, and a service process that plays lock manager for
+// its share of the objects and serves object-pull requests against the
+// node's replica. Both share a mutex-guarded node state.
+package ec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sdso/internal/game"
+	"sdso/internal/lockmgr"
+	"sdso/internal/metrics"
+	"sdso/internal/store"
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+)
+
+// NodeConfig assembles one entry-consistency game node.
+type NodeConfig struct {
+	// Game is the shared application configuration.
+	Game game.Config
+	// App is the application process's endpoint; its ID in [0, teams) is
+	// the team number.
+	App transport.Endpoint
+	// Svc is the service process's endpoint; its ID must be teams+team.
+	Svc transport.Endpoint
+	// Metrics receives the node's counters (nil allocates one).
+	Metrics *metrics.Collector
+	// ComputePerTick models per-iteration application work.
+	ComputePerTick time.Duration
+}
+
+// Node is one EC participant: an application process and a co-located
+// service process sharing a replica and a lock-manager shard.
+type Node struct {
+	cfg   NodeConfig
+	team  int
+	teams int
+	mc    *metrics.Collector
+
+	mu  sync.Mutex // guards st and mgr (app and svc touch both)
+	st  *store.Store
+	mgr *lockmgr.Manager
+
+	goal     game.Pos
+	tanks    []game.TankState
+	stats    game.TeamStats
+	gameOver bool
+}
+
+// New validates the configuration and builds a node. The caller runs
+// RunService and RunApp on separate goroutines (or simulated processes).
+func New(cfg NodeConfig) (*Node, error) {
+	if cfg.App == nil || cfg.Svc == nil {
+		return nil, errors.New("ec: config requires app and svc endpoints")
+	}
+	teams := cfg.Game.Teams
+	if cfg.App.ID() >= teams || cfg.Svc.ID() != teams+cfg.App.ID() {
+		return nil, fmt.Errorf("ec: endpoint ids app=%d svc=%d invalid for %d teams",
+			cfg.App.ID(), cfg.Svc.ID(), teams)
+	}
+	mc := cfg.Metrics
+	if mc == nil {
+		mc = metrics.NewCollector()
+	}
+	n := &Node{cfg: cfg, team: cfg.App.ID(), teams: teams, mc: mc}
+
+	w, err := game.NewWorld(cfg.Game)
+	if err != nil {
+		return nil, err
+	}
+	n.goal = w.Goal
+	n.st = w.Encode()
+	for _, pos := range w.TankPositions()[n.team] {
+		n.tanks = append(n.tanks, game.NewTankState(pos))
+	}
+
+	// This node manages the locks for its static shard of the objects.
+	var managed []store.ID
+	for i := 0; i < cfg.Game.NumObjects(); i++ {
+		if lockmgr.ManagerFor(store.ID(i), teams) == n.team {
+			managed = append(managed, store.ID(i))
+		}
+	}
+	n.mgr = lockmgr.New(managed, nil)
+	return n, nil
+}
+
+// Stats returns the team's final stats (valid after RunApp returns).
+func (n *Node) Stats() game.TeamStats { return n.stats }
+
+// Store exposes the node's replica (for test assertions).
+func (n *Node) Store() *store.Store {
+	return n.st
+}
+
+// svcID returns the service endpoint ID for a team.
+func (n *Node) svcID(team int) int { return n.teams + team }
+
+func (n *Node) countSend(ep transport.Endpoint, to int, m *wire.Msg) error {
+	n.mc.CountSend(m, m.EncodedSize())
+	return ep.Send(to, m)
+}
+
+// RunService processes lock and object-pull traffic until every
+// application process has announced shutdown.
+func (n *Node) RunService() error {
+	svc := n.cfg.Svc
+	remaining := n.teams
+	for remaining > 0 {
+		m, err := svc.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("ec service %d: %w", n.team, err)
+		}
+		switch m.Kind {
+		case wire.KindLockReq:
+			mode := lockmgr.Read
+			if m.Mode == wire.ModeWrite {
+				mode = lockmgr.Write
+			}
+			n.mu.Lock()
+			grants, err := n.mgr.Acquire(lockmgr.Request{Proc: int(m.Src), Obj: store.ID(m.Obj), Mode: mode})
+			n.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("ec service %d: acquire obj %d for %d: %w", n.team, m.Obj, m.Src, err)
+			}
+			if err := n.sendGrants(grants); err != nil {
+				return err
+			}
+		case wire.KindLockRelease:
+			dirty := len(m.Ints) >= 2 && m.Ints[0] == 1
+			var version int64
+			if dirty {
+				version = m.Ints[1]
+			}
+			n.mu.Lock()
+			grants, err := n.mgr.Release(int(m.Src), store.ID(m.Obj), dirty, version)
+			n.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("ec service %d: release obj %d by %d: %w", n.team, m.Obj, m.Src, err)
+			}
+			if err := n.sendGrants(grants); err != nil {
+				return err
+			}
+		case wire.KindObjReq:
+			n.mu.Lock()
+			state, errGet := n.st.Get(store.ID(m.Obj))
+			ver, _ := n.st.Version(store.ID(m.Obj))
+			n.mu.Unlock()
+			if errGet != nil {
+				return fmt.Errorf("ec service %d: serve obj %d: %w", n.team, m.Obj, errGet)
+			}
+			reply := &wire.Msg{
+				Kind: wire.KindObjReply, Obj: m.Obj, Stamp: m.Stamp,
+				Ints: []int64{ver}, Payload: state,
+			}
+			if err := n.countSend(svc, int(m.Src), reply); err != nil {
+				return err
+			}
+		case wire.KindShutdown:
+			remaining--
+		}
+	}
+	return nil
+}
+
+func (n *Node) sendGrants(grants []lockmgr.Grant) error {
+	for _, g := range grants {
+		mode := wire.ModeRead
+		if g.Mode == lockmgr.Write {
+			mode = wire.ModeWrite
+		}
+		m := &wire.Msg{
+			Kind: wire.KindLockGrant, Obj: uint32(g.Obj), Mode: mode,
+			Ints: []int64{int64(g.Owner), g.Version},
+		}
+		if err := n.countSend(n.cfg.Svc, g.Proc, m); err != nil {
+			return fmt.Errorf("ec service %d: send grant: %w", n.team, err)
+		}
+	}
+	return nil
+}
+
+// lockReq is one entry of an iteration's lock set.
+type lockReq struct {
+	obj   store.ID
+	write bool
+}
+
+// RunApp executes the team's game loop to completion.
+func (n *Node) RunApp() (game.TeamStats, error) {
+	app := n.cfg.App
+	n.stats = game.TeamStats{Team: n.team}
+	defer func() {
+		n.mc.SetExecTime(app.Now())
+	}()
+
+	for tick := 1; tick <= n.cfg.Game.MaxTicks; tick++ {
+		if n.cfg.Game.EndOnFirstGoal {
+			// Drain queued winner announcements before paying for locks.
+			n.pollApp()
+			if n.gameOver {
+				n.stats.DoneTick = int64(tick)
+				break
+			}
+		}
+		locks := n.lockSet()
+		if err := n.acquireAll(locks); err != nil {
+			return n.stats, err
+		}
+
+		appStart := app.Now()
+		alive := n.refreshTanks()
+		if !alive {
+			n.releaseAll(locks, nil)
+			if !n.stats.ReachedGoal {
+				n.stats.Destroyed = true
+			}
+			n.stats.DoneTick = int64(tick)
+			break
+		}
+		n.stats.Ticks++
+
+		dirty := n.decideAndWrite()
+		n.mc.AddTime(metrics.CatAppCompute, app.Now()-appStart)
+		if n.cfg.ComputePerTick > 0 {
+			app.Compute(n.cfg.ComputePerTick)
+			n.mc.AddTime(metrics.CatAppCompute, n.cfg.ComputePerTick)
+		}
+
+		n.releaseAll(locks, dirty)
+
+		if n.stats.ReachedGoal && len(n.tanks) == 0 {
+			n.stats.DoneTick = int64(tick)
+			break
+		}
+	}
+	if n.stats.DoneTick == 0 {
+		n.stats.DoneTick = int64(n.stats.Ticks)
+	}
+
+	// In a first-to-goal game the winner tells every application the race
+	// is over.
+	if n.cfg.Game.EndOnFirstGoal && n.stats.ReachedGoal {
+		for team := 0; team < n.teams; team++ {
+			if team == n.team {
+				continue
+			}
+			m := &wire.Msg{Kind: wire.KindDone, Mode: 1, Stamp: int64(n.team)}
+			if err := n.countSend(app, team, m); err != nil {
+				return n.stats, fmt.Errorf("ec app %d: game-over to %d: %w", n.team, team, err)
+			}
+		}
+	}
+
+	// Tell every service process (including our own) that this
+	// application is finished.
+	for team := 0; team < n.teams; team++ {
+		m := &wire.Msg{Kind: wire.KindShutdown, Stamp: int64(n.team)}
+		if err := n.countSend(app, n.svcID(team), m); err != nil {
+			return n.stats, fmt.Errorf("ec app %d: shutdown to %d: %w", n.team, team, err)
+		}
+	}
+	return n.stats, nil
+}
+
+// pollApp drains queued application-endpoint traffic without blocking
+// (between iterations the only expected messages are winner announcements).
+func (n *Node) pollApp() {
+	for {
+		m, ok, err := n.cfg.App.TryRecv()
+		if err != nil || !ok {
+			return
+		}
+		if m.Kind == wire.KindDone {
+			n.gameOver = true
+		}
+	}
+}
+
+// lockSet computes this iteration's lock requests: write locks on each
+// tank's block and the four adjacent blocks, read locks on the rest of the
+// visibility set, ascending object order (deadlock prevention).
+func (n *Node) lockSet() []lockReq {
+	cfg := n.cfg.Game
+	want := make(map[store.ID]bool) // id -> write?
+	addVis := func(p game.Pos, write bool) {
+		if !cfg.InBounds(p) {
+			return
+		}
+		id := cfg.ObjectOf(p)
+		if write {
+			want[id] = true
+		} else if _, ok := want[id]; !ok {
+			want[id] = false
+		}
+	}
+	for _, tank := range n.tanks {
+		addVis(tank.Pos, true)
+		dirs := []game.Pos{{X: 0, Y: -1}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}}
+		for _, d := range dirs {
+			addVis(game.Pos{X: tank.Pos.X + d.X, Y: tank.Pos.Y + d.Y}, true)
+			for k := 2; k <= cfg.Range; k++ {
+				addVis(game.Pos{X: tank.Pos.X + d.X*k, Y: tank.Pos.Y + d.Y*k}, false)
+			}
+		}
+	}
+	out := make([]lockReq, 0, len(want))
+	for id, write := range want {
+		out = append(out, lockReq{obj: id, write: write})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].obj < out[j].obj })
+	return out
+}
+
+// acquireAll acquires the lock set in order, pulling fresh copies as grants
+// reveal newer versions elsewhere.
+func (n *Node) acquireAll(locks []lockReq) error {
+	app := n.cfg.App
+	for _, lr := range locks {
+		mode := wire.ModeRead
+		if lr.write {
+			mode = wire.ModeWrite
+		}
+		mgrTeam := lockmgr.ManagerFor(lr.obj, n.teams)
+		req := &wire.Msg{Kind: wire.KindLockReq, Obj: uint32(lr.obj), Mode: mode}
+		t0 := app.Now()
+		if err := n.countSend(app, n.svcID(mgrTeam), req); err != nil {
+			return fmt.Errorf("ec app %d: lock req %d: %w", n.team, lr.obj, err)
+		}
+		grant, err := n.awaitKind(wire.KindLockGrant, uint32(lr.obj))
+		if err != nil {
+			return err
+		}
+		n.mc.AddTime(metrics.CatLockAcquire, app.Now()-t0)
+
+		owner, version := int(grant.Ints[0]), grant.Ints[1]
+		n.mu.Lock()
+		local, _ := n.st.Version(lr.obj)
+		n.mu.Unlock()
+		if version > local && owner != n.team {
+			t1 := app.Now()
+			pull := &wire.Msg{Kind: wire.KindObjReq, Obj: uint32(lr.obj), Stamp: int64(lr.obj)}
+			if err := n.countSend(app, n.svcID(owner), pull); err != nil {
+				return fmt.Errorf("ec app %d: pull %d: %w", n.team, lr.obj, err)
+			}
+			reply, err := n.awaitKind(wire.KindObjReply, uint32(lr.obj))
+			if err != nil {
+				return err
+			}
+			n.mu.Lock()
+			err = n.st.SetState(lr.obj, reply.Payload, reply.Ints[0])
+			n.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("ec app %d: apply pulled %d: %w", n.team, lr.obj, err)
+			}
+			n.mc.AddTime(metrics.CatObjPull, app.Now()-t1)
+		}
+	}
+	return nil
+}
+
+// awaitKind blocks until a message of the wanted kind for the wanted object
+// arrives. The application has at most one outstanding request, so no other
+// traffic can interleave.
+func (n *Node) awaitKind(kind wire.Kind, obj uint32) (*wire.Msg, error) {
+	for {
+		m, err := n.cfg.App.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("ec app %d: await %v: %w", n.team, kind, err)
+		}
+		if m.Kind == kind && m.Obj == obj {
+			return m, nil
+		}
+		if m.Kind == wire.KindDone {
+			// A winner's announcement arriving mid-acquire: note it and
+			// keep waiting for the expected grant (locks are still
+			// released properly at the end of the iteration).
+			n.gameOver = true
+			continue
+		}
+		// Unexpected traffic (e.g. a duplicate) is dropped.
+	}
+}
+
+// releaseAll returns every lock; written objects release dirty with their
+// new version, transferring ownership.
+func (n *Node) releaseAll(locks []lockReq, dirty map[store.ID]int64) {
+	app := n.cfg.App
+	t0 := app.Now()
+	for _, lr := range locks {
+		mgrTeam := lockmgr.ManagerFor(lr.obj, n.teams)
+		rel := &wire.Msg{Kind: wire.KindLockRelease, Obj: uint32(lr.obj)}
+		if v, ok := dirty[lr.obj]; ok && lr.write {
+			rel.Ints = []int64{1, v}
+		} else {
+			rel.Ints = []int64{0, 0}
+		}
+		// Releases are asynchronous; errors only surface via metrics
+		// divergence in tests.
+		_ = n.countSend(app, n.svcID(mgrTeam), rel)
+	}
+	n.mc.AddTime(metrics.CatLockRelease, app.Now()-t0)
+}
+
+// refreshTanks drops destroyed tanks; reports whether any remain.
+func (n *Node) refreshTanks() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	alive := n.tanks[:0]
+	for _, tank := range n.tanks {
+		b, err := n.st.View(n.cfg.Game.ObjectOf(tank.Pos))
+		if err != nil {
+			continue
+		}
+		c, err := game.DecodeCell(b)
+		if err == nil && c.Kind == game.Tank && c.Team == n.team {
+			alive = append(alive, tank)
+		}
+	}
+	n.tanks = alive
+	return len(n.tanks) > 0
+}
+
+// decideAndWrite runs the decision function on the freshly locked state and
+// applies the writes; returns the dirty object versions.
+func (n *Node) decideAndWrite() map[store.ID]int64 {
+	cfg := n.cfg.Game
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	cellAt := func(p game.Pos) game.Cell {
+		b, err := n.st.View(cfg.ObjectOf(p))
+		if err != nil {
+			return game.Cell{Kind: game.Bomb}
+		}
+		c, err := game.DecodeCell(b)
+		if err != nil {
+			return game.Cell{Kind: game.Bomb}
+		}
+		return c
+	}
+	// Enemy positions come from the locked visibility cells (EC has no
+	// beacons; the locks themselves guarantee freshness).
+	enemies := make(map[int][]game.Pos)
+	for _, tank := range n.tanks {
+		dirs := []game.Pos{{X: 0, Y: -1}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}}
+		for _, d := range dirs {
+			for k := 1; k <= cfg.Range; k++ {
+				p := game.Pos{X: tank.Pos.X + d.X*k, Y: tank.Pos.Y + d.Y*k}
+				if !cfg.InBounds(p) {
+					break
+				}
+				if c := cellAt(p); c.Kind == game.Tank && c.Team != n.team {
+					enemies[c.Team] = append(enemies[c.Team], p)
+				}
+			}
+		}
+	}
+
+	dirty := make(map[store.ID]int64)
+	modified := false
+	var next []game.TankState
+	for _, tank := range n.tanks {
+		act := game.Decide(game.View{
+			Cfg:     cfg,
+			Team:    n.team,
+			Self:    tank.Pos,
+			Prev:    tank.Prev,
+			Goal:    n.goal,
+			CellAt:  cellAt,
+			Enemies: enemies,
+		})
+		var prevTarget game.Cell
+		if act.Kind == game.Move {
+			prevTarget = cellAt(act.To)
+		}
+		writes, reachedGoal := act.Writes(n.team, n.goal)
+		for _, cw := range writes {
+			id := cfg.ObjectOf(cw.Pos)
+			if _, err := n.st.Update(id, game.EncodeCell(cw.Cell)); err != nil {
+				continue
+			}
+			v, _ := n.st.Version(id)
+			dirty[id] = v
+			modified = true
+		}
+		switch {
+		case reachedGoal:
+			n.stats.ReachedGoal = true
+			n.stats.Score += 5
+		case act.Kind == game.Move:
+			if prevTarget.Kind == game.Bonus {
+				n.stats.Score++
+			}
+			next = append(next, tank.Advance(act))
+		default:
+			next = append(next, tank)
+		}
+	}
+	if modified {
+		n.stats.Mods++
+		n.mc.AddMod()
+	}
+	n.mc.AddTick()
+	n.tanks = next
+	return dirty
+}

@@ -1,0 +1,59 @@
+package lookahead
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"sdso/internal/game"
+	"sdso/internal/transport"
+)
+
+func traceRun(t *testing.T, cfg game.Config, proto Protocol) [][]string {
+	net := transport.NewMemNetwork(cfg.Teams)
+	defer net.Close()
+	traces := make([][]string, cfg.Teams)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Teams; i++ {
+		i := i
+		pc := PlayerConfig{Game: cfg, Protocol: proto, Endpoint: net.Endpoint(i)}
+		pc.onActions = func(tick int64, acts []tankAction) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ta := range acts {
+				traces[i] = append(traces[i], game.TraceAction(tick, ta.act))
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := RunPlayer(pc); err != nil {
+				t.Errorf("player %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return traces
+}
+
+func TestDebugDeterminismAcrossRuns(t *testing.T) {
+	cfg := game.DefaultConfig(8, 1)
+	cfg.Seed = 1
+	cfg.MaxTicks = 40
+	base := traceRun(t, cfg, MSYNC)
+	for run := 0; run < 10; run++ {
+		got := traceRun(t, cfg, MSYNC)
+		if !reflect.DeepEqual(base, got) {
+			for team := range base {
+				for k := range base[team] {
+					if k < len(got[team]) && base[team][k] != got[team][k] {
+						t.Fatalf("run %d team %d action %d: %q vs %q", run, team, k, base[team][k], got[team][k])
+					}
+				}
+			}
+			t.Fatalf("run %d differs in trace lengths", run)
+		}
+	}
+	t.Log("deterministic across 11 runs")
+}

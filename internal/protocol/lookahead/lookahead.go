@@ -1,0 +1,430 @@
+// Package lookahead implements the paper's three lookahead consistency
+// protocols — BSYNC, MSYNC, and MSYNC2 (§3.2) — as configurations of the
+// S-DSO runtime, and the game player loop that drives them.
+//
+// All three share the same structure: every logical tick a process applies
+// due updates, performs at most one object modification, and exchanges
+// (data, SYNC) pairs with the processes due in its exchange-list, blocking
+// until they exchange back. They differ only in their s-functions and
+// spatial data filters:
+//
+//   - BSYNC schedules every peer at every tick and always sends data: pure
+//     temporal consistency via broadcast, with logical timestamps bounding
+//     clock skew to one tick.
+//   - MSYNC schedules rendezvous by halving the distance between the
+//     nearest tanks of the two teams and sends data only to peers whose
+//     tanks could, in the worst case, share a row or column with a local
+//     tank.
+//   - MSYNC2 refines MSYNC's filter: data flows only if the peers could
+//     also come within the interaction radius.
+//
+// Both MSYNC variants additionally flush when a peer's tanks approach the
+// region of buffered (withheld) modifications; this is the invariant that
+// keeps every block a tank looks at consistent (paper §4: "the consistency
+// protocol ensures that the necessary blocks, in the range of a tank, are
+// all always consistent").
+package lookahead
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdso/internal/core"
+	"sdso/internal/game"
+	"sdso/internal/metrics"
+	"sdso/internal/store"
+	"sdso/internal/transport"
+)
+
+// Protocol selects a lookahead variant.
+type Protocol int
+
+// Protocols.
+const (
+	// BSYNC broadcasts synchronous exchanges to all processes each tick.
+	BSYNC Protocol = iota + 1
+	// MSYNC multicasts per the distance-halving s-function with the
+	// row/column worst-case data filter.
+	MSYNC
+	// MSYNC2 is MSYNC with the additional within-range data filter.
+	MSYNC2
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case BSYNC:
+		return "BSYNC"
+	case MSYNC:
+		return "MSYNC"
+	case MSYNC2:
+		return "MSYNC2"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// PlayerConfig configures one game process.
+type PlayerConfig struct {
+	// Game is the shared game configuration (identical on every process).
+	Game game.Config
+	// Protocol selects the lookahead variant.
+	Protocol Protocol
+	// Endpoint connects this player to the group; the endpoint ID is the
+	// team number.
+	Endpoint transport.Endpoint
+	// Metrics receives this process's counters (nil allocates one).
+	Metrics *metrics.Collector
+	// MergeDiffs toggles slotted-buffer diff merging (default on; the
+	// ablation bench turns it off).
+	MergeDiffs *bool
+	// ComputePerTick models the application's per-tick local processing
+	// ("the application processes have only a minimal amount of local
+	// processor processing to perform", §4).
+	ComputePerTick time.Duration
+
+	// afterExchange, when set, runs after each completed exchange;
+	// onActions, when set, observes each tick's decisions (test-only
+	// instrumentation).
+	afterExchange func(p *player)
+	onActions     func(tick int64, acts []tankAction)
+	debug         func(event string)
+}
+
+// knownPeer is the freshest rendezvous information about one peer.
+type knownPeer struct {
+	beacon game.Beacon
+	tick   int64
+}
+
+// player is one running game process.
+type player struct {
+	cfg   PlayerConfig
+	rt    *core.Runtime
+	team  int
+	goal  game.Pos
+	tanks []game.TankState
+	known map[int]*knownPeer
+	stats game.TeamStats
+	mc    *metrics.Collector
+}
+
+// RunPlayer executes one team's process to completion and returns its
+// stats. Every process in the group must run RunPlayer with the same
+// game.Config (and its own endpoint).
+func RunPlayer(cfg PlayerConfig) (game.TeamStats, error) {
+	p, err := newPlayer(cfg)
+	if err != nil {
+		return game.TeamStats{}, err
+	}
+	return p.run()
+}
+
+// newPlayer validates the configuration and assembles a player.
+func newPlayer(cfg PlayerConfig) (*player, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("lookahead: config requires an endpoint")
+	}
+	if cfg.Protocol < BSYNC || cfg.Protocol > MSYNC2 {
+		return nil, fmt.Errorf("lookahead: unknown protocol %d", cfg.Protocol)
+	}
+	if cfg.Game.Teams != cfg.Endpoint.N() {
+		return nil, fmt.Errorf("lookahead: %d teams but %d endpoints", cfg.Game.Teams, cfg.Endpoint.N())
+	}
+	mc := cfg.Metrics
+	if mc == nil {
+		mc = metrics.NewCollector()
+	}
+	merge := true
+	if cfg.MergeDiffs != nil {
+		merge = *cfg.MergeDiffs
+	}
+
+	p := &player{
+		cfg:   cfg,
+		team:  cfg.Endpoint.ID(),
+		known: make(map[int]*knownPeer, cfg.Endpoint.N()),
+		mc:    mc,
+		stats: game.TeamStats{Team: cfg.Endpoint.ID()},
+	}
+
+	rt, err := core.New(core.Config{
+		Endpoint:   cfg.Endpoint,
+		Metrics:    mc,
+		MergeDiffs: merge,
+		Debug:      cfg.debug,
+		OnBeacon: func(peer int, ints []int64) {
+			b, err := game.DecodeBeacon(ints)
+			if err != nil {
+				return // malformed beacons are ignored; stale info remains
+			}
+			p.known[peer] = &knownPeer{beacon: b, tick: p.rt.Now()}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.rt = rt
+	return p, nil
+}
+
+// run plays the game to completion.
+func (p *player) run() (game.TeamStats, error) {
+	if err := p.setup(); err != nil {
+		return game.TeamStats{}, err
+	}
+	if err := p.play(); err != nil {
+		return game.TeamStats{}, err
+	}
+	p.mc.SetExecTime(p.cfg.Endpoint.Now())
+	return p.stats, nil
+}
+
+// setup builds the deterministic initial world (identical on every process)
+// and registers every block as a shared object.
+func (p *player) setup() error {
+	w, err := game.NewWorld(p.cfg.Game)
+	if err != nil {
+		return err
+	}
+	p.goal = w.Goal
+	for i, c := range w.Cells {
+		if err := p.rt.Share(store.ID(i), game.EncodeCell(c)); err != nil {
+			return err
+		}
+	}
+	for team, positions := range w.TankPositions() {
+		if team == p.team {
+			for _, pos := range positions {
+				p.tanks = append(p.tanks, game.NewTankState(pos))
+			}
+			continue
+		}
+		// Every process knows the initial placement, so peers start
+		// "known" as of tick 0.
+		p.known[team] = &knownPeer{beacon: game.Beacon{Tanks: positions}}
+	}
+	return nil
+}
+
+// play runs the tick loop: look, decide, modify, exchange.
+func (p *player) play() error {
+	cfg := p.cfg.Game
+	for tick := 1; tick <= cfg.MaxTicks; tick++ {
+		appStart := p.cfg.Endpoint.Now()
+		if cfg.EndOnFirstGoal {
+			// Notice a winner's announcement even on rendezvous-free
+			// ticks; the game is over for everyone once somebody has
+			// captured the goal.
+			p.rt.Poll()
+			if p.rt.GameOver() {
+				p.stats.DoneTick = p.rt.Now()
+				return p.rt.Done(false)
+			}
+		}
+		p.refreshOwnTanks()
+		if len(p.tanks) == 0 {
+			if !p.stats.ReachedGoal {
+				p.stats.Destroyed = true
+			}
+			p.stats.DoneTick = p.rt.Now() + 1
+			return p.rt.Done(p.stats.ReachedGoal)
+		}
+		p.stats.Ticks++
+
+		// decideAll both decides and applies each tank's writes to the
+		// local store (so a team's later tanks see its earlier tanks'
+		// moves); here we only account for the outcomes.
+		actions := p.decideAll()
+		if p.cfg.onActions != nil {
+			p.cfg.onActions(int64(tick), actions)
+		}
+		modified := false
+		for _, ta := range actions {
+			writes, reachedGoal := ta.act.Writes(p.team, p.goal)
+			if len(writes) > 0 {
+				modified = true
+			}
+			switch {
+			case reachedGoal:
+				p.stats.ReachedGoal = true
+				p.stats.Score += 5
+			case ta.act.Kind == game.Move:
+				if ta.prevTarget.Kind == game.Bonus {
+					p.stats.Score++
+				}
+			}
+		}
+		if modified {
+			p.stats.Mods++
+			p.mc.AddMod()
+		}
+		p.updateTanksAfterActions(actions)
+		p.mc.AddTime(metrics.CatAppCompute, p.cfg.Endpoint.Now()-appStart)
+		if p.cfg.ComputePerTick > 0 {
+			p.cfg.Endpoint.Compute(p.cfg.ComputePerTick)
+			p.mc.AddTime(metrics.CatAppCompute, p.cfg.ComputePerTick)
+		}
+
+		if p.stats.ReachedGoal && len(p.tanks) == 0 {
+			p.stats.DoneTick = p.rt.Now() + 1
+			return p.rt.Done(true)
+		}
+
+		if err := p.rt.Exchange(p.exchangeOpts()); err != nil {
+			return fmt.Errorf("tick %d: %w", tick, err)
+		}
+		if p.cfg.afterExchange != nil {
+			p.cfg.afterExchange(p)
+		}
+	}
+	p.stats.DoneTick = p.rt.Now()
+	return p.rt.Done(p.stats.ReachedGoal)
+}
+
+// tankAction pairs a tank with its decided action and the pre-move content
+// of its target block (for bonus scoring).
+type tankAction struct {
+	tank       game.TankState
+	act        game.Action
+	prevTarget game.Cell
+}
+
+// refreshOwnTanks drops tanks whose blocks no longer hold them (destroyed
+// by enemy fire since the last tick).
+func (p *player) refreshOwnTanks() {
+	alive := p.tanks[:0]
+	for _, tank := range p.tanks {
+		c, err := p.readCell(tank.Pos)
+		if err == nil && c.Kind == game.Tank && c.Team == p.team {
+			alive = append(alive, tank)
+		}
+	}
+	p.tanks = alive
+}
+
+// decideAll runs the decision function for each tank. Team-internal
+// sequencing is naturally provided by the local store: each tank's writes
+// land before the next tank decides.
+func (p *player) decideAll() []tankAction {
+	enemies := make(map[int][]game.Pos, len(p.known))
+	for team, kp := range p.known {
+		if p.rt.PeerDone(team) || len(kp.beacon.Tanks) == 0 {
+			continue
+		}
+		enemies[team] = kp.beacon.Tanks
+	}
+	var out []tankAction
+	for _, tank := range p.tanks {
+		v := game.View{
+			Cfg:     p.cfg.Game,
+			Team:    p.team,
+			Self:    tank.Pos,
+			Prev:    tank.Prev,
+			Goal:    p.goal,
+			CellAt:  p.cellAt,
+			Enemies: enemies,
+		}
+		act := game.Decide(v)
+		ta := tankAction{tank: tank, act: act}
+		if act.Kind == game.Move {
+			ta.prevTarget = p.cellAt(act.To)
+		}
+		out = append(out, ta)
+		// Apply this tank's writes locally before the next tank decides.
+		writes, _ := act.Writes(p.team, p.goal)
+		for _, cw := range writes {
+			_ = p.rt.Write(p.cfg.Game.ObjectOf(cw.Pos), game.EncodeCell(cw.Cell))
+		}
+	}
+	return out
+}
+
+func (p *player) updateTanksAfterActions(actions []tankAction) {
+	next := p.tanks[:0]
+	for _, ta := range actions {
+		switch {
+		case ta.act.Kind == game.Move && ta.act.To == p.goal:
+			// Tank left the board.
+		case ta.act.Kind == game.Move:
+			next = append(next, ta.tank.Advance(ta.act))
+		default:
+			next = append(next, ta.tank)
+		}
+	}
+	p.tanks = next
+}
+
+func (p *player) readCell(pos game.Pos) (game.Cell, error) {
+	b, err := p.rt.Store().View(p.cfg.Game.ObjectOf(pos))
+	if err != nil {
+		return game.Cell{}, err
+	}
+	return game.DecodeCell(b)
+}
+
+func (p *player) cellAt(pos game.Pos) game.Cell {
+	c, err := p.readCell(pos)
+	if err != nil {
+		return game.Cell{Kind: game.Bomb} // unreadable blocks are impassable
+	}
+	return c
+}
+
+// exchangeOpts assembles the per-protocol exchange configuration.
+func (p *player) exchangeOpts() core.ExchangeOpts {
+	h := p.cfg.Game.InteractionRadius()
+	opts := core.ExchangeOpts{
+		Resync: true,
+		How:    core.Multicast,
+		Beacon: func(peer int) []int64 {
+			return game.EncodeBeacon(game.Beacon{
+				Tanks: game.Positions(p.tanks),
+				Box:   game.BoxOfObjects(p.cfg.Game, p.rt.PendingObjects(peer)),
+			})
+		},
+	}
+	switch p.cfg.Protocol {
+	case BSYNC:
+		opts.SFunc = core.EveryTick
+		// SendData nil: broadcast all updates to everyone each tick.
+	default:
+		opts.SFunc = func(peer int, now int64, peerBeacon []int64) int64 {
+			kp := p.known[peer] // OnBeacon ran just before this
+			if kp == nil || len(kp.beacon.Tanks) == 0 {
+				return now + 1 // peer about to vanish; DONE will arrive
+			}
+			myBox := game.BoxOfObjects(p.cfg.Game, p.rt.PendingObjects(peer))
+			return now + game.NextDelta(h, game.Positions(p.tanks), myBox, kp.beacon.Tanks, kp.beacon.Box)
+		}
+		opts.SendData = func(peer int) bool {
+			kp := p.known[peer]
+			if kp == nil {
+				return true // no knowledge: be safe and flush
+			}
+			staleness := int(p.rt.Now() - kp.tick)
+			// Correctness backstops, identical for MSYNC and MSYNC2:
+			// flush when the peer's tanks could be walking into
+			// withheld writes. Old writes are a static region (the
+			// box): the peer closes on it at one block per tick from
+			// its last-known position. Recent writes cluster around
+			// our own (moving) tanks, so the peer being reachable to
+			// our tanks' neighbourhood also forces a flush.
+			myBox := game.BoxOfObjects(p.cfg.Game, p.rt.PendingObjects(peer))
+			if game.BoxApproach(kp.beacon.Tanks, myBox, h, staleness+3) {
+				return true
+			}
+			mine := game.Positions(p.tanks)
+			if myBox != nil && game.WithinRange(mine, kp.beacon.Tanks, h, staleness+4) {
+				return true
+			}
+			// The paper's spatial filters proper.
+			aligned := game.AlignmentPossible(mine, kp.beacon.Tanks, staleness+1)
+			if p.cfg.Protocol == MSYNC {
+				return aligned
+			}
+			return aligned && game.WithinRange(mine, kp.beacon.Tanks, h, staleness+1)
+		}
+	}
+	return opts
+}

@@ -1,0 +1,96 @@
+package lrc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdso/internal/store"
+)
+
+func TestBoardCodecRoundTrip(t *testing.T) {
+	b := board{
+		3:   {writer: 1, version: 5},
+		17:  {writer: 0, version: 2},
+		400: {writer: 7, version: 99},
+	}
+	dec, err := decodeBoard(b.encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec) != len(b) {
+		t.Fatalf("size %d, want %d", len(dec), len(b))
+	}
+	for id, n := range b {
+		if dec[id] != n {
+			t.Errorf("entry %d = %+v, want %+v", id, dec[id], n)
+		}
+	}
+
+	// Empty board.
+	dec, err = decodeBoard(board{}.encode())
+	if err != nil || len(dec) != 0 {
+		t.Errorf("empty board: %v, %v", dec, err)
+	}
+}
+
+func TestBoardCodecQuick(t *testing.T) {
+	f := func(entries map[uint16]uint8) bool {
+		b := make(board, len(entries))
+		for id, v := range entries {
+			b[store.ID(id)] = notice{writer: int(v) % 16, version: int64(v) + 1}
+		}
+		dec, err := decodeBoard(b.encode())
+		if err != nil || len(dec) != len(b) {
+			return false
+		}
+		for id, n := range b {
+			if dec[id] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoardMergeKeepsNewest(t *testing.T) {
+	a := board{1: {writer: 0, version: 3}, 2: {writer: 1, version: 1}}
+	b := board{1: {writer: 2, version: 5}, 3: {writer: 3, version: 1}}
+	a.merge(b)
+	if a[1] != (notice{writer: 2, version: 5}) {
+		t.Errorf("newer notice lost: %+v", a[1])
+	}
+	if a[2] != (notice{writer: 1, version: 1}) || a[3] != (notice{writer: 3, version: 1}) {
+		t.Errorf("merge dropped entries: %+v", a)
+	}
+	// Older notices never regress the board.
+	a.merge(board{1: {writer: 9, version: 2}})
+	if a[1].version != 5 {
+		t.Errorf("older notice regressed board: %+v", a[1])
+	}
+}
+
+func TestDecodeBoardCorrupt(t *testing.T) {
+	good := board{5: {writer: 1, version: 2}}.encode()
+	cases := map[string][]byte{
+		"empty":      {},
+		"truncated":  good[:len(good)-1],
+		"huge count": {0xff, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, buf := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := decodeBoard(buf); err == nil {
+				t.Error("accepted corrupt board")
+			}
+		})
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, rng.Intn(50))
+		rng.Read(buf)
+		_, _ = decodeBoard(buf)
+	}
+}

@@ -1,0 +1,197 @@
+// Package store holds a process's local copies of shared objects. Every
+// S-DSO process keeps a full replica of the shared environment (the paper
+// assumes "physical distribution of the shared environment across all
+// interacting processes"); consistency protocols decide when replicas are
+// reconciled. The store tracks a version per object so pull-based protocols
+// (entry consistency) can tell stale copies from fresh ones.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"sdso/internal/diff"
+)
+
+// ID names a shared object.
+type ID uint32
+
+// Object is one shared object replica.
+type Object struct {
+	id      ID
+	data    []byte
+	version int64
+}
+
+// ID returns the object's identifier.
+func (o *Object) ID() ID { return o.id }
+
+// Version returns the object's version (increments on every write).
+func (o *Object) Version() int64 { return o.version }
+
+// Bytes returns a copy of the object's state.
+func (o *Object) Bytes() []byte {
+	out := make([]byte, len(o.data))
+	copy(out, o.data)
+	return out
+}
+
+// Store is a set of shared-object replicas. It is not safe for concurrent
+// use; callers running on real (non-simulated) transports must serialize
+// access externally.
+type Store struct {
+	objs map[ID]*Object
+	ids  []ID // sorted cache, rebuilt lazily
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{objs: make(map[ID]*Object)}
+}
+
+// Register adds a shared object with its initial state. Registering an
+// existing ID is an error: the paper's share() call registers each object
+// exactly once at program initialization.
+func (s *Store) Register(id ID, initial []byte) error {
+	if _, ok := s.objs[id]; ok {
+		return fmt.Errorf("store: object %d already registered", id)
+	}
+	data := make([]byte, len(initial))
+	copy(data, initial)
+	s.objs[id] = &Object{id: id, data: data}
+	s.ids = nil
+	return nil
+}
+
+// Len returns the number of registered objects.
+func (s *Store) Len() int { return len(s.objs) }
+
+// Has reports whether id is registered.
+func (s *Store) Has(id ID) bool {
+	_, ok := s.objs[id]
+	return ok
+}
+
+// IDs returns all registered object IDs in ascending order.
+func (s *Store) IDs() []ID {
+	if s.ids == nil {
+		s.ids = make([]ID, 0, len(s.objs))
+		for id := range s.objs {
+			s.ids = append(s.ids, id)
+		}
+		sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	}
+	out := make([]ID, len(s.ids))
+	copy(out, s.ids)
+	return out
+}
+
+// Get returns a copy of the object's current state.
+func (s *Store) Get(id ID) ([]byte, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return nil, fmt.Errorf("store: object %d not registered", id)
+	}
+	return o.Bytes(), nil
+}
+
+// View returns the object's state without copying. The caller must not
+// modify or retain the returned slice across writes; it exists for
+// read-heavy inner loops (the game reads its whole visibility set every
+// tick).
+func (s *Store) View(id ID) ([]byte, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return nil, fmt.Errorf("store: object %d not registered", id)
+	}
+	return o.data, nil
+}
+
+// Version returns the object's version counter.
+func (s *Store) Version(id ID) (int64, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return 0, fmt.Errorf("store: object %d not registered", id)
+	}
+	return o.version, nil
+}
+
+// Update overwrites the object's state with data, increments its version,
+// and returns the diff from the previous state. An update that changes
+// nothing returns an empty diff and does not bump the version.
+func (s *Store) Update(id ID, data []byte) (diff.Diff, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return diff.Diff{}, fmt.Errorf("store: object %d not registered", id)
+	}
+	d := diff.Compute(o.data, data)
+	if d.Empty() {
+		return d, nil
+	}
+	o.data = make([]byte, len(data))
+	copy(o.data, data)
+	o.version++
+	return d, nil
+}
+
+// ApplyDiff patches the object with a remotely produced diff and sets its
+// version to the given remote version if that is newer.
+func (s *Store) ApplyDiff(id ID, d diff.Diff, version int64) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("store: object %d not registered", id)
+	}
+	next, err := diff.Apply(o.data, d)
+	if err != nil {
+		return fmt.Errorf("object %d: %w", id, err)
+	}
+	o.data = next
+	if version > o.version {
+		o.version = version
+	}
+	return nil
+}
+
+// SetState replaces the object's state and version outright (used when a
+// pull-based protocol fetches a whole fresh copy).
+func (s *Store) SetState(id ID, data []byte, version int64) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("store: object %d not registered", id)
+	}
+	o.data = make([]byte, len(data))
+	copy(o.data, data)
+	o.version = version
+	return nil
+}
+
+// Clone returns a deep copy of the store (used to seed every process with
+// the same initial shared environment).
+func (s *Store) Clone() *Store {
+	c := New()
+	for id, o := range s.objs {
+		c.objs[id] = &Object{id: id, data: o.Bytes(), version: o.version}
+	}
+	return c
+}
+
+// Equal reports whether two stores hold identical object states (versions
+// are ignored: different protocols bump versions differently while agreeing
+// on content).
+func (s *Store) Equal(other *Store) bool {
+	if len(s.objs) != len(other.objs) {
+		return false
+	}
+	for id, o := range s.objs {
+		oo, ok := other.objs[id]
+		if !ok || len(o.data) != len(oo.data) {
+			return false
+		}
+		for i := range o.data {
+			if o.data[i] != oo.data[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdso/internal/diff"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	if err := s.Register(1, []byte("alpha")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := s.Register(2, []byte("beta")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return s
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Register(1, []byte("again")); err == nil {
+		t.Error("duplicate Register should fail")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Get(99); err == nil {
+		t.Error("Get unknown should fail")
+	}
+	if _, err := s.Version(99); err == nil {
+		t.Error("Version unknown should fail")
+	}
+	if _, err := s.Update(99, nil); err == nil {
+		t.Error("Update unknown should fail")
+	}
+	if err := s.ApplyDiff(99, diff.Diff{}, 0); err == nil {
+		t.Error("ApplyDiff unknown should fail")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := newTestStore(t)
+	b, err := s.Get(1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	b[0] = 'X'
+	b2, _ := s.Get(1)
+	if b2[0] == 'X' {
+		t.Error("Get exposed internal state")
+	}
+}
+
+func TestUpdateBumpsVersionAndDiffs(t *testing.T) {
+	s := newTestStore(t)
+	d, err := s.Update(1, []byte("alphA"))
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if d.Empty() {
+		t.Error("expected non-empty diff")
+	}
+	if v, _ := s.Version(1); v != 1 {
+		t.Errorf("version = %d, want 1", v)
+	}
+	got, _ := s.Get(1)
+	if string(got) != "alphA" {
+		t.Errorf("state = %q", got)
+	}
+
+	// No-op update: empty diff, no version bump.
+	d2, err := s.Update(1, []byte("alphA"))
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if !d2.Empty() {
+		t.Error("no-op update produced a diff")
+	}
+	if v, _ := s.Version(1); v != 1 {
+		t.Errorf("version after no-op = %d, want 1", v)
+	}
+}
+
+func TestApplyDiffMirrorsUpdate(t *testing.T) {
+	// Two replicas: updating one and applying its diff to the other must
+	// converge.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(), New()
+		initial := make([]byte, 16)
+		rng.Read(initial)
+		if a.Register(7, initial) != nil || b.Register(7, initial) != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			next := make([]byte, 16)
+			rng.Read(next)
+			d, err := a.Update(7, next)
+			if err != nil {
+				return false
+			}
+			v, _ := a.Version(7)
+			if err := b.ApplyDiff(7, d, v); err != nil {
+				return false
+			}
+		}
+		ab, _ := a.Get(7)
+		bb, _ := b.Get(7)
+		return bytes.Equal(ab, bb) && a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetState(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.SetState(2, []byte("fresh"), 42); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	got, _ := s.Get(2)
+	if string(got) != "fresh" {
+		t.Errorf("state = %q", got)
+	}
+	if v, _ := s.Version(2); v != 42 {
+		t.Errorf("version = %d, want 42", v)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := newTestStore(t)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	if _, err := c.Update(1, []byte("delta")); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if s.Equal(c) {
+		t.Error("clone shares state with original")
+	}
+	orig, _ := s.Get(1)
+	if string(orig) != "alpha" {
+		t.Errorf("original mutated: %q", orig)
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s := New()
+	for _, id := range []ID{5, 1, 9, 3} {
+		if err := s.Register(id, nil); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	ids := s.IDs()
+	want := []ID{1, 3, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+	if s.Len() != 4 || !s.Has(5) || s.Has(2) {
+		t.Error("Len/Has inconsistent")
+	}
+}
+
+func TestEqualDifferentShapes(t *testing.T) {
+	a, b := New(), New()
+	a.Register(1, []byte("x"))
+	if a.Equal(b) {
+		t.Error("stores with different sizes reported equal")
+	}
+	b.Register(2, []byte("x"))
+	if a.Equal(b) {
+		t.Error("stores with different IDs reported equal")
+	}
+}
+
+func TestViewAliasesUntilWrite(t *testing.T) {
+	s := newTestStore(t)
+	v, err := s.View(1)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if string(v) != "alpha" {
+		t.Errorf("View = %q", v)
+	}
+	if _, err := s.View(99); err == nil {
+		t.Error("View unknown should fail")
+	}
+}

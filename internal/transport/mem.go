@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdso/internal/wire"
+)
+
+// MemNetwork is an in-process transport connecting n endpoints through
+// per-receiver mailboxes. Delivery is immediate and FIFO per sender; it is
+// intended for unit and integration tests that exercise protocol logic under
+// real goroutine concurrency without a network model.
+type MemNetwork struct {
+	start time.Time
+	eps   []*memEndpoint
+}
+
+// NewMemNetwork creates a group of n connected in-memory endpoints.
+func NewMemNetwork(n int) *MemNetwork {
+	net := &MemNetwork{start: time.Now()}
+	net.eps = make([]*memEndpoint, n)
+	for i := range net.eps {
+		ep := &memEndpoint{net: net, id: i}
+		ep.cond = sync.NewCond(&ep.mu)
+		net.eps[i] = ep
+	}
+	return net
+}
+
+// Endpoint returns the endpoint for process id.
+func (n *MemNetwork) Endpoint(id int) Endpoint { return n.eps[id] }
+
+// Close closes every endpoint in the group.
+func (n *MemNetwork) Close() {
+	for _, ep := range n.eps {
+		_ = ep.Close()
+	}
+}
+
+type memEndpoint struct {
+	net *MemNetwork
+	id  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*wire.Msg
+	closed bool
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (e *memEndpoint) ID() int { return e.id }
+func (e *memEndpoint) N() int  { return len(e.net.eps) }
+
+func (e *memEndpoint) Send(to int, m *wire.Msg) error {
+	if to < 0 || to >= len(e.net.eps) {
+		return fmt.Errorf("transport: send to unknown endpoint %d", to)
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	m.Src, m.Dst = int32(e.id), int32(to)
+	dst := e.net.eps[to]
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		return nil // messages to a closed peer are dropped, like the sim
+	}
+	dst.queue = append(dst.queue, m)
+	dst.cond.Signal()
+	return nil
+}
+
+func (e *memEndpoint) Recv() (*wire.Msg, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		return nil, ErrClosed
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, nil
+}
+
+func (e *memEndpoint) TryRecv() (*wire.Msg, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) == 0 {
+		if e.closed {
+			return nil, false, ErrClosed
+		}
+		return nil, false, nil
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, true, nil
+}
+
+func (e *memEndpoint) Now() time.Duration { return time.Since(e.net.start) }
+
+func (e *memEndpoint) Compute(time.Duration) {}
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	return nil
+}

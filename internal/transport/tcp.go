@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sdso/internal/wire"
+)
+
+// tcpDialTimeout bounds how long a node waits for its peers to come up.
+const tcpDialTimeout = 10 * time.Second
+
+// TCPEndpoint is a real-sockets implementation of Endpoint: a full mesh of
+// TCP connections among n nodes, with length-prefixed wire.Msg frames. It is
+// the substrate cmd/sdso-node runs on, matching the paper's description of
+// S-DSO as "directly layered onto sockets".
+type TCPEndpoint struct {
+	id    int
+	n     int
+	start time.Time
+	ln    net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*wire.Msg
+	closed bool
+
+	peers []*tcpPeer // index by peer id; nil at own index
+	wg    sync.WaitGroup
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex // serializes frame writes
+	conn net.Conn
+	bw   *bufio.Writer
+	dead bool // peer hung up; subsequent sends are dropped
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// DialTCP builds the full mesh for node id among addrs (one listen address
+// per node, indexed by node id). It listens on addrs[id], dials every node
+// with a smaller id, accepts connections from every node with a larger id,
+// and returns once all n-1 links are up. All nodes must be started within
+// the dial timeout of each other.
+func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
+	n := len(addrs)
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("transport: node id %d out of range for %d addrs", id, n)
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addrs[id], err)
+	}
+	e := &TCPEndpoint{
+		id:    id,
+		n:     n,
+		start: time.Now(),
+		ln:    ln,
+		peers: make([]*tcpPeer, n),
+	}
+	e.cond = sync.NewCond(&e.mu)
+
+	errc := make(chan error, 2)
+	var setup sync.WaitGroup
+
+	// Accept links from higher-numbered peers.
+	setup.Add(1)
+	go func() {
+		defer setup.Done()
+		for accepted := 0; accepted < n-1-id; accepted++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("accept: %w", err)
+				return
+			}
+			var hello wire.Msg
+			if err := wire.ReadFrame(conn, &hello); err != nil || hello.Kind != wire.KindHello {
+				conn.Close()
+				errc <- fmt.Errorf("bad handshake from %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			peer := int(hello.Stamp)
+			if peer <= id || peer >= n {
+				conn.Close()
+				errc <- fmt.Errorf("handshake names invalid peer %d", peer)
+				return
+			}
+			e.addPeer(peer, conn)
+		}
+	}()
+
+	// Dial links to lower-numbered peers.
+	setup.Add(1)
+	go func() {
+		defer setup.Done()
+		for peer := 0; peer < id; peer++ {
+			conn, err := dialRetry(addrs[peer], tcpDialTimeout)
+			if err != nil {
+				errc <- fmt.Errorf("dial peer %d (%s): %w", peer, addrs[peer], err)
+				return
+			}
+			hello := &wire.Msg{Kind: wire.KindHello, Stamp: int64(id)}
+			if err := wire.WriteFrame(conn, hello); err != nil {
+				conn.Close()
+				errc <- fmt.Errorf("handshake to peer %d: %w", peer, err)
+				return
+			}
+			e.addPeer(peer, conn)
+		}
+	}()
+
+	setup.Wait()
+	select {
+	case err := <-errc:
+		e.Close()
+		return nil, err
+	default:
+	}
+	return e, nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+func (e *TCPEndpoint) addPeer(peer int, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	p := &tcpPeer{conn: conn, bw: bufio.NewWriter(conn)}
+	e.mu.Lock()
+	e.peers[peer] = p
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.readLoop(conn)
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	br := bufio.NewReader(conn)
+	for {
+		m := new(wire.Msg)
+		if err := wire.ReadFrame(br, m); err != nil {
+			return // peer closed or endpoint shutting down
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		e.queue = append(e.queue, m)
+		e.cond.Signal()
+		e.mu.Unlock()
+	}
+}
+
+// ID implements Endpoint.
+func (e *TCPEndpoint) ID() int { return e.id }
+
+// N implements Endpoint.
+func (e *TCPEndpoint) N() int { return e.n }
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(to int, m *wire.Msg) error {
+	if to < 0 || to >= e.n || to == e.id {
+		return fmt.Errorf("transport: send to invalid peer %d", to)
+	}
+	e.mu.Lock()
+	p := e.peers[to]
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if p == nil {
+		return fmt.Errorf("transport: no link to peer %d", to)
+	}
+	m.Src, m.Dst = int32(e.id), int32(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return nil
+	}
+	err := wire.WriteFrame(p.bw, m)
+	if err == nil {
+		err = p.bw.Flush()
+	}
+	if err != nil {
+		// The peer hung up — in this system processes legitimately
+		// depart once finished, so messages to them are dropped, the
+		// same contract as the in-memory and simulated transports.
+		p.dead = true
+		_ = p.conn.Close()
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() (*wire.Msg, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		return nil, ErrClosed
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, nil
+}
+
+// TryRecv implements Endpoint without blocking.
+func (e *TCPEndpoint) TryRecv() (*wire.Msg, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) == 0 {
+		if e.closed {
+			return nil, false, ErrClosed
+		}
+		return nil, false, nil
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, true, nil
+}
+
+// Now implements Endpoint; it reports wall time since the endpoint started.
+func (e *TCPEndpoint) Now() time.Duration { return time.Since(e.start) }
+
+// Compute implements Endpoint; real computation takes real time, so this is
+// a no-op.
+func (e *TCPEndpoint) Compute(time.Duration) {}
+
+// closeGrace bounds how long Close waits for peers to finish sending.
+const closeGrace = 2 * time.Second
+
+// Close implements Endpoint: it tears down every link and unblocks Recv.
+//
+// Shutdown is lingering: each link's write side is closed first (FIN) and
+// the read loops keep draining until the peers close their ends or a grace
+// period expires. A hard close would send RST, and a peer's kernel may then
+// discard this node's final messages sitting unread in its receive buffer —
+// losing, for example, the DONE that tells the peer this process finished.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	peers := make([]*tcpPeer, len(e.peers))
+	copy(peers, e.peers)
+	e.mu.Unlock()
+
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if tc, ok := p.conn.(*net.TCPConn); ok && !p.dead {
+			_ = tc.CloseWrite()
+		}
+		p.mu.Unlock()
+	}
+	_ = e.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(closeGrace):
+	}
+	for _, p := range peers {
+		if p != nil {
+			_ = p.conn.Close()
+		}
+	}
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package transport abstracts the communication substrate under the S-DSO
+// runtime. The paper's S-DSO is "directly layered onto sockets"; this
+// package provides that socket layer (TCP, see tcp.go), an in-memory
+// channel-based equivalent for unit tests (mem.go), and a virtual-time
+// implementation backed by the vtime simulator (vtime.go) that the
+// experiment harness uses to model the paper's 16-workstation cluster.
+//
+// Protocols are written against Endpoint only, so the same protocol code
+// runs on all three substrates.
+package transport
+
+import (
+	"errors"
+	"time"
+
+	"sdso/internal/wire"
+)
+
+// ErrClosed is returned by Send and Recv after the endpoint is closed.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one process's connection to the group. Implementations
+// guarantee FIFO delivery per sender pair and never duplicate messages.
+// Send never blocks on the receiver; Recv blocks until a message arrives or
+// the endpoint closes.
+type Endpoint interface {
+	// ID returns this process's identity within the group (0..N-1).
+	ID() int
+	// N returns the size of the group.
+	N() int
+	// Send transmits m to process `to`. The message's Src/Dst fields are
+	// filled in by the transport.
+	Send(to int, m *wire.Msg) error
+	// Recv returns the next incoming message.
+	Recv() (*wire.Msg, error)
+	// TryRecv returns a queued incoming message without blocking; ok is
+	// false when none is available. Arrival timing is scheduling-
+	// dependent on real transports; deterministic experiment drivers use
+	// it only on the simulated transport.
+	TryRecv() (m *wire.Msg, ok bool, err error)
+	// Now returns elapsed time on this process's clock: virtual time on
+	// simulated transports, wall time otherwise. Protocols use it for
+	// overhead accounting.
+	Now() time.Duration
+	// Compute accounts d of application CPU work. On the simulated
+	// transport this advances virtual time; on real transports it is a
+	// no-op (real computation already takes real time).
+	Compute(d time.Duration)
+	// Close shuts the endpoint down, unblocking any Recv.
+	Close() error
+}
+
+// SizeFunc chooses the wire size the network model charges for a message.
+// The paper reports both control and data messages averaging 2048 bytes; the
+// experiment harness uses FixedSize(2048) to mirror that, while EncodedSize
+// charges the actual codec length.
+type SizeFunc func(m *wire.Msg) int
+
+// FixedSize returns a SizeFunc charging every message the same size.
+func FixedSize(n int) SizeFunc { return func(*wire.Msg) int { return n } }
+
+// EncodedSize charges each message its exact binary-encoded length.
+func EncodedSize(m *wire.Msg) int { return m.EncodedSize() }
+
+// Broadcast sends m to every process in the group except the sender.
+func Broadcast(ep Endpoint, m *wire.Msg) error {
+	for i := 0; i < ep.N(); i++ {
+		if i == ep.ID() {
+			continue
+		}
+		if err := ep.Send(i, m.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sdso/internal/vtime"
+	"sdso/internal/wire"
+)
+
+func TestMemSendRecv(t *testing.T) {
+	n := NewMemNetwork(3)
+	defer n.Close()
+	a, b := n.Endpoint(0), n.Endpoint(1)
+	if err := a.Send(1, &wire.Msg{Kind: wire.KindSync, Stamp: 9}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.Kind != wire.KindSync || m.Stamp != 9 || m.Src != 0 || m.Dst != 1 {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestMemFIFOPerSender(t *testing.T) {
+	n := NewMemNetwork(2)
+	defer n.Close()
+	a, b := n.Endpoint(0), n.Endpoint(1)
+	for i := 0; i < 100; i++ {
+		if err := a.Send(1, &wire.Msg{Kind: wire.KindData, Stamp: int64(i)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if m.Stamp != int64(i) {
+			t.Fatalf("out of order: got stamp %d at position %d", m.Stamp, i)
+		}
+	}
+}
+
+func TestMemCloseUnblocksRecv(t *testing.T) {
+	n := NewMemNetwork(2)
+	ep := n.Endpoint(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := ep.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestMemSendToClosedPeerDropped(t *testing.T) {
+	n := NewMemNetwork(2)
+	defer n.Close()
+	if err := n.Endpoint(1).Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := n.Endpoint(0).Send(1, &wire.Msg{Kind: wire.KindSync}); err != nil {
+		t.Errorf("Send to closed peer = %v, want nil (dropped)", err)
+	}
+}
+
+func TestMemConcurrentSenders(t *testing.T) {
+	n := NewMemNetwork(4)
+	defer n.Close()
+	const per = 50
+	var wg sync.WaitGroup
+	for src := 1; src < 4; src++ {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := n.Endpoint(src)
+			for i := 0; i < per; i++ {
+				if err := ep.Send(0, &wire.Msg{Kind: wire.KindData, Stamp: int64(i)}); err != nil {
+					t.Errorf("Send: %v", err)
+				}
+			}
+		}()
+	}
+	got := make(map[int32]int64)
+	for i := 0; i < 3*per; i++ {
+		m, err := n.Endpoint(0).Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if m.Stamp != got[m.Src] {
+			t.Fatalf("per-sender FIFO violated: src %d stamp %d want %d", m.Src, m.Stamp, got[m.Src])
+		}
+		got[m.Src]++
+	}
+	wg.Wait()
+}
+
+func TestBroadcast(t *testing.T) {
+	n := NewMemNetwork(4)
+	defer n.Close()
+	if err := Broadcast(n.Endpoint(2), &wire.Msg{Kind: wire.KindSync, Stamp: 5}); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for _, id := range []int{0, 1, 3} {
+		m, err := n.Endpoint(id).Recv()
+		if err != nil {
+			t.Fatalf("Recv at %d: %v", id, err)
+		}
+		if m.Src != 2 || m.Stamp != 5 {
+			t.Errorf("endpoint %d got %+v", id, m)
+		}
+	}
+}
+
+func TestSizeFuncs(t *testing.T) {
+	m := &wire.Msg{Kind: wire.KindData, Payload: make([]byte, 100)}
+	if got := FixedSize(2048)(m); got != 2048 {
+		t.Errorf("FixedSize = %d", got)
+	}
+	if got := EncodedSize(m); got != m.EncodedSize() {
+		t.Errorf("EncodedSize = %d, want %d", got, m.EncodedSize())
+	}
+}
+
+func TestSimEndpoint(t *testing.T) {
+	sim := vtime.NewSim(vtime.Config{Links: vtime.ConstantDelay(time.Millisecond)})
+	var eps [2]*SimEndpoint
+	var recvAt vtime.Time
+	sim.Spawn(func(p *vtime.Proc) {
+		ep := eps[0]
+		ep.Compute(time.Millisecond)
+		if err := ep.Send(1, &wire.Msg{Kind: wire.KindData, Stamp: 3}); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	sim.Spawn(func(p *vtime.Proc) {
+		ep := eps[1]
+		m, err := ep.Recv()
+		if err != nil {
+			t.Errorf("Recv: %v", err)
+			return
+		}
+		if m.Stamp != 3 || m.Src != 0 {
+			t.Errorf("got %+v", m)
+		}
+		recvAt = ep.Now()
+	})
+	eps[0] = NewSimEndpoint(sim.Proc(0), 2, FixedSize(2048))
+	eps[1] = NewSimEndpoint(sim.Proc(1), 2, FixedSize(2048))
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if recvAt != 2*time.Millisecond {
+		t.Errorf("receive time = %v, want 2ms (1ms compute + 1ms delay)", recvAt)
+	}
+}
+
+func TestSimEndpointClosed(t *testing.T) {
+	sim := vtime.NewSim(vtime.Config{})
+	var ep *SimEndpoint
+	sim.Spawn(func(p *vtime.Proc) {
+		if err := ep.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := ep.Send(0, &wire.Msg{Kind: wire.KindSync}); !errors.Is(err, ErrClosed) {
+			t.Errorf("Send after close = %v", err)
+		}
+		if _, err := ep.Recv(); !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after close = %v", err)
+		}
+	})
+	ep = NewSimEndpoint(sim.Proc(0), 1, nil)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// freeAddrs reserves n distinct loopback addresses for TCP tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+func startTCPMesh(t *testing.T, addrs []string) []*TCPEndpoint {
+	t.Helper()
+	n := len(addrs)
+	eps := make([]*TCPEndpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eps[i], errs[i] = DialTCP(i, addrs)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("DialTCP(%d): %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	})
+	return eps
+}
+
+func TestTCPMesh(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	eps := startTCPMesh(t, addrs)
+
+	// Every node sends one message to every other node.
+	for i, ep := range eps {
+		for j := range eps {
+			if i == j {
+				continue
+			}
+			m := &wire.Msg{Kind: wire.KindData, Stamp: int64(100*i + j), Payload: []byte(fmt.Sprintf("%d->%d", i, j))}
+			if err := ep.Send(j, m); err != nil {
+				t.Fatalf("Send %d->%d: %v", i, j, err)
+			}
+		}
+	}
+	for j, ep := range eps {
+		seen := map[int32]bool{}
+		for k := 0; k < len(eps)-1; k++ {
+			m, err := ep.Recv()
+			if err != nil {
+				t.Fatalf("Recv at %d: %v", j, err)
+			}
+			if seen[m.Src] {
+				t.Errorf("node %d got duplicate from %d", j, m.Src)
+			}
+			seen[m.Src] = true
+			if want := int64(100*int(m.Src) + j); m.Stamp != want {
+				t.Errorf("node %d: stamp %d, want %d", j, m.Stamp, want)
+			}
+		}
+	}
+}
+
+func TestTCPFIFOAndVolume(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	eps := startTCPMesh(t, addrs)
+	const count = 500
+	go func() {
+		for i := 0; i < count; i++ {
+			m := &wire.Msg{Kind: wire.KindData, Stamp: int64(i), Payload: make([]byte, 512)}
+			if err := eps[0].Send(1, m); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		m, err := eps[1].Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if m.Stamp != int64(i) {
+			t.Fatalf("out of order: got %d want %d", m.Stamp, i)
+		}
+		if len(m.Payload) != 512 {
+			t.Fatalf("payload length %d", len(m.Payload))
+		}
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	eps := startTCPMesh(t, addrs)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	eps[0].Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestTCPSendErrors(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	eps := startTCPMesh(t, addrs)
+	if err := eps[0].Send(0, &wire.Msg{Kind: wire.KindSync}); err == nil {
+		t.Error("Send to self should error")
+	}
+	if err := eps[0].Send(5, &wire.Msg{Kind: wire.KindSync}); err == nil {
+		t.Error("Send to out-of-range peer should error")
+	}
+	eps[0].Close()
+	if err := eps[0].Send(1, &wire.Msg{Kind: wire.KindSync}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"time"
+
+	"sdso/internal/vtime"
+	"sdso/internal/wire"
+)
+
+// SimEndpoint adapts a vtime.Proc to the Endpoint interface. The experiment
+// harness spawns one simulated process per game player (plus, for the
+// lock-based protocols, one co-located service process per player) and hands
+// each body a SimEndpoint.
+type SimEndpoint struct {
+	proc  *vtime.Proc
+	n     int
+	size  SizeFunc
+	alive bool
+}
+
+var _ Endpoint = (*SimEndpoint)(nil)
+
+// NewSimEndpoint wraps proc as an endpoint in a group of n simulated
+// processes. size chooses the wire size charged to the link model; nil
+// defaults to EncodedSize.
+func NewSimEndpoint(proc *vtime.Proc, n int, size SizeFunc) *SimEndpoint {
+	if size == nil {
+		size = EncodedSize
+	}
+	return &SimEndpoint{proc: proc, n: n, size: size, alive: true}
+}
+
+// Proc returns the underlying simulated process.
+func (e *SimEndpoint) Proc() *vtime.Proc { return e.proc }
+
+// ID implements Endpoint.
+func (e *SimEndpoint) ID() int { return e.proc.ID() }
+
+// N implements Endpoint.
+func (e *SimEndpoint) N() int { return e.n }
+
+// Send implements Endpoint.
+func (e *SimEndpoint) Send(to int, m *wire.Msg) error {
+	if !e.alive {
+		return ErrClosed
+	}
+	m.Src, m.Dst = int32(e.proc.ID()), int32(to)
+	e.proc.Send(to, m, e.size(m))
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *SimEndpoint) Recv() (*wire.Msg, error) {
+	if !e.alive {
+		return nil, ErrClosed
+	}
+	vm, ok := e.proc.Recv()
+	if !ok {
+		return nil, ErrClosed
+	}
+	m, ok := vm.Payload.(*wire.Msg)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return m, nil
+}
+
+// TryRecv implements Endpoint over the simulated inbox.
+func (e *SimEndpoint) TryRecv() (*wire.Msg, bool, error) {
+	if !e.alive {
+		return nil, false, ErrClosed
+	}
+	vm, ok := e.proc.TryRecv()
+	if !ok {
+		return nil, false, nil
+	}
+	m, okM := vm.Payload.(*wire.Msg)
+	if !okM {
+		return nil, false, nil
+	}
+	return m, true, nil
+}
+
+// Now implements Endpoint; it reports virtual time.
+func (e *SimEndpoint) Now() time.Duration { return e.proc.Now() }
+
+// Compute implements Endpoint; it advances virtual time.
+func (e *SimEndpoint) Compute(d time.Duration) { e.proc.Compute(d) }
+
+// Close implements Endpoint. Simulated endpoints cannot unblock a Recv from
+// outside (the simulation owns scheduling); Close only marks the endpoint
+// dead for subsequent operations.
+func (e *SimEndpoint) Close() error {
+	e.alive = false
+	return nil
+}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary: arbitrary bytes must never panic the codec, and any
+// input it accepts must re-encode to an equivalent message.
+func FuzzUnmarshalBinary(f *testing.F) {
+	if b, err := sampleMsg().MarshalBinary(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, encodedHeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Msg
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted message failed to re-marshal: %v", err)
+		}
+		var m2 Msg
+		if err := m2.UnmarshalBinary(re); err != nil {
+			t.Fatalf("re-marshaled message failed to parse: %v", err)
+		}
+		if m.Kind != m2.Kind || m.Src != m2.Src || m.Stamp != m2.Stamp ||
+			!bytes.Equal(m.Payload, m2.Payload) {
+			t.Fatalf("round trip changed message: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// FuzzReadFrame: arbitrary streams must never panic the frame reader.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, sampleMsg())
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Msg
+		_ = ReadFrame(bytes.NewReader(data), &m)
+	})
+}

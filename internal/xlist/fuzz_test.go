@@ -1,0 +1,23 @@
+package xlist
+
+import "testing"
+
+// FuzzDecodeDiffs: arbitrary DATA payloads must never panic the batch
+// decoder, and accepted batches must round trip.
+func FuzzDecodeDiffs(f *testing.F) {
+	f.Add(EncodeDiffs(nil))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		diffs, err := DecodeDiffs(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeDiffs(EncodeDiffs(diffs))
+		if err != nil {
+			t.Fatalf("accepted batch failed to round trip: %v", err)
+		}
+		if len(re) != len(diffs) {
+			t.Fatalf("round trip changed batch size: %d vs %d", len(re), len(diffs))
+		}
+	})
+}

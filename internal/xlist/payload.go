@@ -1,0 +1,66 @@
+package xlist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sdso/internal/diff"
+	"sdso/internal/store"
+)
+
+// EncodeDiffs serializes a batch of object diffs into a DATA message
+// payload.
+func EncodeDiffs(diffs []ObjDiff) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(diffs)))
+	for _, od := range diffs {
+		buf = binary.AppendUvarint(buf, uint64(od.Obj))
+		buf = binary.AppendUvarint(buf, uint64(od.Version))
+		enc := diff.Encode(od.D)
+		buf = binary.AppendUvarint(buf, uint64(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf
+}
+
+// DecodeDiffs parses a DATA message payload produced by EncodeDiffs.
+func DecodeDiffs(buf []byte) ([]ObjDiff, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("xlist: corrupt diff batch header")
+	}
+	buf = buf[n:]
+	if count > uint64(len(buf))+1 {
+		return nil, fmt.Errorf("xlist: diff batch claims %d entries in %d bytes", count, len(buf))
+	}
+	out := make([]ObjDiff, 0, count)
+	for i := uint64(0); i < count; i++ {
+		obj, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("xlist: corrupt object id in entry %d", i)
+		}
+		buf = buf[n:]
+		ver, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("xlist: corrupt version in entry %d", i)
+		}
+		buf = buf[n:]
+		dlen, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("xlist: corrupt diff length in entry %d", i)
+		}
+		buf = buf[n:]
+		if dlen > uint64(len(buf)) {
+			return nil, fmt.Errorf("xlist: truncated diff in entry %d", i)
+		}
+		d, err := diff.Decode(buf[:dlen])
+		if err != nil {
+			return nil, fmt.Errorf("xlist: entry %d: %w", i, err)
+		}
+		buf = buf[dlen:]
+		out = append(out, ObjDiff{Obj: store.ID(obj), Version: int64(ver), D: d})
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("xlist: %d trailing bytes in diff batch", len(buf))
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+// Package xlist implements the two bookkeeping structures at the heart of
+// S-DSO's lookahead machinery (paper §3.1, Figures 2 and 3):
+//
+//   - The exchange-list: a time-ordered list of (exchange-time, process)
+//     pairs recording when the local process must next exchange updates
+//     with each remote process. "The list is ordered 'earliest
+//     exchange-time first' and not by process IDs."
+//
+//   - The slotted buffer: one slot per remote process holding the object
+//     diffs that process has not yet been sent. "S-DSO can be tuned to
+//     merge multiple diffs to the same object into one diff since the last
+//     exchange with a given process."
+package xlist
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"sdso/internal/diff"
+	"sdso/internal/store"
+)
+
+// Entry is one (exchange-time, process) pair.
+type Entry struct {
+	Time int64
+	Proc int
+}
+
+// List is the exchange-list: at most one pending exchange time per remote
+// process, ordered earliest-first (ties broken by process ID for
+// determinism).
+type List struct {
+	h     entryHeap
+	index map[int]*entryItem // proc -> live heap item
+}
+
+type entryItem struct {
+	Entry
+	pos     int
+	removed bool
+}
+
+// NewList returns an empty exchange-list.
+func NewList() *List {
+	return &List{index: make(map[int]*entryItem)}
+}
+
+// Set schedules (or reschedules) the exchange time for proc.
+func (l *List) Set(proc int, t int64) {
+	if it, ok := l.index[proc]; ok {
+		it.Time = t
+		heap.Fix(&l.h, it.pos)
+		return
+	}
+	it := &entryItem{Entry: Entry{Time: t, Proc: proc}}
+	l.index[proc] = it
+	heap.Push(&l.h, it)
+}
+
+// Remove drops proc from the list (e.g., the process announced DONE).
+func (l *List) Remove(proc int) {
+	it, ok := l.index[proc]
+	if !ok {
+		return
+	}
+	delete(l.index, proc)
+	heap.Remove(&l.h, it.pos)
+}
+
+// Time returns proc's scheduled exchange time.
+func (l *List) Time(proc int) (int64, bool) {
+	it, ok := l.index[proc]
+	if !ok {
+		return 0, false
+	}
+	return it.Time, true
+}
+
+// Len returns the number of scheduled processes.
+func (l *List) Len() int { return len(l.index) }
+
+// Peek returns the earliest entry without removing it.
+func (l *List) Peek() (Entry, bool) {
+	if l.h.Len() == 0 {
+		return Entry{}, false
+	}
+	return l.h[0].Entry, true
+}
+
+// Due returns, in ascending (time, proc) order, every process whose
+// exchange time is <= now. The entries remain scheduled; callers
+// reschedule them via Set after the exchange completes (the paper's
+// exchange() deletes the entry and has the s-function compute a new time).
+func (l *List) Due(now int64) []Entry {
+	var due []Entry
+	for _, it := range l.index {
+		if it.Time <= now {
+			due = append(due, it.Entry)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].Time != due[j].Time {
+			return due[i].Time < due[j].Time
+		}
+		return due[i].Proc < due[j].Proc
+	})
+	return due
+}
+
+// Entries returns every entry in (time, proc) order — the rendering used in
+// the paper's Figure 2.
+func (l *List) Entries() []Entry {
+	out := make([]Entry, 0, len(l.index))
+	for _, it := range l.index {
+		out = append(out, it.Entry)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// String renders the list like Figure 2: (t1,p1) (t2,p2) ...
+func (l *List) String() string {
+	s := ""
+	for _, e := range l.Entries() {
+		s += fmt.Sprintf("(%d,%d) ", e.Time, e.Proc)
+	}
+	return s
+}
+
+type entryHeap []*entryItem
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].Proc < h[j].Proc
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *entryHeap) Push(x any) {
+	it := x.(*entryItem)
+	it.pos = len(*h)
+	*h = append(*h, it)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// ObjDiff pairs an object with a (possibly merged) diff and the version the
+// diff produces.
+type ObjDiff struct {
+	Obj     store.ID
+	Version int64
+	D       diff.Diff
+}
+
+// SlottedBuffer buffers outstanding object modifications per remote
+// process (paper Figure 3). One slot per remote process; the local
+// process's slot stays empty.
+type SlottedBuffer struct {
+	self  int
+	n     int
+	merge bool
+	slots []map[store.ID][]ObjDiff
+}
+
+// NewSlottedBuffer returns a buffer for a group of n processes with local
+// ID self. If merge is true, successive diffs to the same object collapse
+// into one — the paper's §3.1 optimization ("merge multiple diffs to the
+// same object into one diff since the last exchange"). With merge false,
+// every intermediate diff is retained and shipped, which the ablation bench
+// uses to measure the optimization's payoff.
+func NewSlottedBuffer(self, n int, merge bool) *SlottedBuffer {
+	slots := make([]map[store.ID][]ObjDiff, n)
+	for i := range slots {
+		if i == self {
+			continue
+		}
+		slots[i] = make(map[store.ID][]ObjDiff)
+	}
+	return &SlottedBuffer{self: self, n: n, merge: merge, slots: slots}
+}
+
+// Merging reports whether diff merging is enabled.
+func (b *SlottedBuffer) Merging() bool { return b.merge }
+
+// Add records that obj changed by d (reaching version) and the change has
+// not yet been sent to proc.
+func (b *SlottedBuffer) Add(proc int, obj store.ID, version int64, d diff.Diff) error {
+	if proc == b.self {
+		return nil // "updates for the local process need not be buffered"
+	}
+	if proc < 0 || proc >= b.n {
+		return fmt.Errorf("xlist: no slot for process %d", proc)
+	}
+	slot := b.slots[proc]
+	prev := slot[obj]
+	if len(prev) == 0 || !b.merge {
+		slot[obj] = append(prev, ObjDiff{Obj: obj, Version: version, D: d})
+		return nil
+	}
+	last := prev[len(prev)-1]
+	m, err := diff.Merge(last.D, d)
+	if err != nil {
+		return fmt.Errorf("merge buffered diff for obj %d: %w", obj, err)
+	}
+	prev[len(prev)-1] = ObjDiff{Obj: obj, Version: version, D: m}
+	return nil
+}
+
+// AddAll records the change for every remote process except those in skip.
+func (b *SlottedBuffer) AddAll(obj store.ID, version int64, d diff.Diff, skip map[int]bool) error {
+	for proc := 0; proc < b.n; proc++ {
+		if proc == b.self || skip[proc] {
+			continue
+		}
+		if err := b.Add(proc, obj, version, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pending returns the number of buffered object diffs for proc.
+func (b *SlottedBuffer) Pending(proc int) int {
+	if proc == b.self || proc < 0 || proc >= b.n {
+		return 0
+	}
+	n := 0
+	for _, diffs := range b.slots[proc] {
+		n += len(diffs)
+	}
+	return n
+}
+
+// Flush removes and returns proc's buffered diffs, ordered by ascending
+// object ID and, within an object, oldest first (so sequential application
+// at the receiver reproduces the writer's final state).
+func (b *SlottedBuffer) Flush(proc int) []ObjDiff {
+	if proc == b.self || proc < 0 || proc >= b.n {
+		return nil
+	}
+	slot := b.slots[proc]
+	if len(slot) == 0 {
+		return nil
+	}
+	ids := make([]store.ID, 0, len(slot))
+	for id := range slot {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []ObjDiff
+	for _, id := range ids {
+		out = append(out, slot[id]...)
+	}
+	b.slots[proc] = make(map[store.ID][]ObjDiff)
+	return out
+}
+
+// Objects returns the IDs of objects with buffered diffs for proc, in
+// ascending order.
+func (b *SlottedBuffer) Objects(proc int) []store.ID {
+	if proc == b.self || proc < 0 || proc >= b.n {
+		return nil
+	}
+	slot := b.slots[proc]
+	if len(slot) == 0 {
+		return nil
+	}
+	ids := make([]store.ID, 0, len(slot))
+	for id := range slot {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Drop discards proc's buffered diffs (peer announced DONE).
+func (b *SlottedBuffer) Drop(proc int) {
+	if proc == b.self || proc < 0 || proc >= b.n {
+		return
+	}
+	b.slots[proc] = make(map[store.ID][]ObjDiff)
+}

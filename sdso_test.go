@@ -1,0 +1,208 @@
+package sdso
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// TestPublicAPILockstep drives the public API end to end: a group of
+// processes shares counters and exchanges every tick (the BSYNC pattern).
+func TestPublicAPILockstep(t *testing.T) {
+	const n, ticks = 3, 5
+	eps := LocalGroup(n)
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	rts := make([]*Runtime, n)
+	for i := 0; i < n; i++ {
+		rt, err := New(eps[i])
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rts[i] = rt
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := rts[i]
+			for obj := 0; obj < n; obj++ {
+				if err := rt.Share(ObjectID(obj), u64(0)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			for k := 1; k <= ticks; k++ {
+				if err := rt.Write(ObjectID(rt.ID()), u64(uint64(k))); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := rt.Exchange(ExchangeOptions{Resync: true, SFunc: EveryTick}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("proc %d: %v", i, err)
+		}
+	}
+	for i, rt := range rts {
+		for obj := 0; obj < n; obj++ {
+			b, err := rt.Read(ObjectID(obj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := binary.BigEndian.Uint64(b); got != ticks {
+				t.Errorf("proc %d object %d = %d, want %d", i, obj, got, ticks)
+			}
+		}
+		if rt.Now() != ticks {
+			t.Errorf("proc %d logical clock = %d", i, rt.Now())
+		}
+		st := rt.Stats()
+		if st.MessagesSent == 0 || st.LogicalTicks != ticks {
+			t.Errorf("proc %d stats = %+v", i, st)
+		}
+	}
+}
+
+// TestPublicAPISpatialFilter uses a custom SFunc + SendData filter through
+// the public surface.
+func TestPublicAPISpatialFilter(t *testing.T) {
+	eps := LocalGroup(2)
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+
+	seen := make([][]int64, 2)
+	rts := make([]*Runtime, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		rt, err := New(eps[i], WithBeaconObserver(func(peer int, beacon []int64) {
+			seen[i] = append([]int64(nil), beacon...)
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[i] = rt
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := rts[i]
+			if err := rt.Share(1, u64(0)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := rt.Write(1, u64(uint64(10+i))); err != nil && i == 0 {
+				t.Error(err)
+			}
+			opts := ExchangeOptions{
+				Resync:   true,
+				SFunc:    func(peer int, now int64, _ []int64) int64 { return now + 3 },
+				SendData: func(peer int) bool { return false }, // withhold
+				Beacon:   func(peer int) []int64 { return []int64{int64(rt.ID()), 42} },
+			}
+			if err := rt.Exchange(opts); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if len(seen[i]) != 2 || seen[i][1] != 42 {
+			t.Errorf("proc %d beacon = %v", i, seen[i])
+		}
+		if got := rts[i].PendingObjects(1 - i); len(got) != 1 {
+			t.Errorf("proc %d pending = %v, want the withheld object", i, got)
+		}
+	}
+}
+
+// TestPublicAPIPutsGets drives the put/get primitives.
+func TestPublicAPIPutsGets(t *testing.T) {
+	eps := LocalGroup(2)
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	done := make(chan error, 2)
+	var rts [2]*Runtime
+	for i := 0; i < 2; i++ {
+		rt, err := New(eps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[i] = rt
+	}
+	go func() {
+		rt := rts[0]
+		if err := rt.Share(7, u64(0)); err != nil {
+			done <- err
+			return
+		}
+		if err := rt.Write(7, u64(99)); err != nil {
+			done <- err
+			return
+		}
+		done <- rt.SyncPut(7, 1)
+	}()
+	go func() {
+		rt := rts[1]
+		if err := rt.Share(7, u64(0)); err != nil {
+			done <- err
+			return
+		}
+		// Pump until the push lands (SyncPut acks through our runtime).
+		for {
+			b, err := rt.Read(7)
+			if err != nil {
+				done <- err
+				return
+			}
+			if binary.BigEndian.Uint64(b) == 99 {
+				done <- nil
+				return
+			}
+			rt.Poll()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Endpoint{}); err == nil {
+		t.Error("disconnected endpoint accepted")
+	}
+	if err := (Endpoint{}).Close(); err != nil {
+		t.Errorf("Close of zero endpoint: %v", err)
+	}
+}
