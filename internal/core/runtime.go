@@ -29,6 +29,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"sdso/internal/diff"
 	"sdso/internal/metrics"
@@ -86,6 +87,9 @@ type ExchangeOpts struct {
 	// remains buffered (the game advertises its "dirty box" this way).
 	// Nil means empty.
 	Beacon func(peer int) []int64
+	// Timeout overrides Config.RendezvousTimeout for this call; zero
+	// inherits the config value.
+	Timeout time.Duration
 }
 
 // Config assembles a runtime.
@@ -108,7 +112,25 @@ type Config struct {
 	// (rendezvous targets, data application, DONE processing); used by
 	// tests to diff executions.
 	Debug func(event string)
+
+	// RendezvousTimeout enables failure detection: a blocking wait
+	// (rendezvous or sync put/get reply) that stays silent this long marks
+	// the awaited peer suspected, retransmits the unacknowledged message,
+	// and doubles the wait (bounded exponential backoff). After
+	// MaxRetransmits unanswered retransmissions the peer is declared
+	// crashed and evicted. Zero keeps the legacy fail-free behavior:
+	// waits block forever. On the simulated transport the timeout is
+	// virtual time, so detection stays deterministic.
+	RendezvousTimeout time.Duration
+	// MaxRetransmits bounds the retransmissions per suspicion episode;
+	// zero means DefaultMaxRetransmits.
+	MaxRetransmits int
 }
+
+// DefaultMaxRetransmits is the eviction threshold used when
+// Config.MaxRetransmits is zero: a silent peer is declared crashed after
+// this many unanswered retransmissions (plus the initial send).
+const DefaultMaxRetransmits = 3
 
 // Runtime is one process's S-DSO instance.
 type Runtime struct {
@@ -134,12 +156,19 @@ type Runtime struct {
 	corr      int64 // correlation-stamp counter for put/get replies
 
 	pendingReplies []*wire.Msg // ObjReply messages awaiting a SyncGet
+
+	// Failure detection state (active when RendezvousTimeout > 0).
+	peerCrashed map[int]bool      // peers evicted as crashed
+	syncSeen    map[int]int64     // highest consumed SYNC stamp per peer
+	lastSync    map[int]*wire.Msg // last SYNC sent to each peer (echo source)
+	corrDone    int64             // highest consumed reply correlation stamp
 }
 
 // Errors returned by the runtime.
 var (
-	ErrDone       = errors.New("core: process already announced done")
-	ErrNeedsSFunc = errors.New("core: resync exchange requires an s-function")
+	ErrDone        = errors.New("core: process already announced done")
+	ErrNeedsSFunc  = errors.New("core: resync exchange requires an s-function")
+	ErrPeerCrashed = errors.New("core: peer evicted as crashed")
 )
 
 // New builds a runtime over the endpoint. Objects are registered afterwards
@@ -168,6 +197,10 @@ func New(cfg Config) (*Runtime, error) {
 		earlySync: make(map[int]map[int64][]int64),
 		earlyData: make(map[int][]*wire.Msg),
 		peerDone:  make(map[int]bool),
+
+		peerCrashed: make(map[int]bool),
+		syncSeen:    make(map[int]int64),
+		lastSync:    make(map[int]*wire.Msg),
 	}
 	for peer := 0; peer < ep.N(); peer++ {
 		if peer == ep.ID() {
@@ -196,16 +229,25 @@ func (r *Runtime) Metrics() *metrics.Collector { return r.mc }
 // PeerDone reports whether peer has announced completion.
 func (r *Runtime) PeerDone(peer int) bool { return r.peerDone[peer] }
 
+// PeerCrashed reports whether peer was evicted as crashed (silent past the
+// suspicion threshold, or its connection broke without a DONE).
+func (r *Runtime) PeerCrashed(peer int) bool { return r.peerCrashed[peer] }
+
+// PeerGone reports whether peer is out of the game for either reason —
+// announced done or evicted as crashed.
+func (r *Runtime) PeerGone(peer int) bool { return r.peerDone[peer] || r.peerCrashed[peer] }
+
 // PendingObjects returns the IDs of objects with modifications buffered for
 // peer but not yet sent (spatial s-functions use this to advertise the
 // local "dirty region").
 func (r *Runtime) PendingObjects(peer int) []store.ID { return r.buf.Objects(peer) }
 
-// LivePeers returns the peers that have not announced done, ascending.
+// LivePeers returns the peers that have neither announced done nor been
+// evicted as crashed, ascending.
 func (r *Runtime) LivePeers() []int {
 	var out []int
 	for peer := 0; peer < r.ep.N(); peer++ {
-		if peer == r.ep.ID() || r.peerDone[peer] {
+		if peer == r.ep.ID() || r.peerDone[peer] || r.peerCrashed[peer] {
 			continue
 		}
 		out = append(out, peer)
@@ -250,9 +292,14 @@ func (r *Runtime) Write(id store.ID, data []byte) error {
 	state := make([]byte, len(data))
 	copy(state, data)
 	repl := diff.Diff{Replace: true, Len: len(state), Runs: []diff.Run{{Off: 0, Data: state}}}
-	skip := make(map[int]bool, len(r.peerDone))
+	skip := make(map[int]bool, len(r.peerDone)+len(r.peerCrashed))
 	for peer, done := range r.peerDone {
 		if done {
+			skip[peer] = true
+		}
+	}
+	for peer, crashed := range r.peerCrashed {
+		if crashed {
 			skip[peer] = true
 		}
 	}
@@ -290,7 +337,7 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 		targets = r.LivePeers()
 	default:
 		for _, e := range r.xl.Due(r.now) {
-			if !r.peerDone[e.Proc] {
+			if !r.peerDone[e.Proc] && !r.peerCrashed[e.Proc] {
 				targets = append(targets, e.Proc)
 			}
 		}
@@ -306,7 +353,15 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 	// modifications ... as well as all buffered modifications to be
 	// immediately flushed to all remote processes" (paper §3.1): the
 	// spatial filter does not apply.
+	//
+	// A send that fails with transport.ErrPeerGone (TCP peer hung up
+	// without a DONE) is a crash observation: the peer is evicted and the
+	// exchange proceeds with the survivors.
+	sentSync := make(map[int]*wire.Msg, len(targets))
 	for _, peer := range targets {
+		if r.peerCrashed[peer] {
+			continue
+		}
 		sendData := opts.How == Broadcast || opts.SendData == nil || opts.SendData(peer)
 		if sendData && r.buf.Pending(peer) > 0 {
 			diffs := r.buf.Flush(peer)
@@ -316,6 +371,10 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 				Payload: xlist.EncodeDiffs(diffs),
 			}
 			if err := r.send(peer, data); err != nil {
+				if errors.Is(err, transport.ErrPeerGone) {
+					r.evictPeer(peer)
+					continue
+				}
 				return fmt.Errorf("exchange data to %d: %w", peer, err)
 			}
 		}
@@ -325,17 +384,27 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 		}
 		sync := &wire.Msg{Kind: wire.KindSync, Stamp: r.now, Ints: beacon}
 		if err := r.send(peer, sync); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				r.evictPeer(peer)
+				continue
+			}
 			return fmt.Errorf("exchange sync to %d: %w", peer, err)
 		}
+		sentSync[peer] = sync
+		r.lastSync[peer] = sync
 	}
 
 	if opts.Resync {
-		if err := r.awaitRendezvous(targets, gotSync, haveSync); err != nil {
+		timeout := opts.Timeout
+		if timeout <= 0 {
+			timeout = r.cfg.RendezvousTimeout
+		}
+		if err := r.awaitRendezvous(targets, gotSync, haveSync, sentSync, timeout); err != nil {
 			return err
 		}
 		// Reschedule every partner that is still live.
 		for _, peer := range targets {
-			if r.peerDone[peer] {
+			if r.peerDone[peer] || r.peerCrashed[peer] {
 				continue
 			}
 			pb := gotSync[peer]
@@ -385,6 +454,9 @@ func (r *Runtime) absorbEarly(gotSync map[int][]int64, haveSync map[int]bool) {
 		}
 		gotSync[peer] = stamps[best]
 		haveSync[peer] = true
+		if best > r.syncSeen[peer] {
+			r.syncSeen[peer] = best
+		}
 		for stamp := range stamps {
 			if stamp <= r.now {
 				delete(stamps, stamp)
@@ -397,37 +469,135 @@ func (r *Runtime) absorbEarly(gotSync map[int][]int64, haveSync map[int]bool) {
 }
 
 // awaitRendezvous blocks until every target has answered this tick's
-// exchange with a SYNC (or announced DONE).
-func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSync map[int]bool) error {
+// exchange with a SYNC (or announced DONE). With a timeout, silent targets
+// become suspects: the unacknowledged SYNC is retransmitted under bounded
+// exponential backoff, and after maxRetransmits strikes the stragglers are
+// evicted as crashed and the rendezvous completes among the survivors.
+func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSync map[int]bool, sentSync map[int]*wire.Msg, timeout time.Duration) error {
 	outstanding := make(map[int]bool, len(targets))
 	for _, peer := range targets {
-		if r.peerDone[peer] || haveSync[peer] {
+		if r.peerDone[peer] || r.peerCrashed[peer] || haveSync[peer] {
 			continue
 		}
 		outstanding[peer] = true
 	}
+	onSync := func(peer int, beacon []int64, stamp int64) {
+		if outstanding[peer] {
+			gotSync[peer] = beacon
+			delete(outstanding, peer)
+			if stamp > r.syncSeen[peer] {
+				r.syncSeen[peer] = stamp
+			}
+		}
+	}
+	onPeerDone := func(peer int) {
+		delete(outstanding, peer)
+	}
+	if timeout <= 0 {
+		for len(outstanding) > 0 {
+			m, err := r.ep.Recv()
+			if err != nil {
+				return fmt.Errorf("exchange recv at tick %d: %w", r.now, err)
+			}
+			r.dispatch(m, onSync, onPeerDone)
+		}
+		return nil
+	}
+	wait := timeout
+	retries := 0
+	suspected := false
 	for len(outstanding) > 0 {
-		m, err := r.ep.Recv()
+		m, ok, err := r.ep.RecvTimeout(wait)
 		if err != nil {
 			return fmt.Errorf("exchange recv at tick %d: %w", r.now, err)
 		}
-		r.dispatch(m, func(peer int, beacon []int64) {
-			if outstanding[peer] {
-				gotSync[peer] = beacon
-				delete(outstanding, peer)
+		if ok {
+			r.dispatch(m, onSync, onPeerDone)
+			continue
+		}
+		// Timeout: every remaining straggler becomes a suspect.
+		if !suspected {
+			suspected = true
+			for range outstanding {
+				r.mc.AddSuspect()
 			}
-		}, func(peer int) {
-			delete(outstanding, peer)
-		})
+		}
+		retries++
+		if retries > r.maxRetransmits() {
+			// Iterate the targets slice (not the map) so evictions land
+			// in a deterministic order.
+			for _, peer := range targets {
+				if outstanding[peer] {
+					r.evictPeer(peer)
+					delete(outstanding, peer)
+				}
+			}
+			return nil
+		}
+		for _, peer := range targets {
+			if !outstanding[peer] {
+				continue
+			}
+			msg := sentSync[peer]
+			if msg == nil {
+				continue
+			}
+			re := msg.Clone()
+			re.Mode = modeRetransmit
+			if err := r.send(peer, re); err != nil {
+				if errors.Is(err, transport.ErrPeerGone) {
+					r.evictPeer(peer)
+					delete(outstanding, peer)
+					continue
+				}
+				return fmt.Errorf("retransmit sync to %d: %w", peer, err)
+			}
+			r.mc.AddRetransmit()
+		}
+		if wait < 8*timeout {
+			wait *= 2
+		}
 	}
 	return nil
+}
+
+// maxRetransmits resolves the configured eviction threshold.
+func (r *Runtime) maxRetransmits() int {
+	if r.cfg.MaxRetransmits > 0 {
+		return r.cfg.MaxRetransmits
+	}
+	return DefaultMaxRetransmits
+}
+
+// evictPeer declares peer crashed: it is removed from the exchange list,
+// its buffered outbound diffs are dropped, and its pending rendezvous state
+// is discarded. Like a DONE, but recorded distinctly — PeerCrashed reports
+// it and the eviction is counted in metrics. Early DATA already received
+// from the peer survives (a fail-stop process's pre-crash output is valid
+// and is absorbed at its stamped tick).
+func (r *Runtime) evictPeer(peer int) {
+	if peer == r.ep.ID() || r.peerDone[peer] || r.peerCrashed[peer] {
+		return
+	}
+	r.peerCrashed[peer] = true
+	r.mc.AddEviction()
+	r.debugf("now=%d evict peer=%d", r.now, peer)
+	r.xl.Remove(peer)
+	r.buf.Drop(peer)
+	delete(r.earlySync, peer)
 }
 
 // dispatch routes one incoming message. onSync fires for SYNC messages
 // stamped with the current tick; onPeerDone fires when a peer announces
 // completion.
-func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64), onPeerDone func(peer int)) {
+func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64, stamp int64), onPeerDone func(peer int)) {
 	peer := int(m.Src)
+	if r.peerCrashed[peer] {
+		// Traffic from an evicted peer is dropped: the eviction decision
+		// is final (late messages from a slow-but-live peer must not
+		// resurrect half of its state).
+		return
+	}
 	switch m.Kind {
 	case wire.KindData:
 		if m.Stamp > r.now {
@@ -436,6 +606,22 @@ func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64), o
 		}
 		r.applyData(m)
 	case wire.KindSync:
+		if m.Stamp <= r.syncSeen[peer] {
+			// Duplicate of a SYNC already consumed (a retransmission or
+			// an injected duplicate). An explicit retransmission means
+			// the peer never received our answering SYNC for that tick —
+			// re-echo the last SYNC we sent it so its rendezvous can
+			// complete. Echoes are sent unmarked, so an echo arriving as
+			// a duplicate dies here without ping-ponging.
+			if m.Mode == modeRetransmit {
+				if ls := r.lastSync[peer]; ls != nil && ls.Stamp >= m.Stamp {
+					if err := r.send(peer, ls.Clone()); err == nil {
+						r.mc.AddRetransmit()
+					}
+				}
+			}
+			return
+		}
 		if m.Stamp > r.now || onSync == nil {
 			// Ahead of our clock, or nobody is awaiting a rendezvous
 			// right now: hold the SYNC until the matching Exchange.
@@ -447,7 +633,7 @@ func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64), o
 			stamps[m.Stamp] = m.Ints
 			return
 		}
-		onSync(peer, m.Ints)
+		onSync(peer, m.Ints, m.Stamp)
 	case wire.KindDone:
 		r.handleDone(peer, m)
 		if onPeerDone != nil {
@@ -469,6 +655,12 @@ func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64), o
 			if cur, err := r.st.Version(store.ID(m.Obj)); err == nil && ver >= cur {
 				_ = r.st.SetState(store.ID(m.Obj), m.Payload, ver)
 			}
+			return
+		}
+		if m.Stamp != 0 && m.Stamp <= r.corrDone {
+			// Stale duplicate of a reply already consumed (the request
+			// was retransmitted and answered twice). Correlation stamps
+			// are strictly increasing, so the floor identifies them.
 			return
 		}
 		r.pendingReplies = append(r.pendingReplies, m)
@@ -603,11 +795,19 @@ func (r *Runtime) Done(won bool) error {
 				Payload: xlist.EncodeDiffs(diffs),
 			}
 			if err := r.send(peer, data); err != nil {
+				if errors.Is(err, transport.ErrPeerGone) {
+					r.evictPeer(peer)
+					continue
+				}
 				return fmt.Errorf("final flush to %d: %w", peer, err)
 			}
 		}
 		done := &wire.Msg{Kind: wire.KindDone, Stamp: r.now, Mode: mode}
 		if err := r.send(peer, done); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				r.evictPeer(peer)
+				continue
+			}
 			return fmt.Errorf("done to %d: %w", peer, err)
 		}
 	}
@@ -641,9 +841,13 @@ func (r *Runtime) SyncPut(id store.ID, to int) error {
 		Stamp: stamp, Ints: []int64{ver}, Payload: state,
 	}
 	if err := r.send(to, m); err != nil {
+		if errors.Is(err, transport.ErrPeerGone) {
+			r.evictPeer(to)
+			return fmt.Errorf("core: sync put obj %d to %d: %w", id, to, ErrPeerCrashed)
+		}
 		return err
 	}
-	return r.waitReply(uint32(id), stamp, false)
+	return r.waitReply(to, m, uint32(id), stamp, false)
 }
 
 // modePut marks an ObjReq as carrying a put (state push needing an ack)
@@ -652,6 +856,11 @@ func (r *Runtime) SyncPut(id store.ID, to int) error {
 const (
 	modePut  uint8 = 3
 	modeAuto uint8 = 4
+	// modeRetransmit marks a SYNC resent on suspicion timeout. A receiver
+	// that already consumed the original answers a marked duplicate by
+	// re-echoing its own SYNC (the answer may have been lost); unmarked
+	// duplicates are dropped silently.
+	modeRetransmit uint8 = 5
 )
 
 // nextCorrelation builds a correlation stamp for request/reply matching.
@@ -689,33 +898,84 @@ func (r *Runtime) SyncGet(id store.ID, from int) error {
 	stamp := r.nextCorrelation(id)
 	m := &wire.Msg{Kind: wire.KindObjReq, Obj: uint32(id), Stamp: stamp}
 	if err := r.send(from, m); err != nil {
+		if errors.Is(err, transport.ErrPeerGone) {
+			r.evictPeer(from)
+			return fmt.Errorf("core: sync get obj %d from %d: %w", id, from, ErrPeerCrashed)
+		}
 		return err
 	}
-	return r.waitReply(uint32(id), stamp, true)
+	return r.waitReply(from, m, uint32(id), stamp, true)
 }
 
 // waitReply blocks until an ObjReply for (obj, stamp) arrives, applying it
-// if apply is set.
-func (r *Runtime) waitReply(obj uint32, stamp int64, apply bool) error {
+// if apply is set. With a rendezvous timeout configured, a silent responder
+// is suspected, the request req is retransmitted under bounded exponential
+// backoff, and after maxRetransmits strikes the responder is evicted and an
+// ErrPeerCrashed-wrapping error is returned instead of hanging forever.
+// Object requests are idempotent on the serving side (version-gated state
+// application, re-served reads), so retransmitted requests are safe.
+func (r *Runtime) waitReply(to int, req *wire.Msg, obj uint32, stamp int64, apply bool) error {
 	take := func(m *wire.Msg) bool { return m.Kind == wire.KindObjReply && m.Obj == obj && m.Stamp == stamp }
+	consume := func(m *wire.Msg) error {
+		if stamp > r.corrDone {
+			r.corrDone = stamp
+		}
+		if apply {
+			ver := int64(0)
+			if len(m.Ints) > 0 {
+				ver = m.Ints[0]
+			}
+			return r.st.SetState(store.ID(m.Obj), m.Payload, ver)
+		}
+		return nil
+	}
+	timeout := r.cfg.RendezvousTimeout
+	wait := timeout
+	retries := 0
 	for {
 		for i, m := range r.pendingReplies {
 			if take(m) {
 				r.pendingReplies = append(r.pendingReplies[:i], r.pendingReplies[i+1:]...)
-				if apply {
-					ver := int64(0)
-					if len(m.Ints) > 0 {
-						ver = m.Ints[0]
-					}
-					return r.st.SetState(store.ID(m.Obj), m.Payload, ver)
-				}
-				return nil
+				return consume(m)
 			}
 		}
-		m, err := r.ep.Recv()
+		if timeout <= 0 {
+			m, err := r.ep.Recv()
+			if err != nil {
+				return fmt.Errorf("await reply for obj %d: %w", obj, err)
+			}
+			r.dispatch(m, nil, nil)
+			continue
+		}
+		if r.peerDone[to] || r.peerCrashed[to] {
+			return fmt.Errorf("core: awaiting reply for obj %d from %d: %w", obj, to, ErrPeerCrashed)
+		}
+		m, ok, err := r.ep.RecvTimeout(wait)
 		if err != nil {
 			return fmt.Errorf("await reply for obj %d: %w", obj, err)
 		}
-		r.dispatch(m, nil, nil)
+		if ok {
+			r.dispatch(m, nil, nil)
+			continue
+		}
+		if retries == 0 {
+			r.mc.AddSuspect()
+		}
+		retries++
+		if retries > r.maxRetransmits() {
+			r.evictPeer(to)
+			return fmt.Errorf("core: no reply for obj %d after %d retransmits: peer %d %w", obj, retries-1, to, ErrPeerCrashed)
+		}
+		if err := r.send(to, req.Clone()); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				r.evictPeer(to)
+				return fmt.Errorf("core: reply source %d hung up for obj %d: %w", to, obj, ErrPeerCrashed)
+			}
+			return err
+		}
+		r.mc.AddRetransmit()
+		if wait < 8*timeout {
+			wait *= 2
+		}
 	}
 }

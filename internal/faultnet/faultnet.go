@@ -1,0 +1,411 @@
+// Package faultnet injects faults between a protocol and its transport: a
+// deterministic, seeded transport.Endpoint wrapper composable over the
+// in-memory, simulated, and TCP substrates. It models the failure classes
+// the S-DSO crash-tolerance layer must survive — per-link message loss,
+// duplication, bounded delay/reordering, bidirectional partitions, and
+// fail-stop crashes scheduled at a logical tick or a point on the process
+// clock.
+//
+// Every fault decision is drawn from a per-directed-link PRNG seeded from
+// (Plan.Seed, src, dst), so a run's faults are a pure function of the seed
+// and each link's send schedule: same seed + same sends ⇒ byte-identical
+// decisions (see Endpoint.DecisionLog). Over the vtime transport, whole
+// chaos experiments are therefore reproducible end to end.
+//
+// All endpoints of a group must be wrapped with the same Plan: fault
+// decisions are made at the sender, which is what makes partitions
+// bidirectional (each side drops its own outbound traffic).
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sdso/internal/metrics"
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+)
+
+// ErrCrashed is returned by every operation of an endpoint whose process
+// has crash-stopped: the process is silent from the crash instant on, and
+// its own protocol stack observes the crash as this error.
+var ErrCrashed = errors.New("faultnet: process crash-stopped")
+
+// LinkFaults configures the faults injected on one directed link.
+type LinkFaults struct {
+	// DropProb is the probability a message is silently lost.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a message is held back and re-injected
+	// after DelaySends subsequent sends on the same link (bounded
+	// reordering). Held messages flush no later than Close.
+	DelayProb  float64
+	DelaySends int
+}
+
+func (f LinkFaults) zero() bool {
+	return f.DropProb == 0 && f.DupProb == 0 && f.DelayProb == 0
+}
+
+// Crash schedules a fail-stop for one process. The zero value means the
+// process never crashes.
+type Crash struct {
+	// AtTick, when positive, silences the process the moment it tries to
+	// send exchange traffic (SYNC/DATA/DONE) stamped at or after this
+	// logical tick: nothing of tick AtTick escapes.
+	AtTick int64
+	// At, when positive, silences the process once its endpoint clock
+	// (virtual time on simulated transports) reaches this instant.
+	At time.Duration
+}
+
+func (c Crash) zero() bool { return c.AtTick <= 0 && c.At <= 0 }
+
+// Plan describes the faults for a whole process group. One Plan is shared
+// by every wrapped endpoint so that both sides of a partition agree and a
+// single seed reproduces the entire experiment.
+type Plan struct {
+	// Seed derives every per-link fault stream. Two plans with the same
+	// seed and parameters make identical decisions on identical send
+	// schedules.
+	Seed int64
+	// Default applies to every directed link without a Links override.
+	Default LinkFaults
+	// Links overrides fault parameters per directed (from, to) link.
+	Links map[[2]int]LinkFaults
+	// Partitions lists unordered node pairs whose traffic is dropped in
+	// both directions (each wrapped side drops its own outbound half).
+	Partitions [][2]int
+	// Crashes schedules fail-stops per process ID.
+	Crashes map[int]Crash
+}
+
+// linkFor resolves the fault parameters for the directed link (from, to).
+func (pl *Plan) linkFor(from, to int) LinkFaults {
+	if f, ok := pl.Links[[2]int{from, to}]; ok {
+		return f
+	}
+	return pl.Default
+}
+
+// linkSeed derives a per-directed-link PRNG seed. The mixing constants are
+// from splitmix64; all that matters is that distinct links get decorrelated
+// streams, deterministically.
+func linkSeed(seed int64, from, to int) int64 {
+	z := uint64(seed) ^ (uint64(from+1) * 0x9e3779b97f4a7c15) ^ (uint64(to+1) * 0xbf58476d1ce4e5b9)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Wrap layers the plan's faults over inner. mc, when non-nil, counts every
+// injected fault; nil discards the counts.
+func (pl *Plan) Wrap(inner transport.Endpoint, mc *metrics.Collector) *Endpoint {
+	e := &Endpoint{
+		inner: inner,
+		plan:  pl,
+		mc:    mc,
+		links: make(map[int]*linkState),
+		cut:   make(map[int]bool),
+	}
+	self := inner.ID()
+	for _, p := range pl.Partitions {
+		if p[0] == self {
+			e.cut[p[1]] = true
+		}
+		if p[1] == self {
+			e.cut[p[0]] = true
+		}
+	}
+	if pl.Crashes != nil {
+		e.crash = pl.Crashes[self]
+	}
+	return e
+}
+
+// linkState is the per-directed-link fault machinery.
+type linkState struct {
+	rng   *rand.Rand
+	log   []byte      // one decision byte per message offered to the link
+	held  []*wire.Msg // delayed messages awaiting re-injection
+	due   []int       // send-counter values at which held messages release
+	sends int         // messages passed to the link so far
+}
+
+// Decision bytes recorded in the per-link logs.
+const (
+	decPass      = '-'
+	decDrop      = 'D'
+	decDup       = '2'
+	decDelay     = 'd'
+	decPartition = 'P'
+)
+
+// Endpoint is a fault-injecting transport.Endpoint. It is safe for the
+// same concurrent use as the wrapped endpoint (sends are serialized by one
+// mutex, as the slow fault path is negligible next to transport costs).
+type Endpoint struct {
+	inner transport.Endpoint
+	plan  *Plan
+	mc    *metrics.Collector
+
+	mu      sync.Mutex
+	links   map[int]*linkState
+	cut     map[int]bool // peers across a partition
+	crash   Crash
+	crashed bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// ID implements transport.Endpoint.
+func (e *Endpoint) ID() int { return e.inner.ID() }
+
+// N implements transport.Endpoint.
+func (e *Endpoint) N() int { return e.inner.N() }
+
+// Now implements transport.Endpoint.
+func (e *Endpoint) Now() time.Duration { return e.inner.Now() }
+
+// Compute implements transport.Endpoint.
+func (e *Endpoint) Compute(d time.Duration) { e.inner.Compute(d) }
+
+// Crashed reports whether this process has crash-stopped.
+func (e *Endpoint) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// countFault records one injected fault.
+func (e *Endpoint) countFault() {
+	if e.mc != nil {
+		e.mc.AddFault()
+	}
+}
+
+// checkCrashLocked trips the crash-stop triggers. m may be nil (receive
+// path: only the clock trigger applies).
+func (e *Endpoint) checkCrashLocked(m *wire.Msg) bool {
+	if e.crashed {
+		return true
+	}
+	if e.crash.zero() {
+		return false
+	}
+	if e.crash.At > 0 && e.inner.Now() >= e.crash.At {
+		e.crashed = true
+	}
+	if !e.crashed && m != nil && e.crash.AtTick > 0 && m.Stamp >= e.crash.AtTick {
+		switch m.Kind {
+		case wire.KindSync, wire.KindData, wire.KindDone:
+			e.crashed = true
+		}
+	}
+	if e.crashed {
+		e.countFault()
+	}
+	return e.crashed
+}
+
+func (e *Endpoint) link(to int) *linkState {
+	ls, ok := e.links[to]
+	if !ok {
+		ls = &linkState{rng: rand.New(rand.NewSource(linkSeed(e.plan.Seed, e.inner.ID(), to)))}
+		e.links[to] = ls
+	}
+	return ls
+}
+
+// Send implements transport.Endpoint: it draws this message's fault
+// decision from the link's seeded stream and forwards, duplicates, delays,
+// or drops accordingly.
+func (e *Endpoint) Send(to int, m *wire.Msg) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.checkCrashLocked(m) {
+		return ErrCrashed
+	}
+	if e.cut[to] {
+		e.link(to).note(decPartition)
+		e.countFault()
+		return nil // partitioned: silently lost
+	}
+	ls := e.link(to)
+	f := e.plan.linkFor(e.inner.ID(), to)
+	if f.zero() {
+		ls.note(decPass)
+		return e.flushAndSend(to, ls, m, 1)
+	}
+	switch r := ls.rng.Float64(); {
+	case r < f.DropProb:
+		ls.note(decDrop)
+		ls.sends++
+		e.countFault()
+		return nil
+	case r < f.DropProb+f.DupProb:
+		ls.note(decDup)
+		e.countFault()
+		return e.flushAndSend(to, ls, m, 2)
+	case r < f.DropProb+f.DupProb+f.DelayProb:
+		ls.note(decDelay)
+		e.countFault()
+		ls.sends++
+		delay := f.DelaySends
+		if delay < 1 {
+			delay = 1
+		}
+		ls.held = append(ls.held, m)
+		ls.due = append(ls.due, ls.sends+delay)
+		return nil
+	default:
+		ls.note(decPass)
+		return e.flushAndSend(to, ls, m, 1)
+	}
+}
+
+func (ls *linkState) note(dec byte) { ls.log = append(ls.log, dec) }
+
+// flushAndSend re-injects due delayed messages, then transmits m copies
+// times.
+func (e *Endpoint) flushAndSend(to int, ls *linkState, m *wire.Msg, copies int) error {
+	ls.sends++
+	if err := e.flushDue(to, ls, false); err != nil {
+		return err
+	}
+	for i := 0; i < copies; i++ {
+		out := m
+		if i > 0 {
+			out = m.Clone()
+		}
+		if err := e.inner.Send(to, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushDue transmits held messages that have come due (all of them when
+// force is set).
+func (e *Endpoint) flushDue(to int, ls *linkState, force bool) error {
+	for len(ls.held) > 0 && (force || ls.due[0] <= ls.sends) {
+		m := ls.held[0]
+		ls.held = ls.held[1:]
+		ls.due = ls.due[1:]
+		if err := e.inner.Send(to, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv implements transport.Endpoint.
+func (e *Endpoint) Recv() (*wire.Msg, error) {
+	for {
+		e.mu.Lock()
+		crashed := e.checkCrashLocked(nil)
+		e.mu.Unlock()
+		if crashed {
+			return nil, ErrCrashed
+		}
+		m, err := e.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if e.admit(m) {
+			return m, nil
+		}
+	}
+}
+
+// RecvTimeout implements transport.Endpoint.
+func (e *Endpoint) RecvTimeout(d time.Duration) (*wire.Msg, bool, error) {
+	for {
+		e.mu.Lock()
+		crashed := e.checkCrashLocked(nil)
+		e.mu.Unlock()
+		if crashed {
+			return nil, false, ErrCrashed
+		}
+		m, ok, err := e.inner.RecvTimeout(d)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if e.admit(m) {
+			return m, true, nil
+		}
+	}
+}
+
+// TryRecv implements transport.Endpoint.
+func (e *Endpoint) TryRecv() (*wire.Msg, bool, error) {
+	for {
+		e.mu.Lock()
+		crashed := e.checkCrashLocked(nil)
+		e.mu.Unlock()
+		if crashed {
+			return nil, false, ErrCrashed
+		}
+		m, ok, err := e.inner.TryRecv()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if e.admit(m) {
+			return m, true, nil
+		}
+	}
+}
+
+// admit filters inbound traffic: messages from peers across a partition
+// are dropped on the receive side too, covering traffic already in flight
+// when the partition is modeled and groups where only some endpoints are
+// wrapped. Receive-side partition drops are not counted as extra faults
+// (the sender side already counted its half).
+func (e *Endpoint) admit(m *wire.Msg) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.cut[int(m.Src)]
+}
+
+// Close implements transport.Endpoint: held (delayed) messages are flushed
+// first unless the process crashed — a crashed process transmits nothing.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if !e.crashed {
+		peers := make([]int, 0, len(e.links))
+		for to := range e.links {
+			peers = append(peers, to)
+		}
+		sort.Ints(peers)
+		for _, to := range peers {
+			_ = e.flushDue(to, e.links[to], true)
+		}
+	}
+	e.mu.Unlock()
+	return e.inner.Close()
+}
+
+// DecisionLog serializes every fault decision taken so far: per destination
+// (ascending), the link's decision bytes. Runs with the same Plan and the
+// same per-link send schedules produce byte-identical logs.
+func (e *Endpoint) DecisionLog() []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	peers := make([]int, 0, len(e.links))
+	for to := range e.links {
+		peers = append(peers, to)
+	}
+	sort.Ints(peers)
+	var out []byte
+	for _, to := range peers {
+		out = append(out, []byte(fmt.Sprintf("%d:", to))...)
+		out = append(out, e.links[to].log...)
+		out = append(out, ';')
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"sdso/internal/metrics"
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+)
+
+// runSchedule replays a fixed send schedule through a freshly wrapped
+// group and returns endpoint 0's decision log.
+func runSchedule(t *testing.T, plan *Plan) []byte {
+	t.Helper()
+	net := transport.NewMemNetwork(3)
+	defer net.Close()
+	ep := plan.Wrap(net.Endpoint(0), nil)
+	for i := 0; i < 200; i++ {
+		to := 1 + i%2
+		m := &wire.Msg{Kind: wire.KindData, Stamp: int64(i), Payload: []byte{byte(i)}}
+		if err := ep.Send(to, m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	return ep.DecisionLog()
+}
+
+// TestDeterministicDecisions: the same seed and the same per-link send
+// schedule must yield byte-identical fault decisions.
+func TestDeterministicDecisions(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return &Plan{
+			Seed:    seed,
+			Default: LinkFaults{DropProb: 0.2, DupProb: 0.1, DelayProb: 0.1, DelaySends: 2},
+		}
+	}
+	a := runSchedule(t, mk(42))
+	b := runSchedule(t, mk(42))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	c := runSchedule(t, mk(43))
+	if bytes.Equal(a, c) {
+		t.Fatalf("different seeds produced identical decisions: %s", a)
+	}
+	// The log must actually contain injected faults, not just passes.
+	if !bytes.ContainsAny(a, "D2d") {
+		t.Fatalf("no faults injected: %s", a)
+	}
+}
+
+// TestCrashAtTick: a process crash-stops the moment it sends exchange
+// traffic stamped at the crash tick; nothing of that tick escapes, and
+// every subsequent operation reports ErrCrashed.
+func TestCrashAtTick(t *testing.T) {
+	net := transport.NewMemNetwork(2)
+	defer net.Close()
+	mc := metrics.NewCollector()
+	plan := &Plan{Seed: 1, Crashes: map[int]Crash{0: {AtTick: 5}}}
+	ep := plan.Wrap(net.Endpoint(0), mc)
+
+	for tick := int64(1); tick < 5; tick++ {
+		if err := ep.Send(1, &wire.Msg{Kind: wire.KindSync, Stamp: tick}); err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+	}
+	if err := ep.Send(1, &wire.Msg{Kind: wire.KindSync, Stamp: 5}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("tick 5 send: got %v, want ErrCrashed", err)
+	}
+	if !ep.Crashed() {
+		t.Fatal("endpoint not marked crashed")
+	}
+	if _, _, err := ep.TryRecv(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("TryRecv after crash: got %v, want ErrCrashed", err)
+	}
+	if mc.Snapshot().Faults == 0 {
+		t.Fatal("crash not counted as injected fault")
+	}
+	// Exactly the four pre-crash SYNCs reached the peer.
+	got := 0
+	for {
+		_, ok, err := net.Endpoint(1).TryRecv()
+		if err != nil || !ok {
+			break
+		}
+		got++
+	}
+	if got != 4 {
+		t.Fatalf("peer received %d messages, want 4", got)
+	}
+}
+
+// TestPartition: traffic between partitioned peers is silently dropped in
+// both directions; other links are unaffected.
+func TestPartition(t *testing.T) {
+	net := transport.NewMemNetwork(3)
+	defer net.Close()
+	plan := &Plan{Seed: 7, Partitions: [][2]int{{0, 1}}}
+	ep0 := plan.Wrap(net.Endpoint(0), nil)
+	ep1 := plan.Wrap(net.Endpoint(1), nil)
+
+	if err := ep0.Send(1, &wire.Msg{Kind: wire.KindSync, Stamp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.Send(0, &wire.Msg{Kind: wire.KindSync, Stamp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Send(2, &wire.Msg{Kind: wire.KindSync, Stamp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ep1.TryRecv(); ok {
+		t.Fatal("message crossed the partition 0->1")
+	}
+	if _, ok, _ := ep0.TryRecv(); ok {
+		t.Fatal("message crossed the partition 1->0")
+	}
+	if m, ok, _ := net.Endpoint(2).TryRecv(); !ok || m.Kind != wire.KindSync {
+		t.Fatal("unpartitioned link 0->2 lost its message")
+	}
+}
+
+// TestDuplication: a DupProb of 1 delivers every message twice, in order.
+func TestDuplication(t *testing.T) {
+	net := transport.NewMemNetwork(2)
+	defer net.Close()
+	plan := &Plan{Seed: 3, Default: LinkFaults{DupProb: 1}}
+	ep := plan.Wrap(net.Endpoint(0), nil)
+	for i := int64(1); i <= 3; i++ {
+		if err := ep.Send(1, &wire.Msg{Kind: wire.KindData, Stamp: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stamps []int64
+	for {
+		m, ok, err := net.Endpoint(1).TryRecv()
+		if err != nil || !ok {
+			break
+		}
+		stamps = append(stamps, m.Stamp)
+	}
+	want := []int64{1, 1, 2, 2, 3, 3}
+	if len(stamps) != len(want) {
+		t.Fatalf("received %v, want %v", stamps, want)
+	}
+	for i := range want {
+		if stamps[i] != want[i] {
+			t.Fatalf("received %v, want %v", stamps, want)
+		}
+	}
+}
+
+// TestDelayFlushOnClose: delayed messages still in the hold queue are
+// transmitted by Close (a live process's buffers drain on exit).
+func TestDelayFlushOnClose(t *testing.T) {
+	net := transport.NewMemNetwork(2)
+	defer net.Close()
+	plan := &Plan{Seed: 9, Default: LinkFaults{DelayProb: 1, DelaySends: 100}}
+	ep := plan.Wrap(net.Endpoint(0), nil)
+	if err := ep.Send(1, &wire.Msg{Kind: wire.KindData, Stamp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := net.Endpoint(1).TryRecv(); ok {
+		t.Fatal("delayed message delivered early")
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok, _ := net.Endpoint(1).TryRecv(); !ok || m.Stamp != 1 {
+		t.Fatal("delayed message lost on close")
+	}
+}
+
+// TestCrashAtTime: the clock trigger silences the process on the receive
+// path too.
+func TestCrashAtTime(t *testing.T) {
+	net := transport.NewMemNetwork(2)
+	defer net.Close()
+	plan := &Plan{Seed: 1, Crashes: map[int]Crash{0: {At: time.Nanosecond}}}
+	ep := plan.Wrap(net.Endpoint(0), nil)
+	time.Sleep(time.Millisecond) // wall clock passes the crash instant
+	if _, _, err := ep.TryRecv(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("TryRecv: got %v, want ErrCrashed", err)
+	}
+	if err := ep.Send(1, &wire.Msg{Kind: wire.KindSync, Stamp: 1}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Send: got %v, want ErrCrashed", err)
+	}
+}

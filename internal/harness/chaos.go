@@ -1,0 +1,235 @@
+// Chaos experiments: complete games run under injected faults — lossy,
+// duplicating, delaying links and mid-game crash-stops — with the runtime's
+// failure detection enabled. Everything (fault decisions included) is
+// deterministic per seed on the simulated cluster, so a failing chaos run
+// reproduces exactly from its ChaosConfig.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdso/internal/faultnet"
+	"sdso/internal/game"
+	"sdso/internal/metrics"
+	"sdso/internal/netmodel"
+	"sdso/internal/protocol/ec"
+	"sdso/internal/protocol/lookahead"
+	"sdso/internal/transport"
+	"sdso/internal/vtime"
+)
+
+// ChaosConfig describes one fault-injected experiment run.
+type ChaosConfig struct {
+	Config
+	// Seed drives every fault decision (per-link streams are derived from
+	// it, so one seed reproduces the whole run).
+	Seed int64
+	// Faults are ambient fault rates applied to every directed link.
+	Faults faultnet.LinkFaults
+	// CrashTeam names the team whose process(es) crash-stop mid-game;
+	// negative disables the crash.
+	CrashTeam int
+	// CrashTick is the logical tick at which CrashTeam goes silent (the
+	// lookahead protocols stamp their exchange traffic with ticks). Zero
+	// with a crash configured defaults to mid-game.
+	CrashTick int64
+	// CrashAfter is the virtual-time crash instant, used for EC whose
+	// messages carry no tick stamps. Zero with a crash configured on EC
+	// defaults to 10ms. On EC both of the node's processes (application
+	// and service) crash together — the node fail-stops as a unit.
+	CrashAfter time.Duration
+	// SuspectTimeout is the failure-detection timeout handed to the
+	// protocols; zero means 5ms (virtual time).
+	SuspectTimeout time.Duration
+	// MaxRetransmits bounds retransmissions before eviction; zero means
+	// the protocol default.
+	MaxRetransmits int
+}
+
+func (c ChaosConfig) withChaosDefaults() ChaosConfig {
+	c.Config = c.Config.withDefaults()
+	if c.SuspectTimeout == 0 {
+		c.SuspectTimeout = 5 * time.Millisecond
+	}
+	if c.CrashTeam >= c.Game.Teams {
+		c.CrashTeam = -1
+	}
+	if c.CrashTeam >= 0 && c.CrashTick == 0 && c.CrashAfter == 0 {
+		if c.Protocol == EC {
+			c.CrashAfter = 10 * time.Millisecond
+		} else {
+			half := int64(c.Game.MaxTicks / 2)
+			if half < 2 {
+				half = 2
+			}
+			c.CrashTick = half
+		}
+	}
+	return c
+}
+
+// ChaosResult extends Result with the fault-injection outcome.
+type ChaosResult struct {
+	*Result
+	// Crashed reports whether the configured crash actually fired (the
+	// victim died with faultnet.ErrCrashed).
+	Crashed bool
+	// DecisionLogs holds each endpoint's fault-decision log, in endpoint
+	// order; byte-identical logs across runs mean identical fault
+	// injection (the determinism witness).
+	DecisionLogs []string
+}
+
+// RunChaos executes one fault-injected experiment. The game must complete
+// among the surviving teams: any error from a non-crashed process fails the
+// run.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.withChaosDefaults()
+	switch cfg.Protocol {
+	case BSYNC, MSYNC, MSYNC2:
+		return runChaosLookahead(cfg)
+	case EC:
+		return runChaosEC(cfg)
+	default:
+		return nil, fmt.Errorf("harness: chaos runs support the paper's four protocols, not %q", cfg.Protocol)
+	}
+}
+
+func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
+	n := cfg.Game.Teams
+	sim := vtime.NewSim(vtime.Config{
+		Links:   netmodel.NewCluster(cfg.Net),
+		Horizon: cfg.Horizon,
+	})
+	crashes := make(map[int]faultnet.Crash)
+	if cfg.CrashTeam >= 0 {
+		crashes[cfg.CrashTeam] = faultnet.Crash{AtTick: cfg.CrashTick}
+	}
+	plan := &faultnet.Plan{Seed: cfg.Seed, Default: cfg.Faults, Crashes: crashes}
+
+	collectors := make([]*metrics.Collector, n)
+	stats := make([]game.TeamStats, n)
+	errs := make([]error, n)
+	eps := make([]*faultnet.Endpoint, n)
+
+	for i := 0; i < n; i++ {
+		i := i
+		collectors[i] = metrics.NewCollector()
+		sim.Spawn(func(p *vtime.Proc) {
+			stats[i], errs[i] = lookahead.RunPlayer(lookahead.PlayerConfig{
+				Game:              cfg.Game,
+				Protocol:          lookaheadVariant(cfg.Protocol),
+				Endpoint:          eps[i],
+				Metrics:           collectors[i],
+				MergeDiffs:        cfg.MergeDiffs,
+				ComputePerTick:    cfg.ComputePerTick,
+				RendezvousTimeout: cfg.SuspectTimeout,
+				MaxRetransmits:    cfg.MaxRetransmits,
+			})
+		})
+	}
+	for i := 0; i < n; i++ {
+		inner := transport.NewSimEndpoint(sim.Proc(i), n, transport.FixedSize(cfg.MsgSize))
+		eps[i] = plan.Wrap(inner, collectors[i])
+	}
+	if err := sim.Run(); err != nil {
+		return nil, fmt.Errorf("%s chaos simulation: %w", cfg.Protocol, err)
+	}
+	crashed := false
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if i == cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) {
+			crashed = true
+			continue
+		}
+		return nil, fmt.Errorf("%s chaos survivor %d: %w", cfg.Protocol, i, err)
+	}
+	res := collect(cfg.Config, stats, collectors)
+	logs := make([]string, n)
+	for i, ep := range eps {
+		logs[i] = string(ep.DecisionLog())
+	}
+	return &ChaosResult{Result: res, Crashed: crashed, DecisionLogs: logs}, nil
+}
+
+func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
+	n := cfg.Game.Teams
+	net := cfg.Net
+	net.HostOf = func(proc int) int { return proc % n }
+	sim := vtime.NewSim(vtime.Config{
+		Links:   netmodel.NewCluster(net),
+		Horizon: cfg.Horizon,
+	})
+	crashes := make(map[int]faultnet.Crash)
+	if cfg.CrashTeam >= 0 {
+		// The node fail-stops as a unit: application and service die at
+		// the same virtual instant.
+		crashes[cfg.CrashTeam] = faultnet.Crash{At: cfg.CrashAfter}
+		crashes[n+cfg.CrashTeam] = faultnet.Crash{At: cfg.CrashAfter}
+	}
+	plan := &faultnet.Plan{Seed: cfg.Seed, Default: cfg.Faults, Crashes: crashes}
+
+	collectors := make([]*metrics.Collector, n)
+	nodes := make([]*ec.Node, n)
+	stats := make([]game.TeamStats, n)
+	appErrs := make([]error, n)
+	svcErrs := make([]error, n)
+	eps := make([]*faultnet.Endpoint, 2*n)
+
+	for i := 0; i < n; i++ {
+		i := i
+		collectors[i] = metrics.NewCollector()
+		sim.Spawn(func(p *vtime.Proc) { // app proc i
+			stats[i], appErrs[i] = nodes[i].RunApp()
+		})
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sim.Spawn(func(p *vtime.Proc) { // svc proc n+i
+			svcErrs[i] = nodes[i].RunService()
+		})
+	}
+	for i := 0; i < n; i++ {
+		eps[i] = plan.Wrap(transport.NewSimEndpoint(sim.Proc(i), 2*n, transport.FixedSize(cfg.MsgSize)), collectors[i])
+		eps[n+i] = plan.Wrap(transport.NewSimEndpoint(sim.Proc(n+i), 2*n, transport.FixedSize(cfg.MsgSize)), collectors[i])
+		node, err := ec.New(ec.NodeConfig{
+			Game:           cfg.Game,
+			App:            eps[i],
+			Svc:            eps[n+i],
+			Metrics:        collectors[i],
+			ComputePerTick: cfg.ComputePerTick,
+			SuspectTimeout: cfg.SuspectTimeout,
+			MaxRetransmits: cfg.MaxRetransmits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+	}
+	if err := sim.Run(); err != nil {
+		return nil, fmt.Errorf("EC chaos simulation: %w", err)
+	}
+	crashed := false
+	for i := 0; i < n; i++ {
+		for _, err := range []error{appErrs[i], svcErrs[i]} {
+			if err == nil {
+				continue
+			}
+			if i == cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) {
+				crashed = true
+				continue
+			}
+			return nil, fmt.Errorf("EC chaos survivor %d: %w", i, err)
+		}
+	}
+	res := collect(cfg.Config, stats, collectors)
+	logs := make([]string, 2*n)
+	for i, ep := range eps {
+		logs[i] = string(ep.DecisionLog())
+	}
+	return &ChaosResult{Result: res, Crashed: crashed, DecisionLogs: logs}, nil
+}

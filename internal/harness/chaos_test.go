@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"sdso/internal/faultnet"
+	"sdso/internal/game"
+)
+
+// chaosConfig builds the standard crash experiment: four teams on a lossy,
+// duplicating network with team 1 crash-stopping mid-game.
+func chaosConfig(proto Protocol, seed int64) ChaosConfig {
+	g := game.DefaultConfig(4, 1)
+	g.Seed = 7
+	g.MaxTicks = 40
+	cfg := ChaosConfig{
+		Config:    Config{Game: g, Protocol: proto},
+		Seed:      seed,
+		Faults:    faultnet.LinkFaults{DropProb: 0.01, DupProb: 0.01},
+		CrashTeam: 1,
+	}
+	if proto == EC {
+		cfg.CrashAfter = 10 * time.Millisecond
+	} else {
+		cfg.CrashTick = 10
+	}
+	return cfg
+}
+
+// TestChaosCrashMidGame is the tentpole acceptance test: under every paper
+// protocol, a game whose player crash-stops mid-run still completes among the
+// survivors, the crash is detected and the dead peer evicted, and the
+// recovery machinery (retransmissions) visibly engaged.
+func TestChaosCrashMidGame(t *testing.T) {
+	for _, proto := range PaperProtocols {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			cfg := chaosConfig(proto, 42)
+			res, err := RunChaos(cfg)
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			if !res.Crashed {
+				t.Fatalf("configured crash of team %d never fired", cfg.CrashTeam)
+			}
+			for i, st := range res.Stats {
+				if i == cfg.CrashTeam {
+					continue
+				}
+				if st.Ticks == 0 {
+					t.Errorf("survivor %d played no ticks", i)
+				}
+			}
+			if got := res.Metrics.Evictions(); got == 0 {
+				t.Errorf("no evictions recorded; crash went undetected")
+			}
+			if got := res.Metrics.Retransmits(); got == 0 {
+				t.Errorf("no retransmits recorded; failure detection never probed")
+			}
+			if got := res.Metrics.Faults(); got == 0 {
+				t.Errorf("no injected faults recorded despite drop/dup/crash plan")
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic runs the same chaos experiment twice and demands a
+// byte-identical outcome: same fault decisions, same game stats, same virtual
+// duration. This is what makes chaos failures reproducible from their seed.
+func TestChaosDeterministic(t *testing.T) {
+	for _, proto := range PaperProtocols {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			a, err := RunChaos(chaosConfig(proto, 99))
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := RunChaos(chaosConfig(proto, 99))
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if a.VirtualDuration != b.VirtualDuration {
+				t.Errorf("virtual duration diverged: %v vs %v", a.VirtualDuration, b.VirtualDuration)
+			}
+			if len(a.DecisionLogs) != len(b.DecisionLogs) {
+				t.Fatalf("decision log count diverged: %d vs %d", len(a.DecisionLogs), len(b.DecisionLogs))
+			}
+			for i := range a.DecisionLogs {
+				if a.DecisionLogs[i] != b.DecisionLogs[i] {
+					t.Errorf("endpoint %d fault decisions diverged:\n  %q\n  %q",
+						i, a.DecisionLogs[i], b.DecisionLogs[i])
+				}
+			}
+			for i := range a.Stats {
+				if a.Stats[i] != b.Stats[i] {
+					t.Errorf("team %d stats diverged: %+v vs %+v", i, a.Stats[i], b.Stats[i])
+				}
+			}
+			if ar, br := a.Metrics.Retransmits(), b.Metrics.Retransmits(); ar != br {
+				t.Errorf("retransmit count diverged: %d vs %d", ar, br)
+			}
+			if ae, be := a.Metrics.Evictions(), b.Metrics.Evictions(); ae != be {
+				t.Errorf("eviction count diverged: %d vs %d", ae, be)
+			}
+		})
+	}
+}
+
+// TestChaosSeedsDiffer sanity-checks that the seed actually drives the fault
+// plan: two different seeds on a lossy network should produce different
+// decision logs somewhere.
+func TestChaosSeedsDiffer(t *testing.T) {
+	cfg1 := chaosConfig(BSYNC, 1)
+	cfg2 := chaosConfig(BSYNC, 2)
+	a, err := RunChaos(cfg1)
+	if err != nil {
+		t.Fatalf("seed 1: %v", err)
+	}
+	b, err := RunChaos(cfg2)
+	if err != nil {
+		t.Fatalf("seed 2: %v", err)
+	}
+	same := len(a.DecisionLogs) == len(b.DecisionLogs)
+	if same {
+		for i := range a.DecisionLogs {
+			if a.DecisionLogs[i] != b.DecisionLogs[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical fault decisions")
+	}
+}
+
+// TestChaosLossOnly drops and duplicates traffic with no crash: every player
+// must still finish (retransmission and dedupe recover lost rendezvous), and
+// nobody may be reported crashed.
+func TestChaosLossOnly(t *testing.T) {
+	for _, proto := range PaperProtocols {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			cfg := chaosConfig(proto, 7)
+			cfg.CrashTeam = -1
+			cfg.CrashTick = 0
+			cfg.CrashAfter = 0
+			res, err := RunChaos(cfg)
+			if err != nil {
+				t.Fatalf("loss-only run: %v", err)
+			}
+			if res.Crashed {
+				t.Errorf("no crash configured but one was reported")
+			}
+			for i, st := range res.Stats {
+				if st.Ticks == 0 {
+					t.Errorf("player %d played no ticks", i)
+				}
+			}
+			if got := res.Metrics.Faults(); got == 0 {
+				t.Errorf("no injected faults recorded despite drop/dup plan")
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ package lockmgr
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"sdso/internal/store"
 )
@@ -179,7 +180,12 @@ func (m *Manager) Release(proc int, obj store.ID, dirty bool, newVersion int64) 
 	if len(st.holders) > 0 {
 		return nil, nil // shared readers remain; nothing unblocks
 	}
+	return m.drainQueue(st), nil
+}
 
+// drainQueue grants the longest compatible prefix of st's queue: either a
+// run of readers or a single writer.
+func (m *Manager) drainQueue(st *lockState) []Grant {
 	var grants []Grant
 	for len(st.queue) > 0 {
 		head := st.queue[0]
@@ -194,7 +200,66 @@ func (m *Manager) Release(proc int, obj store.ID, dirty bool, newVersion int64) 
 			break // exclusive: grant exactly one writer
 		}
 	}
-	return grants, nil
+	return grants
+}
+
+// PurgeProc removes every trace of a crashed process from the manager: its
+// held locks are force-released (non-dirty — its unreleased writes are lost,
+// fail-stop) and its queued requests dropped. Grants unblocked by the purge
+// are returned in ascending object order, so recovery is deterministic.
+func (m *Manager) PurgeProc(proc int) []Grant {
+	ids := make([]store.ID, 0, len(m.locks))
+	for id := range m.locks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Grant
+	for _, id := range ids {
+		st := m.locks[id]
+		held := st.holders[proc]
+		if held {
+			delete(st.holders, proc)
+		}
+		if len(st.queue) > 0 {
+			q := st.queue[:0]
+			for _, r := range st.queue {
+				if r.Proc != proc {
+					q = append(q, r)
+				}
+			}
+			st.queue = q
+		}
+		if held && len(st.holders) == 0 {
+			out = append(out, m.drainQueue(st)...)
+		}
+	}
+	return out
+}
+
+// Adopt registers fresh lock state for objects not already managed here.
+// Crash failover uses it: the successor of a dead manager adopts its shard.
+// The dead manager's holder/queue/ownership state is lost with it, so
+// adopted locks start free with owner (the adopting node) at version 0 —
+// grantees fall back to their local replicas, and releases of locks granted
+// by the dead manager must be tolerated as no-ops (see ec).
+func (m *Manager) Adopt(objs []store.ID, owner int) {
+	for _, obj := range objs {
+		if _, ok := m.locks[obj]; ok {
+			continue
+		}
+		m.locks[obj] = &lockState{holders: make(map[int]bool), owner: owner}
+	}
+}
+
+// Reissue returns a fresh grant for a lock proc already holds — the
+// idempotent answer to a retransmitted request whose original grant may have
+// been lost. ok is false if proc does not hold the lock.
+func (m *Manager) Reissue(proc int, obj store.ID) (Grant, bool) {
+	st, ok := m.locks[obj]
+	if !ok || !st.holders[proc] {
+		return Grant{}, false
+	}
+	return Grant{Proc: proc, Obj: obj, Mode: st.mode, Owner: st.owner, Version: st.version}, true
 }
 
 // Holders returns the processes currently holding obj's lock (for tests and

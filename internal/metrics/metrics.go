@@ -79,6 +79,12 @@ type Collector struct {
 	mods      int
 	ticks     int
 	execTime  time.Duration
+
+	// Fault-tolerance counters (crash detection and recovery).
+	retransmits int
+	suspects    int
+	evictions   int
+	faults      int
 }
 
 // NewCollector returns an empty collector.
@@ -121,6 +127,39 @@ func (c *Collector) AddTick() {
 	c.ticks++
 }
 
+// AddRetransmit records one retransmission of an unacknowledged message
+// (rendezvous SYNC or sync put/get request).
+func (c *Collector) AddRetransmit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retransmits++
+}
+
+// AddSuspect records that a peer entered the suspected state (a timeout
+// expired without an answer from it).
+func (c *Collector) AddSuspect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.suspects++
+}
+
+// AddEviction records that a suspected peer was declared crashed and
+// removed from the process's live set.
+func (c *Collector) AddEviction() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictions++
+}
+
+// AddFault records one injected fault (dropped, duplicated, delayed, or
+// partitioned message, or a crash-stop) observed at this process's
+// fault-injecting transport.
+func (c *Collector) AddFault() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults++
+}
+
 // SetExecTime records the process's total execution time (its clock at
 // completion).
 func (c *Collector) SetExecTime(d time.Duration) {
@@ -134,12 +173,16 @@ func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Snapshot{
-		MsgsSent:  make(map[wire.Kind]int, len(c.msgsSent)),
-		Durations: make(map[Category]time.Duration, len(c.durations)),
-		BytesSent: c.bytesSent,
-		Mods:      c.mods,
-		Ticks:     c.ticks,
-		ExecTime:  c.execTime,
+		MsgsSent:    make(map[wire.Kind]int, len(c.msgsSent)),
+		Durations:   make(map[Category]time.Duration, len(c.durations)),
+		BytesSent:   c.bytesSent,
+		Mods:        c.mods,
+		Ticks:       c.ticks,
+		ExecTime:    c.execTime,
+		Retransmits: c.retransmits,
+		Suspects:    c.suspects,
+		Evictions:   c.evictions,
+		Faults:      c.faults,
 	}
 	for k, v := range c.msgsSent {
 		s.MsgsSent[k] = v
@@ -158,6 +201,13 @@ type Snapshot struct {
 	Mods      int
 	Ticks     int
 	ExecTime  time.Duration
+	// Fault-tolerance counters: message retransmissions, peers that
+	// entered the suspected state, peers evicted as crashed, and faults
+	// injected by the process's (fault-injecting) transport.
+	Retransmits int
+	Suspects    int
+	Evictions   int
+	Faults      int
 }
 
 // DataMsgs returns the number of data messages sent (paper Figure 7).
@@ -228,6 +278,42 @@ func (g Group) DataMsgs() int {
 
 // ControlMsgs sums control-message counts across processes.
 func (g Group) ControlMsgs() int { return g.TotalMsgs() - g.DataMsgs() }
+
+// Retransmits sums retransmission counts across processes.
+func (g Group) Retransmits() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.Retransmits
+	}
+	return n
+}
+
+// Suspects sums suspected-peer counts across processes.
+func (g Group) Suspects() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.Suspects
+	}
+	return n
+}
+
+// Evictions sums crash-eviction counts across processes.
+func (g Group) Evictions() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.Evictions
+	}
+	return n
+}
+
+// Faults sums injected-fault counts across processes.
+func (g Group) Faults() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.Faults
+	}
+	return n
+}
 
 // AvgExecTime averages process execution times.
 func (g Group) AvgExecTime() time.Duration {

@@ -50,6 +50,12 @@ type Params struct {
 	// preserved). JitterSeed seeds the generator.
 	Jitter     time.Duration
 	JitterSeed int64
+	// DropProb makes remote links lossy: each remote message is
+	// independently lost with this probability (loopback messages are
+	// never dropped). Losses are deterministic per DropSeed; messages
+	// that do get delivered keep per-pair FIFO order.
+	DropProb float64
+	DropSeed int64
 }
 
 // Ethernet10Mbps returns parameters approximating the paper's testbed.
@@ -75,6 +81,7 @@ type Cluster struct {
 	downFree map[int]vtime.Time // host -> downlink free-at
 
 	jitterRNG *rand.Rand
+	dropRNG   *rand.Rand
 	pairLast  map[[2]int]vtime.Time // FIFO floor per (from, to) pair
 }
 
@@ -90,6 +97,9 @@ func NewCluster(p Params) *Cluster {
 	if p.Jitter > 0 {
 		c.jitterRNG = rand.New(rand.NewSource(p.JitterSeed))
 		c.pairLast = make(map[[2]int]vtime.Time)
+	}
+	if p.DropProb > 0 {
+		c.dropRNG = rand.New(rand.NewSource(p.DropSeed))
 	}
 	return c
 }
@@ -115,6 +125,12 @@ func (c *Cluster) Delivery(from, to, size int, now vtime.Time) vtime.Time {
 	src, dst := c.host(from), c.host(to)
 	if src == dst {
 		return now + c.p.Loopback
+	}
+	// Lossy links: the drop decision is drawn before any NIC accounting
+	// (the message is lost at the sender), deterministically in the
+	// simulator's send order. Delivered messages keep per-pair FIFO.
+	if c.dropRNG != nil && c.dropRNG.Float64() < c.p.DropProb {
+		return vtime.Dropped
 	}
 	tx := c.txTime(size)
 

@@ -48,7 +48,28 @@ type NodeConfig struct {
 	Metrics *metrics.Collector
 	// ComputePerTick models per-iteration application work.
 	ComputePerTick time.Duration
+	// SuspectTimeout enables crash tolerance: a lock grant, object pull, or
+	// ack that stays silent this long marks its source suspected, the
+	// request is retransmitted under bounded exponential backoff, and after
+	// MaxRetransmits strikes the silent process is declared crashed. The
+	// declarer broadcasts KindCrash; every service purges the dead
+	// process's locks, and the next live team (scanning up from the dead
+	// manager's ID) adopts its lock-manager shard. A lock manager answers a
+	// retransmitted request it is still queuing with KindLockBusy naming
+	// the current holders, redirecting the requester's suspicion from the
+	// live manager to a possibly-dead holder. Zero keeps the fail-free
+	// blocking behavior.
+	SuspectTimeout time.Duration
+	// MaxRetransmits bounds retransmissions per suspicion episode; zero
+	// means DefaultMaxRetransmits.
+	MaxRetransmits int
+	// Debug, when set, receives trace lines (like core.Config.Debug).
+	Debug func(string)
 }
+
+// DefaultMaxRetransmits is the eviction threshold used when
+// NodeConfig.MaxRetransmits is zero.
+const DefaultMaxRetransmits = 3
 
 // Node is one EC participant: an application process and a co-located
 // service process sharing a replica and a lock-manager shard.
@@ -66,6 +87,10 @@ type Node struct {
 	tanks    []game.TankState
 	stats    game.TeamStats
 	gameOver bool
+
+	// crashed marks teams declared crashed (guarded by mu; the app and
+	// service processes of a node converge on it independently).
+	crashed map[int]bool
 }
 
 // New validates the configuration and builds a node. The caller runs
@@ -83,7 +108,7 @@ func New(cfg NodeConfig) (*Node, error) {
 	if mc == nil {
 		mc = metrics.NewCollector()
 	}
-	n := &Node{cfg: cfg, team: cfg.App.ID(), teams: teams, mc: mc}
+	n := &Node{cfg: cfg, team: cfg.App.ID(), teams: teams, mc: mc, crashed: make(map[int]bool)}
 
 	w, err := game.NewWorld(cfg.Game)
 	if err != nil {
@@ -122,13 +147,187 @@ func (n *Node) countSend(ep transport.Endpoint, to int, m *wire.Msg) error {
 	return ep.Send(to, m)
 }
 
+// ft reports whether crash tolerance is enabled.
+func (n *Node) ft() bool { return n.cfg.SuspectTimeout > 0 }
+
+func (n *Node) tracef(format string, args ...any) {
+	if n.cfg.Debug != nil {
+		n.cfg.Debug(fmt.Sprintf(format, args...))
+	}
+}
+
+func (n *Node) maxRetransmits() int {
+	if n.cfg.MaxRetransmits > 0 {
+		return n.cfg.MaxRetransmits
+	}
+	return DefaultMaxRetransmits
+}
+
+func (n *Node) isCrashed(team int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[team]
+}
+
+// noteCrash records a crash learned from a KindCrash announcement; reports
+// whether it was news.
+func (n *Node) noteCrash(team int) bool {
+	if team < 0 || team >= n.teams || team == n.team {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed[team] {
+		return false
+	}
+	n.crashed[team] = true
+	return true
+}
+
+// declareCrash is the detection side: mark team crashed, count the
+// eviction, and broadcast KindCrash to every live application and every
+// service process (including our own, which purges the dead team's locks
+// and adopts its manager shard if it is the successor). Broadcasting before
+// any failed-over request is sent matters: per-pair FIFO then guarantees a
+// successor manager processes the crash (and adopts the shard) before it
+// sees redirected lock traffic from this node.
+func (n *Node) declareCrash(team int) {
+	if !n.noteCrash(team) {
+		return
+	}
+	n.tracef("team %d declares %d crashed", n.team, team)
+	n.mc.AddEviction()
+	for t := 0; t < n.teams; t++ {
+		if t == team {
+			continue
+		}
+		m := &wire.Msg{Kind: wire.KindCrash, Stamp: int64(team)}
+		if t != n.team && !n.isCrashed(t) {
+			_ = n.countSend(n.cfg.App, t, m.Clone())
+		}
+		_ = n.countSend(n.cfg.App, n.svcID(t), m)
+	}
+}
+
+// liveManagerFor returns the team currently managing obj's lock: the static
+// base manager, or — after its crash — the next live team scanning up from
+// it. Every process computes the successor from its own crashed set; the
+// KindCrash broadcast keeps the sets converging.
+func (n *Node) liveManagerFor(obj store.ID) int {
+	base := lockmgr.ManagerFor(obj, n.teams)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < n.teams; i++ {
+		t := (base + i) % n.teams
+		if !n.crashed[t] {
+			return t
+		}
+	}
+	return n.team
+}
+
+// adoptShards makes this node's manager adopt the shard of every crashed
+// base manager whose live successor it now is. Idempotent; called by the
+// service loop after each crash announcement (covers cascaded crashes: if
+// an adopter dies too, the next successor re-adopts the whole chain).
+func (n *Node) adoptShards() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for dead := 0; dead < n.teams; dead++ {
+		if !n.crashed[dead] {
+			continue
+		}
+		succ := -1
+		for i := 1; i <= n.teams; i++ {
+			t := (dead + i) % n.teams
+			if !n.crashed[t] {
+				succ = t
+				break
+			}
+		}
+		if succ != n.team {
+			continue
+		}
+		var objs []store.ID
+		for i := 0; i < n.cfg.Game.NumObjects(); i++ {
+			if lockmgr.ManagerFor(store.ID(i), n.teams) == dead {
+				objs = append(objs, store.ID(i))
+			}
+		}
+		n.mgr.Adopt(objs, n.team)
+	}
+}
+
+// adoptChainFor handles a lock request or release for an object this manager
+// does not manage: the sender redirects traffic here only after concluding
+// that every team from the object's static base manager up to this node has
+// crashed, so the routing itself carries crash news — news the KindCrash
+// announcement that normally precedes redirected traffic failed to deliver
+// (lost on a lossy link). Adopt the implied shard chain so the request can
+// be served instead of erroring out. No-op when the object is already
+// managed here.
+func (n *Node) adoptChainFor(obj store.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.mgr.Manages(obj) {
+		return
+	}
+	base := lockmgr.ManagerFor(obj, n.teams)
+	chain := make(map[int]bool)
+	for t := base; t != n.team; t = (t + 1) % n.teams {
+		chain[t] = true
+	}
+	if len(chain) == 0 {
+		return
+	}
+	n.tracef("svc %d adopts shard chain for obj %d (teams %v)", n.team, obj, chain)
+	var objs []store.ID
+	for i := 0; i < n.cfg.Game.NumObjects(); i++ {
+		id := store.ID(i)
+		if chain[lockmgr.ManagerFor(id, n.teams)] {
+			objs = append(objs, id)
+		}
+	}
+	n.mgr.Adopt(objs, n.team)
+}
+
 // RunService processes lock and object-pull traffic until every
-// application process has announced shutdown.
+// application process has announced shutdown or been declared crashed.
+// Under crash tolerance the service never counts its own co-located
+// application as crashed (it is demonstrably alive), and once that
+// application has shut down, prolonged total silence lets the service exit
+// rather than deadlock on shutdown or crash announcements lost in transit.
 func (n *Node) RunService() error {
 	svc := n.cfg.Svc
 	remaining := n.teams
+	handled := make(map[int]bool) // teams counted toward remaining
+	idle := 0
+	wait := n.cfg.SuspectTimeout
 	for remaining > 0 {
-		m, err := svc.Recv()
+		var m *wire.Msg
+		var err error
+		if n.ft() {
+			var ok bool
+			m, ok, err = svc.RecvTimeout(wait)
+			if err == nil && !ok {
+				if !handled[n.team] {
+					continue // our app still runs; just keep listening
+				}
+				idle++
+				if idle > n.maxRetransmits() {
+					n.tracef("svc %d now=%v idle-exit, remaining %d", n.team, svc.Now(), remaining)
+					return nil
+				}
+				if wait < 8*n.cfg.SuspectTimeout {
+					wait *= 2
+				}
+				continue
+			}
+			idle = 0
+			wait = n.cfg.SuspectTimeout
+		} else {
+			m, err = svc.Recv()
+		}
 		if err != nil {
 			if errors.Is(err, transport.ErrClosed) {
 				return nil
@@ -141,8 +340,35 @@ func (n *Node) RunService() error {
 			if m.Mode == wire.ModeWrite {
 				mode = lockmgr.Write
 			}
+			if n.ft() {
+				n.adoptChainFor(store.ID(m.Obj))
+			}
 			n.mu.Lock()
 			grants, err := n.mgr.Acquire(lockmgr.Request{Proc: int(m.Src), Obj: store.ID(m.Obj), Mode: mode})
+			if n.ft() && errors.Is(err, lockmgr.ErrDoubleLock) {
+				// A retransmitted request. If the requester already holds
+				// the lock, the original grant was lost: reissue it. If it
+				// is still queued, answer KindLockBusy naming the current
+				// holders so the requester blames a possibly-dead holder
+				// instead of this (live) manager.
+				err = nil
+				if g, ok := n.mgr.Reissue(int(m.Src), store.ID(m.Obj)); ok {
+					grants = []lockmgr.Grant{g}
+				} else {
+					holders, _, _ := n.mgr.Holders(store.ID(m.Obj))
+					sort.Ints(holders)
+					ints := make([]int64, len(holders))
+					for i, h := range holders {
+						ints[i] = int64(h)
+					}
+					busy := &wire.Msg{Kind: wire.KindLockBusy, Obj: m.Obj, Ints: ints}
+					n.mu.Unlock()
+					if err := n.countSend(svc, int(m.Src), busy); err != nil {
+						return fmt.Errorf("ec service %d: lock-busy to %d: %w", n.team, m.Src, err)
+					}
+					continue
+				}
+			}
 			n.mu.Unlock()
 			if err != nil {
 				return fmt.Errorf("ec service %d: acquire obj %d for %d: %w", n.team, m.Obj, m.Src, err)
@@ -156,9 +382,18 @@ func (n *Node) RunService() error {
 			if dirty {
 				version = m.Ints[1]
 			}
+			if n.ft() {
+				n.adoptChainFor(store.ID(m.Obj))
+			}
 			n.mu.Lock()
 			grants, err := n.mgr.Release(int(m.Src), store.ID(m.Obj), dirty, version)
 			n.mu.Unlock()
+			if n.ft() && errors.Is(err, lockmgr.ErrNotHeld) {
+				// Releases of locks granted by a manager that has since
+				// crashed land on the adopter, which never saw the grant.
+				// The holder state died with the old manager: tolerate.
+				err = nil
+			}
 			if err != nil {
 				return fmt.Errorf("ec service %d: release obj %d by %d: %w", n.team, m.Obj, m.Src, err)
 			}
@@ -181,7 +416,35 @@ func (n *Node) RunService() error {
 				return err
 			}
 		case wire.KindShutdown:
-			remaining--
+			if src := int(m.Stamp); !handled[src] {
+				handled[src] = true
+				remaining--
+			}
+			n.tracef("svc %d now=%v shutdown from %d, remaining %d", n.team, svc.Now(), m.Stamp, remaining)
+		case wire.KindCrash:
+			// A crash declaration: stop waiting for the dead team's
+			// shutdown, free every lock it held or queued for (granting
+			// unblocked waiters), and adopt its manager shard if this node
+			// is now the successor.
+			dead := int(m.Stamp)
+			if dead == n.team {
+				// A false declaration about our own co-located (and
+				// demonstrably alive) application: purging its locks or
+				// abandoning its shutdown would orphan it.
+				continue
+			}
+			n.noteCrash(dead)
+			if !handled[dead] {
+				handled[dead] = true
+				remaining--
+			}
+			n.mu.Lock()
+			grants := n.mgr.PurgeProc(dead)
+			n.mu.Unlock()
+			if err := n.sendGrants(grants); err != nil {
+				return err
+			}
+			n.adoptShards()
 		}
 	}
 	return nil
@@ -227,6 +490,7 @@ func (n *Node) RunApp() (game.TeamStats, error) {
 				break
 			}
 		}
+		n.tracef("app %d now=%v tick %d", n.team, app.Now(), tick)
 		locks := n.lockSet()
 		if err := n.acquireAll(locks); err != nil {
 			return n.stats, err
@@ -266,21 +530,32 @@ func (n *Node) RunApp() (game.TeamStats, error) {
 	// is over.
 	if n.cfg.Game.EndOnFirstGoal && n.stats.ReachedGoal {
 		for team := 0; team < n.teams; team++ {
-			if team == n.team {
+			if team == n.team || (n.ft() && n.isCrashed(team)) {
 				continue
 			}
 			m := &wire.Msg{Kind: wire.KindDone, Mode: 1, Stamp: int64(n.team)}
 			if err := n.countSend(app, team, m); err != nil {
+				if n.ft() && errors.Is(err, transport.ErrPeerGone) {
+					n.declareCrash(team)
+					continue
+				}
 				return n.stats, fmt.Errorf("ec app %d: game-over to %d: %w", n.team, team, err)
 			}
 		}
 	}
 
 	// Tell every service process (including our own) that this
-	// application is finished.
+	// application is finished. Crashed nodes' services are skipped (their
+	// survivors already counted us out via KindCrash if needed).
 	for team := 0; team < n.teams; team++ {
+		if n.ft() && n.isCrashed(team) {
+			continue
+		}
 		m := &wire.Msg{Kind: wire.KindShutdown, Stamp: int64(n.team)}
 		if err := n.countSend(app, n.svcID(team), m); err != nil {
+			if n.ft() && errors.Is(err, transport.ErrPeerGone) {
+				continue
+			}
 			return n.stats, fmt.Errorf("ec app %d: shutdown to %d: %w", n.team, team, err)
 		}
 	}
@@ -297,6 +572,9 @@ func (n *Node) pollApp() {
 		}
 		if m.Kind == wire.KindDone {
 			n.gameOver = true
+		}
+		if m.Kind == wire.KindCrash {
+			n.noteCrash(int(m.Stamp))
 		}
 	}
 }
@@ -339,46 +617,88 @@ func (n *Node) lockSet() []lockReq {
 // acquireAll acquires the lock set in order, pulling fresh copies as grants
 // reveal newer versions elsewhere.
 func (n *Node) acquireAll(locks []lockReq) error {
-	app := n.cfg.App
 	for _, lr := range locks {
-		mode := wire.ModeRead
-		if lr.write {
-			mode = wire.ModeWrite
-		}
-		mgrTeam := lockmgr.ManagerFor(lr.obj, n.teams)
-		req := &wire.Msg{Kind: wire.KindLockReq, Obj: uint32(lr.obj), Mode: mode}
-		t0 := app.Now()
-		if err := n.countSend(app, n.svcID(mgrTeam), req); err != nil {
-			return fmt.Errorf("ec app %d: lock req %d: %w", n.team, lr.obj, err)
-		}
-		grant, err := n.awaitKind(wire.KindLockGrant, uint32(lr.obj))
-		if err != nil {
+		if err := n.acquireOne(lr); err != nil {
 			return err
 		}
-		n.mc.AddTime(metrics.CatLockAcquire, app.Now()-t0)
+	}
+	return nil
+}
 
-		owner, version := int(grant.Ints[0]), grant.Ints[1]
-		n.mu.Lock()
-		local, _ := n.st.Version(lr.obj)
-		n.mu.Unlock()
-		if version > local && owner != n.team {
-			t1 := app.Now()
-			pull := &wire.Msg{Kind: wire.KindObjReq, Obj: uint32(lr.obj), Stamp: int64(lr.obj)}
-			if err := n.countSend(app, n.svcID(owner), pull); err != nil {
-				return fmt.Errorf("ec app %d: pull %d: %w", n.team, lr.obj, err)
+// acquireOne acquires one lock, failing over to the successor manager and
+// purging dead holders when crash tolerance is on.
+func (n *Node) acquireOne(lr lockReq) error {
+	app := n.cfg.App
+	mode := wire.ModeRead
+	if lr.write {
+		mode = wire.ModeWrite
+	}
+	mgrTeam := lockmgr.ManagerFor(lr.obj, n.teams)
+	if n.ft() {
+		mgrTeam = n.liveManagerFor(lr.obj)
+	}
+	req := &wire.Msg{Kind: wire.KindLockReq, Obj: uint32(lr.obj), Mode: mode}
+	t0 := app.Now()
+	if err := n.countSend(app, n.svcID(mgrTeam), req); err != nil {
+		if n.ft() && errors.Is(err, transport.ErrPeerGone) {
+			n.declareCrash(mgrTeam)
+			return n.acquireOne(lr)
+		}
+		return fmt.Errorf("ec app %d: lock req %d: %w", n.team, lr.obj, err)
+	}
+	var grant *wire.Msg
+	var err error
+	if n.ft() {
+		grant, err = n.awaitGrantFT(lr.obj, req, mgrTeam)
+	} else {
+		grant, err = n.awaitKind(wire.KindLockGrant, uint32(lr.obj))
+	}
+	if err != nil {
+		return err
+	}
+	n.mc.AddTime(metrics.CatLockAcquire, app.Now()-t0)
+
+	owner, version := int(grant.Ints[0]), grant.Ints[1]
+	n.mu.Lock()
+	local, _ := n.st.Version(lr.obj)
+	n.mu.Unlock()
+	if version > local && owner != n.team && !(n.ft() && n.isCrashed(owner)) {
+		t1 := app.Now()
+		pull := &wire.Msg{Kind: wire.KindObjReq, Obj: uint32(lr.obj), Stamp: int64(lr.obj)}
+		if err := n.countSend(app, n.svcID(owner), pull); err != nil {
+			if n.ft() && errors.Is(err, transport.ErrPeerGone) {
+				n.declareCrash(owner)
+				return nil // local replica stands in for the lost copy
 			}
-			reply, err := n.awaitKind(wire.KindObjReply, uint32(lr.obj))
+			return fmt.Errorf("ec app %d: pull %d: %w", n.team, lr.obj, err)
+		}
+		var reply *wire.Msg
+		if n.ft() {
+			var ok bool
+			reply, ok, err = n.awaitPullFT(lr.obj, pull, owner)
 			if err != nil {
 				return err
 			}
-			n.mu.Lock()
-			err = n.st.SetState(lr.obj, reply.Payload, reply.Ints[0])
-			n.mu.Unlock()
-			if err != nil {
-				return fmt.Errorf("ec app %d: apply pulled %d: %w", n.team, lr.obj, err)
+			if !ok {
+				// The owner crashed before serving the pull; its latest
+				// writes are lost (fail-stop) and the local replica is
+				// the freshest surviving copy.
+				n.mc.AddTime(metrics.CatObjPull, app.Now()-t1)
+				return nil
 			}
-			n.mc.AddTime(metrics.CatObjPull, app.Now()-t1)
+		} else {
+			reply, err = n.awaitKind(wire.KindObjReply, uint32(lr.obj))
+			if err != nil {
+				return err
+			}
 		}
+		n.mu.Lock()
+		err = n.st.SetState(lr.obj, reply.Payload, reply.Ints[0])
+		n.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("ec app %d: apply pulled %d: %w", n.team, lr.obj, err)
+		}
+		n.mc.AddTime(metrics.CatObjPull, app.Now()-t1)
 	}
 	return nil
 }
@@ -402,7 +722,157 @@ func (n *Node) awaitKind(kind wire.Kind, obj uint32) (*wire.Msg, error) {
 			n.gameOver = true
 			continue
 		}
+		if m.Kind == wire.KindCrash {
+			n.noteCrash(int(m.Stamp))
+			continue
+		}
 		// Unexpected traffic (e.g. a duplicate) is dropped.
+	}
+}
+
+// awaitGrantFT waits for the grant of obj with failure detection. Silence
+// past the suspicion timeout retransmits the request under bounded
+// exponential backoff; exhausted retries declare the current suspect — the
+// manager, or (after a KindLockBusy hint) a lock holder — crashed, and the
+// wait restarts against the recovered state: a dead manager's successor is
+// re-asked, a dead holder's purge lets the (live) manager grant.
+func (n *Node) awaitGrantFT(obj store.ID, req *wire.Msg, mgrTeam int) (*wire.Msg, error) {
+	app := n.cfg.App
+	timeout := n.cfg.SuspectTimeout
+	wait := timeout
+	retries := 0
+	suspect := mgrTeam
+	suspectIsHolder := false
+	failover := func() error {
+		mgrTeam = n.liveManagerFor(obj)
+		suspect = mgrTeam
+		suspectIsHolder = false
+		retries = 0
+		wait = timeout
+		n.tracef("app %d now=%v obj=%d failover to mgr %d", n.team, app.Now(), obj, mgrTeam)
+		if err := n.countSend(app, n.svcID(mgrTeam), req.Clone()); err != nil {
+			return fmt.Errorf("ec app %d: failover lock req %d to %d: %w", n.team, obj, mgrTeam, err)
+		}
+		n.mc.AddRetransmit()
+		return nil
+	}
+	for {
+		m, ok, err := app.RecvTimeout(wait)
+		if err != nil {
+			return nil, fmt.Errorf("ec app %d: await grant %d: %w", n.team, obj, err)
+		}
+		if ok {
+			switch {
+			case m.Kind == wire.KindLockGrant && m.Obj == uint32(obj):
+				return m, nil
+			case m.Kind == wire.KindLockBusy && m.Obj == uint32(obj):
+				// The manager is alive but the lock is held elsewhere:
+				// blame the first live foreign holder instead.
+				for _, h := range m.Ints {
+					if int(h) != n.team && !n.isCrashed(int(h)) {
+						suspect = int(h)
+						suspectIsHolder = true
+						break
+					}
+				}
+			case m.Kind == wire.KindDone:
+				n.gameOver = true
+			case m.Kind == wire.KindCrash:
+				n.noteCrash(int(m.Stamp))
+				if int(m.Stamp) == mgrTeam {
+					// Someone else buried our manager; fail over now.
+					if err := failover(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			continue
+		}
+		if retries == 0 {
+			n.mc.AddSuspect()
+		}
+		retries++
+		n.tracef("app %d now=%v obj=%d grant-wait timeout #%d suspect=%d holder=%v",
+			n.team, app.Now(), obj, retries, suspect, suspectIsHolder)
+		if retries > n.maxRetransmits() {
+			n.declareCrash(suspect)
+			if suspectIsHolder {
+				// The manager outlives the holder: its purge on KindCrash
+				// will grant us the lock. Resume suspecting the manager.
+				suspect = mgrTeam
+				suspectIsHolder = false
+				retries = 0
+				wait = timeout
+				continue
+			}
+			if err := failover(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := n.countSend(app, n.svcID(mgrTeam), req.Clone()); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				n.declareCrash(mgrTeam)
+				if err := failover(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("ec app %d: retransmit lock req %d: %w", n.team, obj, err)
+		}
+		n.mc.AddRetransmit()
+		if wait < 8*timeout {
+			wait *= 2
+		}
+	}
+}
+
+// awaitPullFT waits for an object-pull reply with failure detection. ok is
+// false when the owner was declared crashed instead of answering — the
+// caller falls back to its local replica.
+func (n *Node) awaitPullFT(obj store.ID, req *wire.Msg, owner int) (*wire.Msg, bool, error) {
+	app := n.cfg.App
+	timeout := n.cfg.SuspectTimeout
+	wait := timeout
+	retries := 0
+	for {
+		m, ok, err := app.RecvTimeout(wait)
+		if err != nil {
+			return nil, false, fmt.Errorf("ec app %d: await pull %d: %w", n.team, obj, err)
+		}
+		if ok {
+			switch {
+			case m.Kind == wire.KindObjReply && m.Obj == uint32(obj):
+				return m, true, nil
+			case m.Kind == wire.KindDone:
+				n.gameOver = true
+			case m.Kind == wire.KindCrash:
+				n.noteCrash(int(m.Stamp))
+				if int(m.Stamp) == owner {
+					return nil, false, nil
+				}
+			}
+			continue
+		}
+		if retries == 0 {
+			n.mc.AddSuspect()
+		}
+		retries++
+		if retries > n.maxRetransmits() {
+			n.declareCrash(owner)
+			return nil, false, nil
+		}
+		if err := n.countSend(app, n.svcID(owner), req.Clone()); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				n.declareCrash(owner)
+				return nil, false, nil
+			}
+			return nil, false, fmt.Errorf("ec app %d: retransmit pull %d: %w", n.team, obj, err)
+		}
+		n.mc.AddRetransmit()
+		if wait < 8*timeout {
+			wait *= 2
+		}
 	}
 }
 
@@ -413,6 +883,9 @@ func (n *Node) releaseAll(locks []lockReq, dirty map[store.ID]int64) {
 	t0 := app.Now()
 	for _, lr := range locks {
 		mgrTeam := lockmgr.ManagerFor(lr.obj, n.teams)
+		if n.ft() {
+			mgrTeam = n.liveManagerFor(lr.obj)
+		}
 		rel := &wire.Msg{Kind: wire.KindLockRelease, Obj: uint32(lr.obj)}
 		if v, ok := dirty[lr.obj]; ok && lr.write {
 			rel.Ints = []int64{1, v}

@@ -82,6 +82,14 @@ type PlayerConfig struct {
 	// ("the application processes have only a minimal amount of local
 	// processor processing to perform", §4).
 	ComputePerTick time.Duration
+	// RendezvousTimeout enables crash detection in the runtime: silent
+	// rendezvous partners are suspected after this long, retransmitted to
+	// under backoff, and evicted after MaxRetransmits strikes (see
+	// core.Config). Zero keeps the fail-free blocking behavior.
+	RendezvousTimeout time.Duration
+	// MaxRetransmits bounds retransmissions per suspicion episode; zero
+	// means core.DefaultMaxRetransmits.
+	MaxRetransmits int
 
 	// afterExchange, when set, runs after each completed exchange;
 	// onActions, when set, observes each tick's decisions (test-only
@@ -149,10 +157,12 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 	}
 
 	rt, err := core.New(core.Config{
-		Endpoint:   cfg.Endpoint,
-		Metrics:    mc,
-		MergeDiffs: merge,
-		Debug:      cfg.debug,
+		Endpoint:          cfg.Endpoint,
+		Metrics:           mc,
+		MergeDiffs:        merge,
+		Debug:             cfg.debug,
+		RendezvousTimeout: cfg.RendezvousTimeout,
+		MaxRetransmits:    cfg.MaxRetransmits,
 		OnBeacon: func(peer int, ints []int64) {
 			b, err := game.DecodeBeacon(ints)
 			if err != nil {
@@ -309,7 +319,10 @@ func (p *player) refreshOwnTanks() {
 func (p *player) decideAll() []tankAction {
 	enemies := make(map[int][]game.Pos, len(p.known))
 	for team, kp := range p.known {
-		if p.rt.PeerDone(team) || len(kp.beacon.Tanks) == 0 {
+		// A peer that announced done or was evicted as crashed no longer
+		// moves; its last-known tanks are dropped from the enemy picture
+		// (its final world writes, if any, already landed via DATA).
+		if p.rt.PeerGone(team) || len(kp.beacon.Tanks) == 0 {
 			continue
 		}
 		enemies[team] = kp.beacon.Tanks

@@ -90,6 +90,32 @@ func (e *memEndpoint) Recv() (*wire.Msg, error) {
 	return m, nil
 }
 
+// RecvTimeout implements Endpoint with a wall-clock deadline: a timer
+// broadcast wakes the cond so the wait observes the expiry.
+func (e *memEndpoint) RecvTimeout(d time.Duration) (*wire.Msg, bool, error) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer timer.Stop()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		if !time.Now().Before(deadline) {
+			return nil, false, nil
+		}
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		return nil, false, ErrClosed
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, true, nil
+}
+
 func (e *memEndpoint) TryRecv() (*wire.Msg, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -10,8 +10,35 @@ import (
 	"sdso/internal/wire"
 )
 
-// tcpDialTimeout bounds how long a node waits for its peers to come up.
-const tcpDialTimeout = 10 * time.Second
+// Default TCP timing parameters, used when TCPConfig leaves them zero.
+const (
+	// tcpDialTimeout bounds how long a node waits for its peers to come up.
+	tcpDialTimeout = 10 * time.Second
+	// tcpCloseGrace bounds how long Close waits for peers to finish
+	// sending.
+	tcpCloseGrace = 2 * time.Second
+)
+
+// TCPConfig tunes the TCP transport's timing. The zero value selects the
+// defaults (10s dial timeout, 2s close grace).
+type TCPConfig struct {
+	// DialTimeout bounds how long DialTCP waits for every peer to come
+	// up; all nodes must start within this window of each other.
+	DialTimeout time.Duration
+	// CloseGrace bounds how long Close lingers waiting for peers to
+	// finish sending before hard-closing connections.
+	CloseGrace time.Duration
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = tcpDialTimeout
+	}
+	if c.CloseGrace <= 0 {
+		c.CloseGrace = tcpCloseGrace
+	}
+	return c
+}
 
 // TCPEndpoint is a real-sockets implementation of Endpoint: a full mesh of
 // TCP connections among n nodes, with length-prefixed wire.Msg frames. It is
@@ -20,6 +47,7 @@ const tcpDialTimeout = 10 * time.Second
 type TCPEndpoint struct {
 	id    int
 	n     int
+	cfg   TCPConfig
 	start time.Time
 	ln    net.Listener
 
@@ -33,24 +61,31 @@ type TCPEndpoint struct {
 }
 
 type tcpPeer struct {
-	mu   sync.Mutex // serializes frame writes
-	conn net.Conn
-	bw   *bufio.Writer
-	dead bool // peer hung up; subsequent sends are dropped
+	mu       sync.Mutex // serializes frame writes
+	conn     net.Conn
+	bw       *bufio.Writer
+	dead     bool // peer hung up; subsequent sends are dropped
+	departed bool // peer announced DONE before hanging up (legitimate exit)
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
 
 // DialTCP builds the full mesh for node id among addrs (one listen address
-// per node, indexed by node id). It listens on addrs[id], dials every node
-// with a smaller id, accepts connections from every node with a larger id,
-// and returns once all n-1 links are up. All nodes must be started within
-// the dial timeout of each other.
+// per node, indexed by node id) using the default TCPConfig. It listens on
+// addrs[id], dials every node with a smaller id, accepts connections from
+// every node with a larger id, and returns once all n-1 links are up. All
+// nodes must be started within the dial timeout of each other.
 func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
+	return DialTCPConfig(id, addrs, TCPConfig{})
+}
+
+// DialTCPConfig is DialTCP with explicit timing configuration.
+func DialTCPConfig(id int, addrs []string, cfg TCPConfig) (*TCPEndpoint, error) {
 	n := len(addrs)
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("transport: node id %d out of range for %d addrs", id, n)
 	}
+	cfg = cfg.withDefaults()
 	ln, err := net.Listen("tcp", addrs[id])
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addrs[id], err)
@@ -58,6 +93,7 @@ func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
 	e := &TCPEndpoint{
 		id:    id,
 		n:     n,
+		cfg:   cfg,
 		start: time.Now(),
 		ln:    ln,
 		peers: make([]*tcpPeer, n),
@@ -98,7 +134,7 @@ func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
 	go func() {
 		defer setup.Done()
 		for peer := 0; peer < id; peer++ {
-			conn, err := dialRetry(addrs[peer], tcpDialTimeout)
+			conn, err := dialRetry(addrs[peer], cfg.DialTimeout)
 			if err != nil {
 				errc <- fmt.Errorf("dial peer %d (%s): %w", peer, addrs[peer], err)
 				return
@@ -146,16 +182,23 @@ func (e *TCPEndpoint) addPeer(peer int, conn net.Conn) {
 	e.peers[peer] = p
 	e.mu.Unlock()
 	e.wg.Add(1)
-	go e.readLoop(conn)
+	go e.readLoop(p)
 }
 
-func (e *TCPEndpoint) readLoop(conn net.Conn) {
+func (e *TCPEndpoint) readLoop(p *tcpPeer) {
 	defer e.wg.Done()
-	br := bufio.NewReader(conn)
+	br := bufio.NewReader(p.conn)
 	for {
 		m := new(wire.Msg)
 		if err := wire.ReadFrame(br, m); err != nil {
 			return // peer closed or endpoint shutting down
+		}
+		if m.Kind == wire.KindDone {
+			// The peer announced completion: a subsequent hang-up is a
+			// legitimate departure, not a crash (see Send).
+			p.mu.Lock()
+			p.departed = true
+			p.mu.Unlock()
 		}
 		e.mu.Lock()
 		if e.closed {
@@ -192,21 +235,26 @@ func (e *TCPEndpoint) Send(to int, m *wire.Msg) error {
 	m.Src, m.Dst = int32(e.id), int32(to)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.dead {
-		return nil
-	}
-	err := wire.WriteFrame(p.bw, m)
-	if err == nil {
-		err = p.bw.Flush()
-	}
-	if err != nil {
-		// The peer hung up — in this system processes legitimately
-		// depart once finished, so messages to them are dropped, the
-		// same contract as the in-memory and simulated transports.
+	if !p.dead {
+		err := wire.WriteFrame(p.bw, m)
+		if err == nil {
+			err = p.bw.Flush()
+		}
+		if err == nil {
+			return nil
+		}
 		p.dead = true
 		_ = p.conn.Close()
 	}
-	return nil
+	// The link is broken. A peer that announced DONE legitimately departed
+	// (processes exit once finished), so messages to it are silently
+	// dropped — the same contract as the in-memory and simulated
+	// transports. A peer that vanished without DONE is presumed crashed:
+	// report ErrPeerGone so the runtime's failure detector can observe it.
+	if p.departed {
+		return nil
+	}
+	return ErrPeerGone
 }
 
 // Recv implements Endpoint.
@@ -222,6 +270,31 @@ func (e *TCPEndpoint) Recv() (*wire.Msg, error) {
 	m := e.queue[0]
 	e.queue = e.queue[1:]
 	return m, nil
+}
+
+// RecvTimeout implements Endpoint with a wall-clock deadline.
+func (e *TCPEndpoint) RecvTimeout(d time.Duration) (*wire.Msg, bool, error) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer timer.Stop()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		if !time.Now().Before(deadline) {
+			return nil, false, nil
+		}
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		return nil, false, ErrClosed
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, true, nil
 }
 
 // TryRecv implements Endpoint without blocking.
@@ -245,9 +318,6 @@ func (e *TCPEndpoint) Now() time.Duration { return time.Since(e.start) }
 // Compute implements Endpoint; real computation takes real time, so this is
 // a no-op.
 func (e *TCPEndpoint) Compute(time.Duration) {}
-
-// closeGrace bounds how long Close waits for peers to finish sending.
-const closeGrace = 2 * time.Second
 
 // Close implements Endpoint: it tears down every link and unblocks Recv.
 //
@@ -287,7 +357,7 @@ func (e *TCPEndpoint) Close() error {
 	}()
 	select {
 	case <-done:
-	case <-time.After(closeGrace):
+	case <-time.After(e.cfg.CloseGrace):
 	}
 	for _, p := range peers {
 		if p != nil {

@@ -19,6 +19,13 @@ import (
 // ErrClosed is returned by Send and Recv after the endpoint is closed.
 var ErrClosed = errors.New("transport: endpoint closed")
 
+// ErrPeerGone is returned by Send when the link to the peer is broken and
+// the peer did not legitimately depart (it never announced DONE): the
+// transport can no longer reach a process that should still be running.
+// Failure detectors treat it as evidence of a crash; sends to peers that
+// announced DONE before hanging up keep returning nil (expected departure).
+var ErrPeerGone = errors.New("transport: peer gone without announcing done")
+
 // Endpoint is one process's connection to the group. Implementations
 // guarantee FIFO delivery per sender pair and never duplicate messages.
 // Send never blocks on the receiver; Recv blocks until a message arrives or
@@ -38,6 +45,11 @@ type Endpoint interface {
 	// dependent on real transports; deterministic experiment drivers use
 	// it only on the simulated transport.
 	TryRecv() (m *wire.Msg, ok bool, err error)
+	// RecvTimeout blocks like Recv but gives up after d of this
+	// process's time (virtual time on simulated transports, wall time
+	// otherwise). ok is false with a nil error when the timeout expired;
+	// failure detectors build suspicion on top of this primitive.
+	RecvTimeout(d time.Duration) (m *wire.Msg, ok bool, err error)
 	// Now returns elapsed time on this process's clock: virtual time on
 	// simulated transports, wall time otherwise. Protocols use it for
 	// overhead accounting.

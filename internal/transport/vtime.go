@@ -65,6 +65,26 @@ func (e *SimEndpoint) Recv() (*wire.Msg, error) {
 	return m, nil
 }
 
+// RecvTimeout implements Endpoint with a virtual-time deadline; expiries
+// are scheduled by the simulator, so runs stay deterministic.
+func (e *SimEndpoint) RecvTimeout(d time.Duration) (*wire.Msg, bool, error) {
+	if !e.alive {
+		return nil, false, ErrClosed
+	}
+	vm, got, timedOut := e.proc.RecvTimeout(d)
+	if timedOut {
+		return nil, false, nil
+	}
+	if !got {
+		return nil, false, ErrClosed
+	}
+	m, okM := vm.Payload.(*wire.Msg)
+	if !okM {
+		return nil, false, ErrClosed
+	}
+	return m, true, nil
+}
+
 // TryRecv implements Endpoint over the simulated inbox.
 func (e *SimEndpoint) TryRecv() (*wire.Msg, bool, error) {
 	if !e.alive {

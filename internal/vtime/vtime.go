@@ -46,10 +46,16 @@ type Message struct {
 // LinkModel decides when a message sent at time now from one process to
 // another becomes available at the receiver. Implementations may keep state
 // (for example per-NIC busy-until times) and are invoked in deterministic
-// order. Delivery must be >= now.
+// order. Delivery must be >= now, or Dropped to model message loss: the
+// message is silently discarded (the sender still pays nothing — lossy-link
+// models that want to charge NIC time should account it internally).
 type LinkModel interface {
 	Delivery(from, to, size int, now Time) Time
 }
+
+// Dropped is the sentinel a LinkModel returns from Delivery for a message
+// the (lossy) link loses in transit.
+const Dropped = Time(-1)
 
 // ConstantDelay is the simplest LinkModel: every message takes the same time.
 type ConstantDelay Time
@@ -106,11 +112,18 @@ type Proc struct {
 
 	inbox msgQueue
 
+	// deadline, when hasDeadline is set, bounds the current blocking Recv:
+	// the scheduler wakes the process at this virtual time even with an
+	// empty inbox (RecvTimeout reports the expiry to the caller).
+	deadline    Time
+	hasDeadline bool
+
 	// Accounting, exposed via Stats.
 	computeTime Time
 	blockedTime Time
 	sent, recvd int
 	sentBytes   int
+	dropped     int
 }
 
 // Stats is a snapshot of a process's accounting counters.
@@ -122,6 +135,8 @@ type Stats struct {
 	Sent        int
 	Received    int
 	SentBytes   int
+	// Dropped counts messages the LinkModel lost in transit (lossy links).
+	Dropped int
 }
 
 // Sim is a deterministic discrete-event simulation.
@@ -194,22 +209,30 @@ func (s *Sim) Run() error {
 		s.nEvents++
 
 		// Choose the next action: the earliest of (a) the head of the
-		// delivery-event queue and (b) the runnable process with the
-		// smallest clock. Deliveries win ties so that a process resumed
-		// at time t has already seen every message deliverable at or
-		// before t.
+		// delivery-event queue, (b) the runnable process with the
+		// smallest clock, and (c) the blocked process with the smallest
+		// expiring Recv deadline. Deliveries win ties so that a process
+		// resumed at time t has already seen every message deliverable at
+		// or before t (including one arriving exactly at its deadline).
 		var next *Proc
+		var nextAt Time
 		for _, p := range s.procs {
-			if p.state != stateRunnable {
+			var at Time
+			switch {
+			case p.state == stateRunnable:
+				at = p.now
+			case p.state == stateBlocked && p.hasDeadline:
+				at = p.deadline
+			default:
 				continue
 			}
-			if next == nil || p.now < next.now || (p.now == next.now && p.id < next.id) {
-				next = p
+			if next == nil || at < nextAt || (at == nextAt && p.id < next.id) {
+				next, nextAt = p, at
 			}
 		}
 		if len(s.events) > 0 {
 			ev := s.events[0]
-			if next == nil || ev.at <= next.now {
+			if next == nil || ev.at <= nextAt {
 				heap.Pop(&s.events)
 				s.deliver(ev)
 				continue
@@ -221,9 +244,19 @@ func (s *Sim) Run() error {
 			}
 			return nil // all processes done
 		}
-		if s.cfg.Horizon > 0 && next.now > s.cfg.Horizon {
+		if s.cfg.Horizon > 0 && nextAt > s.cfg.Horizon {
 			s.failure = ErrHorizon
 			continue
+		}
+		if next.state == stateBlocked {
+			// Waking on an expired Recv deadline with an empty inbox:
+			// advance the clock to the deadline; RecvTimeout observes the
+			// expiry and reports it.
+			if next.deadline > next.now {
+				next.blockedTime += next.deadline - next.now
+				next.now = next.deadline
+			}
+			next.hasDeadline = false
 		}
 
 		// Hand the baton to the chosen process and wait for it to yield.
@@ -283,6 +316,7 @@ func (s *Sim) deliver(ev *event) {
 			p.now = ev.at
 		}
 		p.state = stateRunnable
+		p.hasDeadline = false
 	}
 }
 
@@ -314,6 +348,7 @@ func (p *Proc) Stats() Stats {
 		Sent:        p.sent,
 		Received:    p.recvd,
 		SentBytes:   p.sentBytes,
+		Dropped:     p.dropped,
 	}
 }
 
@@ -343,6 +378,10 @@ func (p *Proc) Send(to int, payload any, size int) {
 		panic(fmt.Sprintf("vtime: send to unknown proc %d", to))
 	}
 	at := p.sim.cfg.Links.Delivery(p.id, to, size, p.now)
+	if at < 0 {
+		p.dropped++ // lossy link: the message is lost in transit
+		return
+	}
 	if at < p.now {
 		panic("vtime: LinkModel produced delivery before send")
 	}
@@ -376,6 +415,35 @@ func (p *Proc) Recv() (Message, bool) {
 			p.recvd++
 			return ev.msg, true
 		}
+		p.yieldToScheduler(stateBlocked)
+	}
+}
+
+// RecvTimeout blocks like Recv but gives up once the local clock reaches
+// now+d without a message becoming available. got reports whether a message
+// was returned; timedOut reports a deadline expiry. When both are false the
+// simulation was aborted while waiting. Deadline wakeups are scheduled in
+// virtual time, so executions using RecvTimeout remain fully deterministic.
+func (p *Proc) RecvTimeout(d Time) (msg Message, got bool, timedOut bool) {
+	if d < 0 {
+		panic("vtime: negative recv timeout")
+	}
+	deadline := p.now + d
+	for {
+		if p.failed() {
+			return Message{}, false, false
+		}
+		if len(p.inbox) > 0 {
+			ev := heap.Pop(&p.inbox).(*event)
+			ev.msg.Delivered = ev.at
+			p.recvd++
+			return ev.msg, true, false
+		}
+		if p.now >= deadline {
+			return Message{}, false, true
+		}
+		p.deadline = deadline
+		p.hasDeadline = true
 		p.yieldToScheduler(stateBlocked)
 	}
 }

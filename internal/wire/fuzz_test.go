@@ -33,12 +33,23 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	})
 }
 
-// FuzzReadFrame: arbitrary streams must never panic the frame reader.
+// FuzzReadFrame: arbitrary streams must never panic the frame reader. The
+// seed corpus includes truncated frames — a crashing or partitioned peer
+// cuts the TCP stream at arbitrary byte boundaries, so the reader must fail
+// cleanly mid-length-prefix, mid-header, and mid-payload.
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
 	_ = WriteFrame(&buf, sampleMsg())
-	f.Add(buf.Bytes())
+	full := buf.Bytes()
+	f.Add(full)
 	f.Add([]byte{0, 0, 0, 1, 9})
+	for _, cut := range []int{1, 3, 5, len(full) / 2, len(full) - 1} {
+		if cut > 0 && cut < len(full) {
+			f.Add(full[:cut])
+		}
+	}
+	// A length prefix promising far more than the stream delivers.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Msg
 		_ = ReadFrame(bytes.NewReader(data), &m)

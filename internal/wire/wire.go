@@ -65,6 +65,15 @@ const (
 	// KindHello is the TCP transport handshake announcing the sender's
 	// node ID (Stamp).
 	KindHello
+	// KindCrash announces that the node named by Stamp is presumed
+	// crashed (fail-stop). Receivers purge its locks, fail its shard of
+	// lock managers over, and stop waiting for it.
+	KindCrash
+	// KindLockBusy is a lock manager's answer to a retransmitted lock
+	// request that is still queued: Ints lists the current holders, so
+	// the requester redirects its suspicion from the (live) manager to a
+	// possibly-crashed holder.
+	KindLockBusy
 
 	kindMax
 )
@@ -84,6 +93,8 @@ var kindNames = map[Kind]string{
 	KindUpdate:      "UPDATE",
 	KindShutdown:    "SHUTDOWN",
 	KindHello:       "HELLO",
+	KindCrash:       "CRASH",
+	KindLockBusy:    "LOCK_BUSY",
 }
 
 // String implements fmt.Stringer.
