@@ -1,0 +1,266 @@
+// Peer rejoin and late join. A restarted (or brand-new) process broadcasts
+// KindJoinReq; every live peer that hears it independently readmits the
+// joiner — re-opening its slotted-buffer slot, scheduling it in the
+// exchange-list at a pairwise admission tick a little past its own clock,
+// and bumping its membership epoch — then answers with a KindJoinAck
+// (admission tick + view) and a KindSnapshot (store checkpoint). The
+// joiner merges every responder's snapshot version-gated, so the union
+// over responders captures every surviving write, and resumes its logical
+// clock just before the earliest admission.
+//
+// Admission is pairwise by design: the paper's rendezvous invariant is
+// pairwise agreement on exchange ticks, not a global schedule, so each
+// survivor may admit the joiner at a different tick of its own clock. A
+// survivor that runs ahead of the joiner's first SYNC simply buffers it as
+// early traffic, exactly like any other early rendezvous.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+)
+
+// joinState tracks one in-progress Join call.
+type joinState struct {
+	admit   map[int]int64 // peer → admission tick from its KindJoinAck
+	snapped map[int]bool  // peer → snapshot merged
+}
+
+// Join admits this process into a game already in progress: it broadcasts
+// KindJoinReq to every peer, merges the snapshots of all responders, adopts
+// each responder's admission tick into the exchange-list, and advances the
+// local clock to just before the earliest admission so the next Exchange
+// lands exactly on the first granted rendezvous. Peers that never answer
+// within the retransmission budget are evicted as crashed. incarnation
+// distinguishes successive lives of this process ID (1 for a first restart
+// or a brand-new late joiner). Join requires RendezvousTimeout > 0 — a
+// joiner cannot wait forever on peers that may be dead.
+func (r *Runtime) Join(incarnation int64) error {
+	if r.localDone {
+		return ErrDone
+	}
+	timeout := r.cfg.RendezvousTimeout
+	if timeout <= 0 {
+		return errors.New("core: Join requires RendezvousTimeout (failure detection)")
+	}
+	var targets []int
+	for peer := 0; peer < r.ep.N(); peer++ {
+		if peer == r.ep.ID() || r.peerDone[peer] || r.peerCrashed[peer] {
+			continue
+		}
+		targets = append(targets, peer)
+	}
+	js := &joinState{admit: make(map[int]int64), snapped: make(map[int]bool)}
+	r.joining = js
+	defer func() { r.joining = nil }()
+
+	req := &wire.Msg{Kind: wire.KindJoinReq, Stamp: incarnation}
+	for _, peer := range targets {
+		if err := r.send(peer, req.Clone()); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				r.evictPeer(peer)
+				continue
+			}
+			return fmt.Errorf("join request to %d: %w", peer, err)
+		}
+	}
+
+	resolved := func(peer int) bool {
+		if r.peerDone[peer] || r.peerCrashed[peer] {
+			return true
+		}
+		_, acked := js.admit[peer]
+		return acked && js.snapped[peer]
+	}
+	allResolved := func() bool {
+		for _, peer := range targets {
+			if !resolved(peer) {
+				return false
+			}
+		}
+		return true
+	}
+	wait := timeout
+	retries := 0
+	for !allResolved() {
+		m, ok, err := r.ep.RecvTimeout(wait)
+		if err != nil {
+			return fmt.Errorf("join recv: %w", err)
+		}
+		if ok {
+			r.dispatch(m, nil, nil)
+			continue
+		}
+		retries++
+		if retries > r.maxRetransmits() {
+			// Non-responders are presumed dead; the join completes among
+			// whoever answered.
+			for _, peer := range targets {
+				if !resolved(peer) {
+					r.evictPeer(peer)
+				}
+			}
+			break
+		}
+		for _, peer := range targets {
+			if resolved(peer) {
+				continue
+			}
+			if err := r.send(peer, req.Clone()); err != nil {
+				if errors.Is(err, transport.ErrPeerGone) {
+					r.evictPeer(peer)
+					continue
+				}
+				return fmt.Errorf("join retransmit to %d: %w", peer, err)
+			}
+			r.mc.AddRetransmit()
+		}
+		if wait < 8*timeout {
+			wait *= 2
+		}
+	}
+
+	// Resume the clock one tick before the earliest admission: the next
+	// Exchange then lands exactly on the first granted rendezvous, and
+	// later admissions are already in the exchange-list.
+	earliest := int64(-1)
+	for _, peer := range targets {
+		admit, ok := js.admit[peer]
+		if !ok || r.peerDone[peer] || r.peerCrashed[peer] {
+			continue
+		}
+		if earliest < 0 || admit < earliest {
+			earliest = admit
+		}
+	}
+	if earliest < 0 {
+		return ErrJoinFailed
+	}
+	if earliest-1 > r.now {
+		r.now = earliest - 1
+	}
+	r.mc.AddJoin()
+	r.debugf("now=%d joined epoch=%d members=%v", r.now, r.epoch, r.View().Members)
+	return nil
+}
+
+// serveJoin is the survivor half of the handshake: readmit the joiner,
+// grant it an admission tick JoinSlack past the local clock, and answer
+// with the ack and a store snapshot. Serving is idempotent per (peer,
+// incarnation): a retransmitted request gets the same admission tick back
+// (a fresh tick would desynchronize the pairwise schedule if both acks
+// eventually arrive) plus a fresh snapshot.
+func (r *Runtime) serveJoin(peer int, m *wire.Msg) {
+	if peer == r.ep.ID() || r.localDone || r.peerDone[peer] {
+		return
+	}
+	inc := m.Stamp
+	if admit, ok := r.joinGrant[peer]; ok && r.joinInc[peer] == inc &&
+		!r.peerCrashed[peer] && !r.peerAbsent[peer] {
+		r.sendJoinReply(peer, admit)
+		return
+	}
+	r.readmitPeer(peer)
+	slack := r.cfg.JoinSlack
+	if slack <= 0 {
+		slack = DefaultJoinSlack
+	}
+	admit := r.now + slack
+	r.joinGrant[peer] = admit
+	r.joinInc[peer] = inc
+	r.xl.Set(peer, admit)
+	r.debugf("now=%d serveJoin peer=%d inc=%d admit=%d epoch=%d", r.now, peer, inc, admit, r.epoch)
+	r.mc.AddJoin()
+	if r.cfg.OnJoin != nil {
+		r.cfg.OnJoin(peer)
+	}
+	r.sendJoinReply(peer, admit)
+}
+
+// readmitPeer clears peer's crashed/absent status and re-opens its
+// bookkeeping: the membership epoch advances and the slotted-buffer slot
+// reopens so subsequent writes buffer for it again. The joiner's missed
+// history travels in the snapshot, so the slot starts empty.
+func (r *Runtime) readmitPeer(peer int) {
+	if !r.peerCrashed[peer] && !r.peerAbsent[peer] {
+		return
+	}
+	delete(r.peerCrashed, peer)
+	delete(r.peerAbsent, peer)
+	r.epoch++
+	r.buf.Readmit(peer)
+	// Pre-crash leftovers from the peer's previous life must not leak
+	// into its new one.
+	delete(r.earlySync, peer)
+	delete(r.earlyData, peer)
+	delete(r.lastSync, peer)
+}
+
+// sendJoinReply ships the admission ack (tick, epoch, game-over flag,
+// member list) followed by a store snapshot floored at the local clock.
+func (r *Runtime) sendJoinReply(peer int, admit int64) {
+	view := r.View()
+	ints := make([]int64, 0, len(view.Members)+2)
+	over := int64(0)
+	if r.gameOver {
+		over = 1
+	}
+	ints = append(ints, view.Epoch, over)
+	for _, p := range view.Members {
+		ints = append(ints, int64(p))
+	}
+	ack := &wire.Msg{Kind: wire.KindJoinAck, Stamp: admit, Ints: ints}
+	if err := r.send(peer, ack); err != nil {
+		if errors.Is(err, transport.ErrPeerGone) {
+			r.evictPeer(peer)
+		}
+		return
+	}
+	snap := r.st.Snapshot(r.now)
+	r.mc.AddSnapshotBytes(len(snap))
+	_ = r.send(peer, &wire.Msg{Kind: wire.KindSnapshot, Stamp: r.now, Payload: snap})
+}
+
+// handleJoinAck is the joiner half: record the responder's admission tick,
+// schedule the first rendezvous with it, and adopt its epoch. Acks arriving
+// outside a Join (stale retransmissions) are dropped — the eviction of a
+// non-responder is final, and its own view will evict us back when the
+// granted rendezvous times out.
+func (r *Runtime) handleJoinAck(peer int, m *wire.Msg) {
+	js := r.joining
+	if js == nil || r.peerDone[peer] || r.peerCrashed[peer] {
+		return
+	}
+	r.readmitPeer(peer) // the responder is live and a member
+	js.admit[peer] = m.Stamp
+	r.xl.Set(peer, m.Stamp)
+	if len(m.Ints) > 0 && m.Ints[0] > r.epoch {
+		r.epoch = m.Ints[0]
+	}
+	if len(m.Ints) > 1 && m.Ints[1] == 1 {
+		r.gameOver = true
+	}
+	r.debugf("now=%d joinAck peer=%d admit=%d", r.now, peer, m.Stamp)
+}
+
+// handleSnapshot merges a checkpoint version-gated. Outside a join (a
+// duplicate or stale snapshot) the merge is still safe — version gating
+// makes it a no-op against equal-or-newer local state.
+func (r *Runtime) handleSnapshot(peer int, m *wire.Msg) {
+	adopted, _, err := r.st.Merge(m.Payload)
+	if err != nil {
+		return // corrupt checkpoints are dropped; a retransmission follows
+	}
+	js := r.joining
+	if js == nil || r.peerDone[peer] || r.peerCrashed[peer] {
+		return
+	}
+	if !js.snapped[peer] {
+		js.snapped[peer] = true
+		r.mc.AddCatchupDiffs(adopted)
+		r.debugf("now=%d snapshot peer=%d adopted=%d", r.now, peer, adopted)
+	}
+}

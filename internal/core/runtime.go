@@ -113,6 +113,25 @@ type Config struct {
 	// tests to diff executions.
 	Debug func(event string)
 
+	// InitialMembers, when non-nil, lists the process IDs present at the
+	// start of the game (the local ID is implied). Peers not listed are
+	// absent — late joiners that will enter via Join — and are excluded
+	// from exchanges, writes, and completion accounting until a join
+	// request from them arrives. Nil means every peer starts as a member.
+	InitialMembers []int
+	// JoinSlack is the number of ticks between serving a join request and
+	// the joiner's first rendezvous with this process — the "next epoch
+	// boundary" granted to a joiner. It must exceed zero so the admission
+	// tick is strictly in this process's future; zero means
+	// DefaultJoinSlack.
+	JoinSlack int64
+	// OnJoin, when set, is invoked after peer is (re)admitted into the
+	// membership by a join request, before the admission is acknowledged.
+	// Protocols use it to reset per-peer knowledge (cached enemy
+	// positions, spatial filters) so the first rendezvous with the joiner
+	// resends a full picture.
+	OnJoin func(peer int)
+
 	// RendezvousTimeout enables failure detection: a blocking wait
 	// (rendezvous or sync put/get reply) that stays silent this long marks
 	// the awaited peer suspected, retransmits the unacknowledged message,
@@ -131,6 +150,11 @@ type Config struct {
 // Config.MaxRetransmits is zero: a silent peer is declared crashed after
 // this many unanswered retransmissions (plus the initial send).
 const DefaultMaxRetransmits = 3
+
+// DefaultJoinSlack is the admission distance used when Config.JoinSlack is
+// zero: a joiner is scheduled two ticks past the serving process's clock,
+// leaving one full tick for the acknowledgment and snapshot to land.
+const DefaultJoinSlack = 2
 
 // Runtime is one process's S-DSO instance.
 type Runtime struct {
@@ -162,14 +186,34 @@ type Runtime struct {
 	syncSeen    map[int]int64     // highest consumed SYNC stamp per peer
 	lastSync    map[int]*wire.Msg // last SYNC sent to each peer (echo source)
 	corrDone    int64             // highest consumed reply correlation stamp
+
+	// Membership state (epoch-numbered views; see View).
+	epoch      int64
+	peerAbsent map[int]bool  // late joiners not yet admitted
+	joining    *joinState    // non-nil while Join is collecting admissions
+	joinGrant  map[int]int64 // peer → admission tick granted to it
+	joinInc    map[int]int64 // peer → incarnation of that grant
 }
 
 // Errors returned by the runtime.
 var (
-	ErrDone        = errors.New("core: process already announced done")
-	ErrNeedsSFunc  = errors.New("core: resync exchange requires an s-function")
-	ErrPeerCrashed = errors.New("core: peer evicted as crashed")
+	ErrDone       = errors.New("core: process already announced done")
+	ErrNeedsSFunc = errors.New("core: resync exchange requires an s-function")
+	// ErrEvicted reports that a peer a synchronous operation depended on
+	// was evicted as crashed. Match it with errors.Is.
+	ErrEvicted = errors.New("core: peer evicted as crashed")
+	// ErrSyncTimeout reports that a synchronous wait (a SyncGet/SyncPut
+	// reply) exhausted its retransmission budget before an answer came.
+	// Errors from that path match both ErrSyncTimeout and ErrEvicted.
+	ErrSyncTimeout = errors.New("core: synchronous wait timed out")
+	// ErrJoinFailed reports that a Join received no admission from any
+	// live peer (everyone is dead, done, or unreachable).
+	ErrJoinFailed = errors.New("core: join failed: no live peer answered")
 )
+
+// ErrPeerCrashed is the former name of ErrEvicted, kept so existing
+// errors.Is call sites keep matching.
+var ErrPeerCrashed = ErrEvicted
 
 // New builds a runtime over the endpoint. Objects are registered afterwards
 // via Share, before the first Exchange.
@@ -201,12 +245,30 @@ func New(cfg Config) (*Runtime, error) {
 		peerCrashed: make(map[int]bool),
 		syncSeen:    make(map[int]int64),
 		lastSync:    make(map[int]*wire.Msg),
+
+		peerAbsent: make(map[int]bool),
+		joinGrant:  make(map[int]int64),
+		joinInc:    make(map[int]int64),
 	}
 	for peer := 0; peer < ep.N(); peer++ {
 		if peer == ep.ID() {
 			continue
 		}
 		r.xl.Set(peer, first)
+	}
+	if cfg.InitialMembers != nil {
+		member := make(map[int]bool, len(cfg.InitialMembers))
+		for _, p := range cfg.InitialMembers {
+			member[p] = true
+		}
+		for peer := 0; peer < ep.N(); peer++ {
+			if peer == ep.ID() || member[peer] {
+				continue
+			}
+			r.peerAbsent[peer] = true
+			r.xl.Remove(peer)
+			r.buf.Drop(peer)
+		}
 	}
 	return r, nil
 }
@@ -233,9 +295,39 @@ func (r *Runtime) PeerDone(peer int) bool { return r.peerDone[peer] }
 // suspicion threshold, or its connection broke without a DONE).
 func (r *Runtime) PeerCrashed(peer int) bool { return r.peerCrashed[peer] }
 
-// PeerGone reports whether peer is out of the game for either reason —
-// announced done or evicted as crashed.
-func (r *Runtime) PeerGone(peer int) bool { return r.peerDone[peer] || r.peerCrashed[peer] }
+// PeerAbsent reports whether peer has not yet joined the game (it was
+// excluded from Config.InitialMembers and no join request has arrived).
+func (r *Runtime) PeerAbsent(peer int) bool { return r.peerAbsent[peer] }
+
+// PeerGone reports whether peer is not participating — announced done,
+// evicted as crashed, or absent (not yet joined).
+func (r *Runtime) PeerGone(peer int) bool {
+	return r.peerDone[peer] || r.peerCrashed[peer] || r.peerAbsent[peer]
+}
+
+// View is an epoch-numbered membership view: the live members (including
+// the local process) as of the view's epoch. The epoch increments on every
+// membership event — an eviction, a completion, or a (re)admission — so
+// equal epochs at one process imply identical member sets.
+type View struct {
+	Epoch   int64
+	Members []int // ascending, including the local process
+}
+
+// Epoch returns the current membership epoch.
+func (r *Runtime) Epoch() int64 { return r.epoch }
+
+// View returns the current membership view.
+func (r *Runtime) View() View {
+	members := make([]int, 0, r.ep.N())
+	for peer := 0; peer < r.ep.N(); peer++ {
+		if peer != r.ep.ID() && (r.peerDone[peer] || r.peerCrashed[peer] || r.peerAbsent[peer]) {
+			continue
+		}
+		members = append(members, peer)
+	}
+	return View{Epoch: r.epoch, Members: members}
+}
 
 // PendingObjects returns the IDs of objects with modifications buffered for
 // peer but not yet sent (spatial s-functions use this to advertise the
@@ -247,7 +339,7 @@ func (r *Runtime) PendingObjects(peer int) []store.ID { return r.buf.Objects(pee
 func (r *Runtime) LivePeers() []int {
 	var out []int
 	for peer := 0; peer < r.ep.N(); peer++ {
-		if peer == r.ep.ID() || r.peerDone[peer] || r.peerCrashed[peer] {
+		if peer == r.ep.ID() || r.peerDone[peer] || r.peerCrashed[peer] || r.peerAbsent[peer] {
 			continue
 		}
 		out = append(out, peer)
@@ -292,7 +384,7 @@ func (r *Runtime) Write(id store.ID, data []byte) error {
 	state := make([]byte, len(data))
 	copy(state, data)
 	repl := diff.Diff{Replace: true, Len: len(state), Runs: []diff.Run{{Off: 0, Data: state}}}
-	skip := make(map[int]bool, len(r.peerDone)+len(r.peerCrashed))
+	skip := make(map[int]bool, len(r.peerDone)+len(r.peerCrashed)+len(r.peerAbsent))
 	for peer, done := range r.peerDone {
 		if done {
 			skip[peer] = true
@@ -300,6 +392,11 @@ func (r *Runtime) Write(id store.ID, data []byte) error {
 	}
 	for peer, crashed := range r.peerCrashed {
 		if crashed {
+			skip[peer] = true
+		}
+	}
+	for peer, absent := range r.peerAbsent {
+		if absent {
 			skip[peer] = true
 		}
 	}
@@ -579,9 +676,13 @@ func (r *Runtime) evictPeer(peer int) {
 	if peer == r.ep.ID() || r.peerDone[peer] || r.peerCrashed[peer] {
 		return
 	}
+	delete(r.peerAbsent, peer) // an absent peer that failed to join is crashed
 	r.peerCrashed[peer] = true
+	r.epoch++
+	delete(r.joinGrant, peer) // a future rejoin negotiates a fresh admission
+	delete(r.joinInc, peer)
 	r.mc.AddEviction()
-	r.debugf("now=%d evict peer=%d", r.now, peer)
+	r.debugf("now=%d evict peer=%d epoch=%d", r.now, peer, r.epoch)
 	r.xl.Remove(peer)
 	r.buf.Drop(peer)
 	delete(r.earlySync, peer)
@@ -592,10 +693,25 @@ func (r *Runtime) evictPeer(peer int) {
 // completion.
 func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64, stamp int64), onPeerDone func(peer int)) {
 	peer := int(m.Src)
-	if r.peerCrashed[peer] {
-		// Traffic from an evicted peer is dropped: the eviction decision
-		// is final (late messages from a slow-but-live peer must not
-		// resurrect half of its state).
+	// Join traffic is routed before the crashed/absent gate: a join
+	// request from an evicted or absent peer is exactly the expected way
+	// back in, and a joiner holds every peer absent until its ack lands.
+	switch m.Kind {
+	case wire.KindJoinReq:
+		r.serveJoin(peer, m)
+		return
+	case wire.KindJoinAck:
+		r.handleJoinAck(peer, m)
+		return
+	case wire.KindSnapshot:
+		r.handleSnapshot(peer, m)
+		return
+	}
+	if r.peerCrashed[peer] || r.peerAbsent[peer] {
+		// Other traffic from an evicted (or not-yet-joined) peer is
+		// dropped: the eviction decision is final (late messages from a
+		// slow-but-live peer must not resurrect half of its state), and
+		// an absent peer has no rendezvous to serve until it joins.
 		return
 	}
 	switch m.Kind {
@@ -681,7 +797,8 @@ func (r *Runtime) handleDone(peer int, m *wire.Msg) {
 		return
 	}
 	r.peerDone[peer] = true
-	r.debugf("now=%d peerDone peer=%d stamp=%d", r.now, peer, m.Stamp)
+	r.epoch++
+	r.debugf("now=%d peerDone peer=%d stamp=%d epoch=%d", r.now, peer, m.Stamp, r.epoch)
 	r.xl.Remove(peer)
 	r.buf.Drop(peer)
 	// The peer's final flush may already sit in earlyData (stamped one
@@ -964,7 +1081,7 @@ func (r *Runtime) waitReply(to int, req *wire.Msg, obj uint32, stamp int64, appl
 		retries++
 		if retries > r.maxRetransmits() {
 			r.evictPeer(to)
-			return fmt.Errorf("core: no reply for obj %d after %d retransmits: peer %d %w", obj, retries-1, to, ErrPeerCrashed)
+			return fmt.Errorf("core: no reply for obj %d from peer %d after %d retransmits: %w (%w)", obj, to, retries-1, ErrSyncTimeout, ErrEvicted)
 		}
 		if err := r.send(to, req.Clone()); err != nil {
 			if errors.Is(err, transport.ErrPeerGone) {

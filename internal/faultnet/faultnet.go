@@ -20,6 +20,7 @@ package faultnet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -62,9 +63,28 @@ type Crash struct {
 	// At, when positive, silences the process once its endpoint clock
 	// (virtual time on simulated transports) reaches this instant.
 	At time.Duration
+	// RestartAt, when positive, schedules a crash-then-restart: the
+	// process revives at this endpoint-clock instant. The driver calls
+	// AwaitRestart after observing ErrCrashed; everything queued while
+	// down is lost (fail-stop loses volatile state), and the revived
+	// process must rejoin via the protocol's join machinery.
+	RestartAt time.Duration
 }
 
 func (c Crash) zero() bool { return c.AtTick <= 0 && c.At <= 0 }
+
+// Heal schedules a partition repair. Once the local endpoint clock reaches
+// At, the healed direction(s) of the named pair flow again.
+type Heal struct {
+	At time.Duration
+	// Pair names the partitioned pair to heal. A OneWay heal removes only
+	// the cut from Pair[0] to Pair[1]; otherwise both directions repair.
+	Pair   [2]int
+	OneWay bool
+}
+
+// neverHeals marks a cut with no scheduled repair.
+const neverHeals = time.Duration(math.MaxInt64)
 
 // Plan describes the faults for a whole process group. One Plan is shared
 // by every wrapped endpoint so that both sides of a partition agree and a
@@ -81,6 +101,13 @@ type Plan struct {
 	// Partitions lists unordered node pairs whose traffic is dropped in
 	// both directions (each wrapped side drops its own outbound half).
 	Partitions [][2]int
+	// OneWay lists directed (from, to) pairs whose from→to traffic is
+	// dropped while the reverse direction still flows — asymmetric
+	// partitions, the common shape of real link failures.
+	OneWay [][2]int
+	// Heals schedules partition repairs (see Heal). A cut with no
+	// matching heal stays down for the whole run.
+	Heals []Heal
 	// Crashes schedules fail-stops per process ID.
 	Crashes map[int]Crash
 }
@@ -107,19 +134,57 @@ func linkSeed(seed int64, from, to int) int64 {
 // injected fault; nil discards the counts.
 func (pl *Plan) Wrap(inner transport.Endpoint, mc *metrics.Collector) *Endpoint {
 	e := &Endpoint{
-		inner: inner,
-		plan:  pl,
-		mc:    mc,
-		links: make(map[int]*linkState),
-		cut:   make(map[int]bool),
+		inner:   inner,
+		plan:    pl,
+		mc:      mc,
+		links:   make(map[int]*linkState),
+		cutTo:   make(map[int]time.Duration),
+		cutFrom: make(map[int]time.Duration),
 	}
 	self := inner.ID()
+	addCut := func(m map[int]time.Duration, peer int) {
+		if _, ok := m[peer]; !ok {
+			m[peer] = neverHeals
+		}
+	}
 	for _, p := range pl.Partitions {
 		if p[0] == self {
-			e.cut[p[1]] = true
+			addCut(e.cutTo, p[1])
+			addCut(e.cutFrom, p[1])
 		}
 		if p[1] == self {
-			e.cut[p[0]] = true
+			addCut(e.cutTo, p[0])
+			addCut(e.cutFrom, p[0])
+		}
+	}
+	for _, p := range pl.OneWay {
+		if p[0] == self {
+			addCut(e.cutTo, p[1])
+		}
+		if p[1] == self {
+			addCut(e.cutFrom, p[0])
+		}
+	}
+	for _, h := range pl.Heals {
+		if h.At <= 0 {
+			continue
+		}
+		heal := func(m map[int]time.Duration, peer int) {
+			if d, ok := m[peer]; ok && h.At < d {
+				m[peer] = h.At
+			}
+		}
+		if h.Pair[0] == self {
+			heal(e.cutTo, h.Pair[1])
+			if !h.OneWay {
+				heal(e.cutFrom, h.Pair[1])
+			}
+		}
+		if h.Pair[1] == self {
+			heal(e.cutFrom, h.Pair[0])
+			if !h.OneWay {
+				heal(e.cutTo, h.Pair[0])
+			}
 		}
 	}
 	if pl.Crashes != nil {
@@ -154,11 +219,13 @@ type Endpoint struct {
 	plan  *Plan
 	mc    *metrics.Collector
 
-	mu      sync.Mutex
-	links   map[int]*linkState
-	cut     map[int]bool // peers across a partition
-	crash   Crash
-	crashed bool
+	mu        sync.Mutex
+	links     map[int]*linkState
+	cutTo     map[int]time.Duration // outbound cuts: peer → heal instant
+	cutFrom   map[int]time.Duration // inbound cuts: peer → heal instant
+	crash     Crash
+	crashed   bool
+	restarted bool // revived by AwaitRestart: crash triggers disarmed
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
@@ -195,7 +262,7 @@ func (e *Endpoint) checkCrashLocked(m *wire.Msg) bool {
 	if e.crashed {
 		return true
 	}
-	if e.crash.zero() {
+	if e.restarted || e.crash.zero() {
 		return false
 	}
 	if e.crash.At > 0 && e.inner.Now() >= e.crash.At {
@@ -231,7 +298,7 @@ func (e *Endpoint) Send(to int, m *wire.Msg) error {
 	if e.checkCrashLocked(m) {
 		return ErrCrashed
 	}
-	if e.cut[to] {
+	if deadline, ok := e.cutTo[to]; ok && e.inner.Now() < deadline {
 		e.link(to).note(decPartition)
 		e.countFault()
 		return nil // partitioned: silently lost
@@ -369,7 +436,43 @@ func (e *Endpoint) TryRecv() (*wire.Msg, bool, error) {
 func (e *Endpoint) admit(m *wire.Msg) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return !e.cut[int(m.Src)]
+	deadline, ok := e.cutFrom[int(m.Src)]
+	return !ok || e.inner.Now() >= deadline
+}
+
+// AwaitRestart blocks (advancing the process clock) until the scheduled
+// restart instant, discards everything queued while the process was down,
+// and re-arms the endpoint with the crash triggers disarmed. The caller
+// then re-runs its protocol stack with a rejoin configuration. It errors
+// if no restart is scheduled or the process has not crashed yet.
+func (e *Endpoint) AwaitRestart() error {
+	e.mu.Lock()
+	restartAt := e.crash.RestartAt
+	crashed := e.crashed
+	e.mu.Unlock()
+	if restartAt <= 0 {
+		return errors.New("faultnet: no restart scheduled for this process")
+	}
+	if !crashed {
+		return errors.New("faultnet: process has not crashed")
+	}
+	if d := restartAt - e.inner.Now(); d > 0 {
+		e.inner.Compute(d)
+	}
+	e.mu.Lock()
+	e.crashed = false
+	e.restarted = true
+	e.mu.Unlock()
+	// Fail-stop loses volatile state: messages delivered while down are
+	// gone. Drain the inner inbox directly — admit filters don't apply to
+	// traffic we're discarding wholesale.
+	for {
+		_, ok, err := e.inner.TryRecv()
+		if err != nil || !ok {
+			break
+		}
+	}
+	return nil
 }
 
 // Close implements transport.Endpoint: held (delayed) messages are flushed

@@ -40,6 +40,20 @@ type ChaosConfig struct {
 	// defaults to 10ms. On EC both of the node's processes (application
 	// and service) crash together — the node fail-stops as a unit.
 	CrashAfter time.Duration
+	// RestartAt, when positive, revives the crashed team at this absolute
+	// virtual-time instant: its process(es) await the restart and then
+	// rejoin the running game through the protocol's join machinery
+	// (core.Join for the lookahead protocols, the EC join handshake).
+	// Pick an instant comfortably after the crash fires; an instant
+	// already in the past revives immediately. Zero keeps the crash
+	// permanent.
+	RestartAt time.Duration
+	// LateJoinTeam names a team that skips the initial rendezvous: the
+	// other players start the game without it and it joins in progress at
+	// LateJoinAt. Enabled iff LateJoinAt > 0; lookahead protocols only.
+	LateJoinTeam int
+	// LateJoinAt is the virtual-time instant at which LateJoinTeam joins.
+	LateJoinAt time.Duration
 	// SuspectTimeout is the failure-detection timeout handed to the
 	// protocols; zero means 5ms (virtual time).
 	SuspectTimeout time.Duration
@@ -67,6 +81,12 @@ func (c ChaosConfig) withChaosDefaults() ChaosConfig {
 			c.CrashTick = half
 		}
 	}
+	if c.LateJoinTeam < 0 || c.LateJoinTeam >= c.Game.Teams {
+		c.LateJoinAt = 0
+	}
+	if c.LateJoinAt > 0 && c.LateJoinTeam == c.CrashTeam {
+		c.CrashTeam = -1 // a team cannot both late-join and crash
+	}
 	return c
 }
 
@@ -76,6 +96,11 @@ type ChaosResult struct {
 	// Crashed reports whether the configured crash actually fired (the
 	// victim died with faultnet.ErrCrashed).
 	Crashed bool
+	// Rejoined reports whether every configured re-entry completed: the
+	// crashed team restarted and rejoined (RestartAt > 0) and/or the late
+	// joiner was admitted (LateJoinAt > 0). False when neither is
+	// configured.
+	Rejoined bool
 	// DecisionLogs holds each endpoint's fault-decision log, in endpoint
 	// order; byte-identical logs across runs mean identical fault
 	// injection (the determinism witness).
@@ -99,13 +124,15 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 
 func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
 	n := cfg.Game.Teams
+	lateJoin := cfg.LateJoinAt > 0
+	restart := cfg.CrashTeam >= 0 && cfg.RestartAt > 0
 	sim := vtime.NewSim(vtime.Config{
 		Links:   netmodel.NewCluster(cfg.Net),
 		Horizon: cfg.Horizon,
 	})
 	crashes := make(map[int]faultnet.Crash)
 	if cfg.CrashTeam >= 0 {
-		crashes[cfg.CrashTeam] = faultnet.Crash{AtTick: cfg.CrashTick}
+		crashes[cfg.CrashTeam] = faultnet.Crash{AtTick: cfg.CrashTick, RestartAt: cfg.RestartAt}
 	}
 	plan := &faultnet.Plan{Seed: cfg.Seed, Default: cfg.Faults, Crashes: crashes}
 
@@ -113,12 +140,13 @@ func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
 	stats := make([]game.TeamStats, n)
 	errs := make([]error, n)
 	eps := make([]*faultnet.Endpoint, n)
+	crashFired := make([]bool, n)
 
 	for i := 0; i < n; i++ {
 		i := i
 		collectors[i] = metrics.NewCollector()
 		sim.Spawn(func(p *vtime.Proc) {
-			stats[i], errs[i] = lookahead.RunPlayer(lookahead.PlayerConfig{
+			pcfg := lookahead.PlayerConfig{
 				Game:              cfg.Game,
 				Protocol:          lookaheadVariant(cfg.Protocol),
 				Endpoint:          eps[i],
@@ -127,7 +155,36 @@ func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
 				ComputePerTick:    cfg.ComputePerTick,
 				RendezvousTimeout: cfg.SuspectTimeout,
 				MaxRetransmits:    cfg.MaxRetransmits,
-			})
+			}
+			if lateJoin {
+				if i == cfg.LateJoinTeam {
+					// Sit out until the join instant, then enter the
+					// running game through the rejoin machinery.
+					if wait := cfg.LateJoinAt - eps[i].Now(); wait > 0 {
+						eps[i].Compute(wait)
+					}
+					pcfg.Join = true
+					pcfg.Incarnation = 1
+				} else {
+					pcfg.AbsentPeers = []int{cfg.LateJoinTeam}
+				}
+			}
+			stats[i], errs[i] = lookahead.RunPlayer(pcfg)
+			if i != cfg.CrashTeam || !restart || !errors.Is(errs[i], faultnet.ErrCrashed) {
+				return
+			}
+			// Crash-then-restart: wait out the downtime (losing whatever
+			// was queued — fail-stop loses volatile state) and re-enter
+			// the game as a new incarnation via a peer checkpoint.
+			crashFired[i] = true
+			if err := eps[i].AwaitRestart(); err != nil {
+				errs[i] = err
+				return
+			}
+			pcfg.Join = true
+			pcfg.Incarnation = 1
+			pcfg.AbsentPeers = nil
+			stats[i], errs[i] = lookahead.RunPlayer(pcfg)
 		})
 	}
 	for i := 0; i < n; i++ {
@@ -139,25 +196,41 @@ func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
 	}
 	crashed := false
 	for i, err := range errs {
+		crashed = crashed || crashFired[i]
 		if err == nil {
 			continue
 		}
-		if i == cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) {
+		if i == cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) && !crashFired[i] {
 			crashed = true
 			continue
 		}
-		return nil, fmt.Errorf("%s chaos survivor %d: %w", cfg.Protocol, i, err)
+		role := "survivor"
+		switch {
+		case crashFired[i]:
+			role = "rejoiner"
+		case lateJoin && i == cfg.LateJoinTeam:
+			role = "late joiner"
+		}
+		return nil, fmt.Errorf("%s chaos %s %d: %w", cfg.Protocol, role, i, err)
 	}
+	// Any configured re-entry that failed was fatal above, so reaching
+	// here means the late joiner (if any) was admitted and the restarted
+	// victim (if its crash fired) rejoined.
+	rejoined := (lateJoin || restart) && (!restart || crashFired[cfg.CrashTeam])
 	res := collect(cfg.Config, stats, collectors)
 	logs := make([]string, n)
 	for i, ep := range eps {
 		logs[i] = string(ep.DecisionLog())
 	}
-	return &ChaosResult{Result: res, Crashed: crashed, DecisionLogs: logs}, nil
+	return &ChaosResult{Result: res, Crashed: crashed, Rejoined: rejoined, DecisionLogs: logs}, nil
 }
 
 func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 	n := cfg.Game.Teams
+	if cfg.LateJoinAt > 0 {
+		return nil, errors.New("harness: late join is a lookahead scenario; EC supports crash-then-restart (RestartAt)")
+	}
+	restart := cfg.CrashTeam >= 0 && cfg.RestartAt > 0
 	net := cfg.Net
 	net.HostOf = func(proc int) int { return proc % n }
 	sim := vtime.NewSim(vtime.Config{
@@ -167,9 +240,9 @@ func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 	crashes := make(map[int]faultnet.Crash)
 	if cfg.CrashTeam >= 0 {
 		// The node fail-stops as a unit: application and service die at
-		// the same virtual instant.
-		crashes[cfg.CrashTeam] = faultnet.Crash{At: cfg.CrashAfter}
-		crashes[n+cfg.CrashTeam] = faultnet.Crash{At: cfg.CrashAfter}
+		// the same virtual instant (and revive together on restart).
+		crashes[cfg.CrashTeam] = faultnet.Crash{At: cfg.CrashAfter, RestartAt: cfg.RestartAt}
+		crashes[n+cfg.CrashTeam] = faultnet.Crash{At: cfg.CrashAfter, RestartAt: cfg.RestartAt}
 	}
 	plan := &faultnet.Plan{Seed: cfg.Seed, Default: cfg.Faults, Crashes: crashes}
 
@@ -179,18 +252,40 @@ func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 	appErrs := make([]error, n)
 	svcErrs := make([]error, n)
 	eps := make([]*faultnet.Endpoint, 2*n)
+	crashFired := make([]bool, 2*n)
+	// The rejoin node is built up front (node construction is pure, so
+	// this keeps the run deterministic) and shared by both revived procs.
+	var rejoinNode *ec.Node
 
 	for i := 0; i < n; i++ {
 		i := i
 		collectors[i] = metrics.NewCollector()
 		sim.Spawn(func(p *vtime.Proc) { // app proc i
 			stats[i], appErrs[i] = nodes[i].RunApp()
+			if i != cfg.CrashTeam || rejoinNode == nil || !errors.Is(appErrs[i], faultnet.ErrCrashed) {
+				return
+			}
+			crashFired[i] = true
+			if err := eps[i].AwaitRestart(); err != nil {
+				appErrs[i] = err
+				return
+			}
+			stats[i], appErrs[i] = rejoinNode.RunApp()
 		})
 	}
 	for i := 0; i < n; i++ {
 		i := i
 		sim.Spawn(func(p *vtime.Proc) { // svc proc n+i
 			svcErrs[i] = nodes[i].RunService()
+			if i != cfg.CrashTeam || rejoinNode == nil || !errors.Is(svcErrs[i], faultnet.ErrCrashed) {
+				return
+			}
+			crashFired[n+i] = true
+			if err := eps[n+i].AwaitRestart(); err != nil {
+				svcErrs[i] = err
+				return
+			}
+			svcErrs[i] = rejoinNode.RunService()
 		})
 	}
 	for i := 0; i < n; i++ {
@@ -210,26 +305,50 @@ func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 		}
 		nodes[i] = node
 	}
+	if restart {
+		node, err := ec.New(ec.NodeConfig{
+			Game:           cfg.Game,
+			App:            eps[cfg.CrashTeam],
+			Svc:            eps[n+cfg.CrashTeam],
+			Metrics:        collectors[cfg.CrashTeam],
+			ComputePerTick: cfg.ComputePerTick,
+			SuspectTimeout: cfg.SuspectTimeout,
+			MaxRetransmits: cfg.MaxRetransmits,
+			Rejoin:         true,
+			Incarnation:    1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rejoinNode = node
+	}
 	if err := sim.Run(); err != nil {
 		return nil, fmt.Errorf("EC chaos simulation: %w", err)
 	}
 	crashed := false
 	for i := 0; i < n; i++ {
+		rejoiner := crashFired[i] || crashFired[n+i]
+		crashed = crashed || rejoiner
 		for _, err := range []error{appErrs[i], svcErrs[i]} {
 			if err == nil {
 				continue
 			}
-			if i == cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) {
+			if i == cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) && !rejoiner {
 				crashed = true
 				continue
 			}
-			return nil, fmt.Errorf("EC chaos survivor %d: %w", i, err)
+			role := "survivor"
+			if rejoiner {
+				role = "rejoiner"
+			}
+			return nil, fmt.Errorf("EC chaos %s %d: %w", role, i, err)
 		}
 	}
+	rejoined := restart && crashFired[cfg.CrashTeam] && crashFired[n+cfg.CrashTeam]
 	res := collect(cfg.Config, stats, collectors)
 	logs := make([]string, 2*n)
 	for i, ep := range eps {
 		logs[i] = string(ep.DecisionLog())
 	}
-	return &ChaosResult{Result: res, Crashed: crashed, DecisionLogs: logs}, nil
+	return &ChaosResult{Result: res, Crashed: crashed, Rejoined: rejoined, DecisionLogs: logs}, nil
 }

@@ -1,0 +1,148 @@
+package lockmgr
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sdso/internal/store"
+)
+
+// busyManager builds a manager with live state worth handing back: object 1
+// write-held by proc 3 with proc 4 queued, object 2 free but owned at a
+// non-zero version.
+func busyManager(t *testing.T) *Manager {
+	t.Helper()
+	m := New([]store.ID{1, 2}, func(store.ID) int { return 0 })
+	if _, err := m.Acquire(Request{Proc: 3, Obj: 1, Mode: Write}); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := m.Acquire(Request{Proc: 4, Obj: 1, Mode: Write}); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := m.Acquire(Request{Proc: 5, Obj: 2, Mode: Write}); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := m.Release(5, 2, true, 7); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	return m
+}
+
+// TestExportReadmitRoundTrip: Export strips the shard from the adopter and
+// Readmit reinstalls it at the rejoined base manager with holders, queues,
+// ownership, and versions intact — a queued waiter drains normally after
+// the transfer.
+func TestExportReadmitRoundTrip(t *testing.T) {
+	adopter := busyManager(t)
+	recs := adopter.Export([]store.ID{2, 1, 99}) // unordered, with an unmanaged ID
+	if adopter.Manages(1) || adopter.Manages(2) {
+		t.Fatal("Export left the shard behind")
+	}
+	if len(recs) != 2 || recs[0].Obj != 1 || recs[1].Obj != 2 {
+		t.Fatalf("Export returned %+v, want objects [1 2]", recs)
+	}
+
+	base := New(nil, nil)
+	base.Readmit(recs)
+	if !base.Manages(1) || !base.Manages(2) {
+		t.Fatal("Readmit did not install the shard")
+	}
+	if owner, version, err := base.Owner(2); err != nil || owner != 5 || version != 7 {
+		t.Fatalf("object 2 owner = (%d, %d, %v), want (5, 7)", owner, version, err)
+	}
+	if got, mode, err := base.Holders(1); err != nil || mode != Write || !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("object 1 holders = (%v, %v, %v), want ([3], Write)", got, mode, err)
+	}
+	// Releasing the transferred holder grants the transferred waiter.
+	grants, err := base.Release(3, 1, true, 9)
+	if err != nil {
+		t.Fatalf("Release after Readmit: %v", err)
+	}
+	if len(grants) != 1 || grants[0].Proc != 4 || grants[0].Owner != 3 || grants[0].Version != 9 {
+		t.Fatalf("queued waiter grant = %+v, want proc 4 pulling from 3@9", grants)
+	}
+}
+
+// TestReadmitFirstStateWins: records for objects already managed locally are
+// ignored — a handback that lost a race with local re-adoption must not
+// clobber grants issued since.
+func TestReadmitFirstStateWins(t *testing.T) {
+	m := New([]store.ID{1}, func(store.ID) int { return 0 })
+	if _, err := m.Acquire(Request{Proc: 8, Obj: 1, Mode: Write}); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	m.Readmit([]Record{{Obj: 1, Mode: Write, Holders: []int{3}, Owner: 3, Version: 5}})
+	if got, _, err := m.Holders(1); err != nil || !reflect.DeepEqual(got, []int{8}) {
+		t.Fatalf("Readmit clobbered live state: holders = %v (%v), want [8]", got, err)
+	}
+}
+
+// TestRecordsCodecRoundTrip: EncodeRecords/DecodeRecords preserve every
+// field, including empty holder and queue lists.
+func TestRecordsCodecRoundTrip(t *testing.T) {
+	recs := busyManager(t).Export([]store.ID{1, 2})
+	got, err := DecodeRecords(EncodeRecords(recs))
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, recs)
+	}
+	if got, err := DecodeRecords(EncodeRecords(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip = (%v, %v)", got, err)
+	}
+}
+
+// TestDecodeRecordsRejectsCorrupt: malformed payloads are refused with
+// ErrBadRecords.
+func TestDecodeRecordsRejectsCorrupt(t *testing.T) {
+	good := EncodeRecords(busyManager(t).Export([]store.ID{1, 2}))
+	cases := map[string][]byte{
+		"empty":      {},
+		"truncated":  good[:len(good)-1],
+		"trailing":   append(append([]byte{}, good...), 1),
+		"huge count": {0xFF, 0xFF, 0xFF, 0xFF},
+	}
+	for name, buf := range cases {
+		if _, err := DecodeRecords(buf); !errors.Is(err, ErrBadRecords) {
+			t.Errorf("%s: err = %v, want ErrBadRecords", name, err)
+		}
+	}
+}
+
+// TestReadmitThenAdopt: the rejoin sequence — Readmit the handback, then
+// Adopt the shard — leaves transferred records untouched while filling the
+// gaps (objects the adopter never saw traffic for) with fresh free locks.
+func TestReadmitThenAdopt(t *testing.T) {
+	m := New(nil, nil)
+	m.Readmit([]Record{{Obj: 1, Mode: Write, Holders: []int{3}, Owner: 3, Version: 5}})
+	m.Adopt([]store.ID{1, 2}, 6)
+	if got, _, err := m.Holders(1); err != nil || !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("Adopt clobbered a readmitted record: holders = %v (%v)", got, err)
+	}
+	if owner, version, err := m.Owner(2); err != nil || owner != 6 || version != 0 {
+		t.Fatalf("adopted gap object 2 = (%d, %d, %v), want fresh (6, 0)", owner, version, err)
+	}
+}
+
+// FuzzDecodeRecords throws arbitrary bytes at the handback codec: decode
+// must reject or round-trip, never panic.
+func FuzzDecodeRecords(f *testing.F) {
+	f.Add(EncodeRecords([]Record{{Obj: 1, Mode: Write, Holders: []int{3}, Queue: []Request{{Proc: 4, Obj: 1, Mode: Write}}, Owner: 3, Version: 5}}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		recs, err := DecodeRecords(buf)
+		if err != nil {
+			if !errors.Is(err, ErrBadRecords) {
+				t.Fatalf("non-codec error: %v", err)
+			}
+			return
+		}
+		again, err := DecodeRecords(EncodeRecords(recs))
+		if err != nil || !reflect.DeepEqual(again, recs) {
+			t.Fatalf("decoded records do not re-encode: %v", err)
+		}
+	})
+}

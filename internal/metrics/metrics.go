@@ -85,6 +85,11 @@ type Collector struct {
 	suspects    int
 	evictions   int
 	faults      int
+
+	// Rejoin counters (checkpointed state transfer and membership).
+	joins         int
+	snapshotBytes int
+	catchupDiffs  int
 }
 
 // NewCollector returns an empty collector.
@@ -160,6 +165,29 @@ func (c *Collector) AddFault() {
 	c.faults++
 }
 
+// AddJoin records one completed join handshake: a joiner that finished
+// catching up, or a survivor that served a join request.
+func (c *Collector) AddJoin() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.joins++
+}
+
+// AddSnapshotBytes records n bytes of checkpoint payload sent to a joiner.
+func (c *Collector) AddSnapshotBytes(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snapshotBytes += n
+}
+
+// AddCatchupDiffs records n object states adopted from peer snapshots
+// while catching up after a join.
+func (c *Collector) AddCatchupDiffs(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.catchupDiffs += n
+}
+
 // SetExecTime records the process's total execution time (its clock at
 // completion).
 func (c *Collector) SetExecTime(d time.Duration) {
@@ -183,6 +211,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Suspects:    c.suspects,
 		Evictions:   c.evictions,
 		Faults:      c.faults,
+
+		Joins:         c.joins,
+		SnapshotBytes: c.snapshotBytes,
+		CatchupDiffs:  c.catchupDiffs,
 	}
 	for k, v := range c.msgsSent {
 		s.MsgsSent[k] = v
@@ -208,6 +240,12 @@ type Snapshot struct {
 	Suspects    int
 	Evictions   int
 	Faults      int
+	// Rejoin counters: join handshakes completed or served, checkpoint
+	// payload bytes shipped to joiners, and object states adopted from
+	// peer snapshots during catch-up.
+	Joins         int
+	SnapshotBytes int
+	CatchupDiffs  int
 }
 
 // DataMsgs returns the number of data messages sent (paper Figure 7).
@@ -311,6 +349,33 @@ func (g Group) Faults() int {
 	n := 0
 	for _, s := range g.Procs {
 		n += s.Faults
+	}
+	return n
+}
+
+// Joins sums completed/served join handshakes across processes.
+func (g Group) Joins() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.Joins
+	}
+	return n
+}
+
+// SnapshotBytes sums checkpoint payload bytes across processes.
+func (g Group) SnapshotBytes() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.SnapshotBytes
+	}
+	return n
+}
+
+// CatchupDiffs sums snapshot-adopted object states across processes.
+func (g Group) CatchupDiffs() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.CatchupDiffs
 	}
 	return n
 }

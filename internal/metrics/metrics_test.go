@@ -156,3 +156,30 @@ func TestStringsRender(t *testing.T) {
 		}
 	}
 }
+
+func TestJoinCounters(t *testing.T) {
+	a := NewCollector()
+	a.AddJoin()
+	a.AddSnapshotBytes(100)
+	a.AddCatchupDiffs(3)
+	b := NewCollector()
+	b.AddJoin()
+	b.AddJoin()
+	b.AddSnapshotBytes(50)
+	b.AddCatchupDiffs(0) // a no-op catch-up still counts zero diffs
+
+	snap := a.Snapshot()
+	if snap.Joins != 1 || snap.SnapshotBytes != 100 || snap.CatchupDiffs != 3 {
+		t.Errorf("snapshot = %+v, want joins=1 snapshotBytes=100 catchupDiffs=3", snap)
+	}
+	g := Group{Procs: []Snapshot{a.Snapshot(), b.Snapshot()}}
+	if got := g.Joins(); got != 3 {
+		t.Errorf("Joins = %d, want 3", got)
+	}
+	if got := g.SnapshotBytes(); got != 150 {
+		t.Errorf("SnapshotBytes = %d, want 150", got)
+	}
+	if got := g.CatchupDiffs(); got != 3 {
+		t.Errorf("CatchupDiffs = %d, want 3", got)
+	}
+}

@@ -63,6 +63,17 @@ type NodeConfig struct {
 	// MaxRetransmits bounds retransmissions per suspicion episode; zero
 	// means DefaultMaxRetransmits.
 	MaxRetransmits int
+	// Rejoin makes this node enter a game already in progress: the
+	// application broadcasts KindJoinReq to every service, the node's
+	// replica is rebuilt from the responders' KindSnapshot checkpoints, and
+	// its lock-manager shard is restored from the adopter's exported
+	// records (reversing the crash failover). Requires SuspectTimeout > 0.
+	Rejoin bool
+	// Incarnation distinguishes successive lives of this team's process ID
+	// (used with Rejoin; 1 for a first restart). Crash declarations carry
+	// the declarer's known incarnation so announcements that predate a
+	// rejoin are recognized as stale and ignored.
+	Incarnation int64
 	// Debug, when set, receives trace lines (like core.Config.Debug).
 	Debug func(string)
 }
@@ -91,6 +102,26 @@ type Node struct {
 	// crashed marks teams declared crashed (guarded by mu; the app and
 	// service processes of a node converge on it independently).
 	crashed map[int]bool
+	// inc records the highest incarnation seen per team (guarded by mu).
+	// Crash declarations carrying an older incarnation are stale — they
+	// predate a rejoin — and are ignored.
+	inc map[int]int64
+	// over mirrors the game-over announcement under mu so the service can
+	// report it to joiners (gameOver itself is application-side state).
+	over bool
+
+	// Rejoin state (guarded by mu). rejoinPending is true from New until
+	// the service has restored the lock-manager shard from the join
+	// handbacks; lock traffic for our own shard stalls in joinStalled
+	// until then. handback caches the records exported per joining team so
+	// a retransmitted join request resends the same payload (a second
+	// Export would find nothing).
+	rejoinPending bool
+	joinAcked     map[int]bool
+	joinSnapped   map[int]bool
+	joinRecs      map[int][]lockmgr.Record
+	joinStalled   []*wire.Msg
+	handback      map[int][]byte
 }
 
 // New validates the configuration and builds a node. The caller runs
@@ -104,31 +135,56 @@ func New(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("ec: endpoint ids app=%d svc=%d invalid for %d teams",
 			cfg.App.ID(), cfg.Svc.ID(), teams)
 	}
+	if cfg.Rejoin && cfg.SuspectTimeout <= 0 {
+		return nil, errors.New("ec: rejoin requires SuspectTimeout (failure detection)")
+	}
 	mc := cfg.Metrics
 	if mc == nil {
 		mc = metrics.NewCollector()
 	}
-	n := &Node{cfg: cfg, team: cfg.App.ID(), teams: teams, mc: mc, crashed: make(map[int]bool)}
+	n := &Node{
+		cfg: cfg, team: cfg.App.ID(), teams: teams, mc: mc,
+		crashed: make(map[int]bool), inc: make(map[int]int64),
+	}
+	if cfg.Incarnation > 0 {
+		n.inc[n.team] = cfg.Incarnation
+	}
 
 	w, err := game.NewWorld(cfg.Game)
 	if err != nil {
 		return nil, err
 	}
-	n.goal = w.Goal
+	n.goal = w.Goal // the goal block never moves; keep it even if hidden
+	if cfg.Rejoin {
+		// The world and the tank roster come from peer checkpoints; the
+		// lock-manager shard comes back via the join handback.
+		n.st = store.New()
+		n.mgr = lockmgr.New(nil, nil)
+		n.rejoinPending = true
+		n.joinAcked = make(map[int]bool)
+		n.joinSnapped = make(map[int]bool)
+		n.joinRecs = make(map[int][]lockmgr.Record)
+		return n, nil
+	}
 	n.st = w.Encode()
 	for _, pos := range w.TankPositions()[n.team] {
 		n.tanks = append(n.tanks, game.NewTankState(pos))
 	}
 
 	// This node manages the locks for its static shard of the objects.
-	var managed []store.ID
-	for i := 0; i < cfg.Game.NumObjects(); i++ {
-		if lockmgr.ManagerFor(store.ID(i), teams) == n.team {
-			managed = append(managed, store.ID(i))
+	n.mgr = lockmgr.New(n.shardOf(n.team), nil)
+	return n, nil
+}
+
+// shardOf returns the objects whose lock manager statically lives on team.
+func (n *Node) shardOf(team int) []store.ID {
+	var out []store.ID
+	for i := 0; i < n.cfg.Game.NumObjects(); i++ {
+		if lockmgr.ManagerFor(store.ID(i), n.teams) == team {
+			out = append(out, store.ID(i))
 		}
 	}
-	n.mgr = lockmgr.New(managed, nil)
-	return n, nil
+	return out
 }
 
 // Stats returns the team's final stats (valid after RunApp returns).
@@ -169,15 +225,45 @@ func (n *Node) isCrashed(team int) bool {
 	return n.crashed[team]
 }
 
+// noteGameOver records a winner's announcement: gameOver is the
+// application-side copy, over the mu-guarded mirror the service reports to
+// joiners.
+func (n *Node) noteGameOver() {
+	n.gameOver = true
+	n.mu.Lock()
+	n.over = true
+	n.mu.Unlock()
+}
+
+// crashInc extracts the declarer's known incarnation from a KindCrash
+// announcement (0 for declarations predating any rejoin).
+func crashInc(m *wire.Msg) int64 {
+	if len(m.Ints) > 0 {
+		return m.Ints[0]
+	}
+	return 0
+}
+
+// lockProc returns the process a lock request or release acts for: normally
+// the sender, but forwarded traffic (re-routed by a manager whose requester
+// held a stale crash view) carries the original requester in Stamp+1.
+func lockProc(m *wire.Msg) int {
+	if m.Stamp > 0 {
+		return int(m.Stamp) - 1
+	}
+	return int(m.Src)
+}
+
 // noteCrash records a crash learned from a KindCrash announcement; reports
-// whether it was news.
-func (n *Node) noteCrash(team int) bool {
+// whether it was news. A declaration carrying an incarnation older than the
+// team's current one predates a rejoin and is ignored.
+func (n *Node) noteCrash(team int, inc int64) bool {
 	if team < 0 || team >= n.teams || team == n.team {
 		return false
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.crashed[team] {
+	if inc < n.inc[team] || n.crashed[team] {
 		return false
 	}
 	n.crashed[team] = true
@@ -190,18 +276,23 @@ func (n *Node) noteCrash(team int) bool {
 // and adopts its manager shard if it is the successor). Broadcasting before
 // any failed-over request is sent matters: per-pair FIFO then guarantees a
 // successor manager processes the crash (and adopts the shard) before it
-// sees redirected lock traffic from this node.
+// sees redirected lock traffic from this node. The announcement carries the
+// dead team's incarnation as known here, so receivers that have since
+// admitted a newer life of the team recognize the declaration as stale.
 func (n *Node) declareCrash(team int) {
-	if !n.noteCrash(team) {
+	n.mu.Lock()
+	inc := n.inc[team]
+	n.mu.Unlock()
+	if !n.noteCrash(team, inc) {
 		return
 	}
-	n.tracef("team %d declares %d crashed", n.team, team)
+	n.tracef("team %d declares %d crashed (inc %d)", n.team, team, inc)
 	n.mc.AddEviction()
 	for t := 0; t < n.teams; t++ {
 		if t == team {
 			continue
 		}
-		m := &wire.Msg{Kind: wire.KindCrash, Stamp: int64(team)}
+		m := &wire.Msg{Kind: wire.KindCrash, Stamp: int64(team), Ints: []int64{inc}}
 		if t != n.team && !n.isCrashed(t) {
 			_ = n.countSend(n.cfg.App, t, m.Clone())
 		}
@@ -258,27 +349,57 @@ func (n *Node) adoptShards() {
 	}
 }
 
-// adoptChainFor handles a lock request or release for an object this manager
-// does not manage: the sender redirects traffic here only after concluding
-// that every team from the object's static base manager up to this node has
-// crashed, so the routing itself carries crash news — news the KindCrash
-// announcement that normally precedes redirected traffic failed to deliver
-// (lost on a lossy link). Adopt the implied shard chain so the request can
-// be served instead of erroring out. No-op when the object is already
-// managed here.
-func (n *Node) adoptChainFor(obj store.ID) {
+// routeAction is routeLock's disposition for lock traffic.
+type routeAction int
+
+const (
+	// routeServe: handle the message at this manager.
+	routeServe routeAction = iota
+	// routeStall: our own shard is mid-rejoin; the message was queued and
+	// will be replayed once the handback restores the shard.
+	routeStall
+	// routeForward: a live team closer to the object's base manages it;
+	// the message was sent on (the sender's crash view was stale).
+	routeForward
+)
+
+// routeLock decides what to do with a lock request or release for obj.
+// Normally the object is managed here and is served. Otherwise the sender
+// redirected traffic here believing every team from the object's static
+// base manager up to this node has crashed. Three cases:
+//
+//   - The object is our own shard and the rejoin handback has not landed
+//     yet: stall the message until it does (serving from a fresh shard
+//     could double-grant a lock whose true holder is in the in-flight
+//     handback).
+//   - Some team in the chain is live by our (fresher) view — typically a
+//     rejoined manager whose return the sender has not yet processed:
+//     forward the message to the first live team so it is served by the
+//     real manager; the grant goes straight to the original requester.
+//   - The whole chain really is crashed: the routing itself carries crash
+//     news (a KindCrash announcement lost in transit), so adopt the
+//     implied shard chain and serve.
+func (n *Node) routeLock(m *wire.Msg) (routeAction, int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	obj := store.ID(m.Obj)
 	if n.mgr.Manages(obj) {
-		return
+		return routeServe, 0
 	}
 	base := lockmgr.ManagerFor(obj, n.teams)
+	if base == n.team {
+		if n.rejoinPending {
+			n.joinStalled = append(n.joinStalled, m)
+			return routeStall, 0
+		}
+		return routeServe, 0
+	}
 	chain := make(map[int]bool)
 	for t := base; t != n.team; t = (t + 1) % n.teams {
+		if !n.crashed[t] {
+			return routeForward, t
+		}
 		chain[t] = true
-	}
-	if len(chain) == 0 {
-		return
 	}
 	n.tracef("svc %d adopts shard chain for obj %d (teams %v)", n.team, obj, chain)
 	var objs []store.ID
@@ -289,6 +410,7 @@ func (n *Node) adoptChainFor(obj store.ID) {
 		}
 	}
 	n.mgr.Adopt(objs, n.team)
+	return routeServe, 0
 }
 
 // RunService processes lock and object-pull traffic until every
@@ -335,69 +457,26 @@ func (n *Node) RunService() error {
 			return fmt.Errorf("ec service %d: %w", n.team, err)
 		}
 		switch m.Kind {
-		case wire.KindLockReq:
-			mode := lockmgr.Read
-			if m.Mode == wire.ModeWrite {
-				mode = lockmgr.Write
-			}
+		case wire.KindLockReq, wire.KindLockRelease:
 			if n.ft() {
-				n.adoptChainFor(store.ID(m.Obj))
-			}
-			n.mu.Lock()
-			grants, err := n.mgr.Acquire(lockmgr.Request{Proc: int(m.Src), Obj: store.ID(m.Obj), Mode: mode})
-			if n.ft() && errors.Is(err, lockmgr.ErrDoubleLock) {
-				// A retransmitted request. If the requester already holds
-				// the lock, the original grant was lost: reissue it. If it
-				// is still queued, answer KindLockBusy naming the current
-				// holders so the requester blames a possibly-dead holder
-				// instead of this (live) manager.
-				err = nil
-				if g, ok := n.mgr.Reissue(int(m.Src), store.ID(m.Obj)); ok {
-					grants = []lockmgr.Grant{g}
-				} else {
-					holders, _, _ := n.mgr.Holders(store.ID(m.Obj))
-					sort.Ints(holders)
-					ints := make([]int64, len(holders))
-					for i, h := range holders {
-						ints[i] = int64(h)
-					}
-					busy := &wire.Msg{Kind: wire.KindLockBusy, Obj: m.Obj, Ints: ints}
-					n.mu.Unlock()
-					if err := n.countSend(svc, int(m.Src), busy); err != nil {
-						return fmt.Errorf("ec service %d: lock-busy to %d: %w", n.team, m.Src, err)
+				act, to := n.routeLock(m)
+				if act == routeStall {
+					continue
+				}
+				if act == routeForward {
+					if err := n.forwardLock(m, to); err != nil {
+						return err
 					}
 					continue
 				}
 			}
-			n.mu.Unlock()
-			if err != nil {
-				return fmt.Errorf("ec service %d: acquire obj %d for %d: %w", n.team, m.Obj, m.Src, err)
-			}
-			if err := n.sendGrants(grants); err != nil {
-				return err
-			}
-		case wire.KindLockRelease:
-			dirty := len(m.Ints) >= 2 && m.Ints[0] == 1
-			var version int64
-			if dirty {
-				version = m.Ints[1]
-			}
-			if n.ft() {
-				n.adoptChainFor(store.ID(m.Obj))
-			}
-			n.mu.Lock()
-			grants, err := n.mgr.Release(int(m.Src), store.ID(m.Obj), dirty, version)
-			n.mu.Unlock()
-			if n.ft() && errors.Is(err, lockmgr.ErrNotHeld) {
-				// Releases of locks granted by a manager that has since
-				// crashed land on the adopter, which never saw the grant.
-				// The holder state died with the old manager: tolerate.
-				err = nil
+			var err error
+			if m.Kind == wire.KindLockReq {
+				err = n.handleLockReq(m)
+			} else {
+				err = n.handleLockRelease(m)
 			}
 			if err != nil {
-				return fmt.Errorf("ec service %d: release obj %d by %d: %w", n.team, m.Obj, m.Src, err)
-			}
-			if err := n.sendGrants(grants); err != nil {
 				return err
 			}
 		case wire.KindObjReq:
@@ -433,7 +512,10 @@ func (n *Node) RunService() error {
 				// abandoning its shutdown would orphan it.
 				continue
 			}
-			n.noteCrash(dead)
+			fresh := n.noteCrash(dead, crashInc(m))
+			if !fresh && !n.isCrashed(dead) {
+				continue // stale declaration: the team has since rejoined
+			}
 			if !handled[dead] {
 				handled[dead] = true
 				remaining--
@@ -445,8 +527,105 @@ func (n *Node) RunService() error {
 				return err
 			}
 			n.adoptShards()
+			if err := n.finishRejoin(); err != nil {
+				return err
+			}
+		case wire.KindJoinReq:
+			if err := n.serveJoin(m, handled, &remaining); err != nil {
+				return err
+			}
+		case wire.KindJoinAck:
+			if err := n.acceptJoinAck(m, handled, &remaining); err != nil {
+				return err
+			}
+		case wire.KindSnapshot:
+			if err := n.acceptJoinSnapshot(m); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
+}
+
+// handleLockReq serves one lock request at this manager. A retransmitted
+// request (ErrDoubleLock) is answered idempotently: the grant is reissued
+// if the requester already holds the lock, or KindLockBusy names the
+// current holders so the requester blames a possibly-dead holder instead
+// of this (live) manager.
+func (n *Node) handleLockReq(m *wire.Msg) error {
+	svc := n.cfg.Svc
+	proc := lockProc(m)
+	mode := lockmgr.Read
+	if m.Mode == wire.ModeWrite {
+		mode = lockmgr.Write
+	}
+	n.mu.Lock()
+	grants, err := n.mgr.Acquire(lockmgr.Request{Proc: proc, Obj: store.ID(m.Obj), Mode: mode})
+	if n.ft() && errors.Is(err, lockmgr.ErrDoubleLock) {
+		err = nil
+		if g, ok := n.mgr.Reissue(proc, store.ID(m.Obj)); ok {
+			grants = []lockmgr.Grant{g}
+		} else {
+			holders, _, _ := n.mgr.Holders(store.ID(m.Obj))
+			sort.Ints(holders)
+			ints := make([]int64, len(holders))
+			for i, h := range holders {
+				ints[i] = int64(h)
+			}
+			busy := &wire.Msg{Kind: wire.KindLockBusy, Obj: m.Obj, Ints: ints}
+			n.mu.Unlock()
+			if err := n.countSend(svc, proc, busy); err != nil {
+				return fmt.Errorf("ec service %d: lock-busy to %d: %w", n.team, proc, err)
+			}
+			return nil
+		}
+	}
+	n.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("ec service %d: acquire obj %d for %d: %w", n.team, m.Obj, proc, err)
+	}
+	return n.sendGrants(grants)
+}
+
+// handleLockRelease serves one lock release at this manager.
+func (n *Node) handleLockRelease(m *wire.Msg) error {
+	proc := lockProc(m)
+	dirty := len(m.Ints) >= 2 && m.Ints[0] == 1
+	var version int64
+	if dirty {
+		version = m.Ints[1]
+	}
+	n.mu.Lock()
+	grants, err := n.mgr.Release(proc, store.ID(m.Obj), dirty, version)
+	n.mu.Unlock()
+	if n.ft() && errors.Is(err, lockmgr.ErrNotHeld) {
+		// Releases of locks granted by a manager that has since
+		// crashed land on the adopter, which never saw the grant.
+		// The holder state died with the old manager: tolerate.
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("ec service %d: release obj %d by %d: %w", n.team, m.Obj, proc, err)
+	}
+	return n.sendGrants(grants)
+}
+
+// forwardLock sends a misrouted lock message on to the team that actually
+// manages the object, tagging it with the original requester (the grant or
+// busy reply then goes straight back to them). A forward to a team that
+// died in the meantime is dropped: the requester's own retransmission will
+// re-route once the crash news reaches it.
+func (n *Node) forwardLock(m *wire.Msg, to int) error {
+	fm := m.Clone()
+	fm.Stamp = int64(lockProc(m)) + 1
+	if err := n.countSend(n.cfg.Svc, n.svcID(to), fm); err != nil {
+		if errors.Is(err, transport.ErrPeerGone) {
+			n.declareCrash(to)
+			return nil
+		}
+		return fmt.Errorf("ec service %d: forward %v obj %d to %d: %w", n.team, m.Kind, m.Obj, to, err)
+	}
+	n.tracef("svc %d forwards %v obj %d for proc %d to %d", n.team, m.Kind, m.Obj, lockProc(m), to)
 	return nil
 }
 
@@ -467,6 +646,181 @@ func (n *Node) sendGrants(grants []lockmgr.Grant) error {
 	return nil
 }
 
+// serveJoin is the survivor half of the rejoin handshake, run in the
+// service loop: clear the joiner's crashed mark, record its incarnation,
+// export the part of its lock-manager shard adopted here (reversing the
+// crash failover), and answer with a KindJoinAck — game-over flag, crashed
+// set, and the exported records — plus a KindSnapshot of the replica. The
+// export is cached per team: a retransmitted join request gets the same
+// records back (a second Export would find nothing), plus a fresh snapshot.
+func (n *Node) serveJoin(m *wire.Msg, handled map[int]bool, remaining *int) error {
+	t := int(m.Src)
+	if t < 0 || t >= n.teams || t == n.team {
+		return nil
+	}
+	inc := m.Stamp
+	n.mu.Lock()
+	if inc < n.inc[t] {
+		n.mu.Unlock()
+		return nil // a request from a previous life, long superseded
+	}
+	fresh := inc > n.inc[t] || n.handback[t] == nil
+	n.inc[t] = inc
+	delete(n.crashed, t)
+	if fresh {
+		recs := n.mgr.Export(n.shardOf(t))
+		if n.handback == nil {
+			n.handback = make(map[int][]byte)
+		}
+		n.handback[t] = lockmgr.EncodeRecords(recs)
+	}
+	payload := n.handback[t]
+	over := int64(0)
+	if n.over {
+		over = 1
+	}
+	ints := []int64{over}
+	for c := 0; c < n.teams; c++ {
+		if n.crashed[c] {
+			ints = append(ints, int64(c))
+		}
+	}
+	snap := n.st.Snapshot(0)
+	n.mu.Unlock()
+	if handled[t] {
+		// The joiner was counted out (crashed); wait for its shutdown again.
+		handled[t] = false
+		*remaining++
+	}
+	if fresh {
+		n.mc.AddJoin()
+		n.tracef("svc %d admits team %d (inc %d): %d handback bytes", n.team, t, inc, len(payload))
+	}
+	ack := &wire.Msg{Kind: wire.KindJoinAck, Stamp: inc, Ints: ints, Payload: payload}
+	if err := n.countSend(n.cfg.Svc, n.svcID(t), ack); err != nil {
+		if errors.Is(err, transport.ErrPeerGone) {
+			return nil
+		}
+		return fmt.Errorf("ec service %d: join ack to %d: %w", n.team, t, err)
+	}
+	n.mc.AddSnapshotBytes(len(snap))
+	if err := n.countSend(n.cfg.Svc, n.svcID(t), &wire.Msg{Kind: wire.KindSnapshot, Payload: snap}); err != nil && !errors.Is(err, transport.ErrPeerGone) {
+		return fmt.Errorf("ec service %d: snapshot to %d: %w", n.team, t, err)
+	}
+	return nil
+}
+
+// acceptJoinAck is the joiner half, run in the rejoining node's service
+// loop: record the responder's handback records and its view of the game
+// (game-over flag, crashed set), then try to finish the rejoin.
+func (n *Node) acceptJoinAck(m *wire.Msg, handled map[int]bool, remaining *int) error {
+	if !n.cfg.Rejoin {
+		return nil
+	}
+	from := int(m.Src) - n.teams
+	if from < 0 || from >= n.teams || from == n.team {
+		return nil
+	}
+	recs, err := lockmgr.DecodeRecords(m.Payload)
+	if err != nil {
+		return nil // corrupt handback; the app's retransmit fetches another
+	}
+	var newlyCrashed []int
+	n.mu.Lock()
+	n.joinAcked[from] = true
+	n.joinRecs[from] = recs
+	delete(n.crashed, from) // the responder is demonstrably alive
+	if len(m.Ints) > 0 && m.Ints[0] == 1 {
+		n.over = true
+	}
+	for _, c := range m.Ints[1:] {
+		t := int(c)
+		if t >= 0 && t < n.teams && t != n.team && t != from && !n.crashed[t] {
+			n.crashed[t] = true
+			newlyCrashed = append(newlyCrashed, t)
+		}
+	}
+	n.mu.Unlock()
+	for _, t := range newlyCrashed {
+		if !handled[t] {
+			handled[t] = true
+			*remaining--
+		}
+	}
+	return n.finishRejoin()
+}
+
+// acceptJoinSnapshot merges a responder's checkpoint into the replica,
+// version-gated: merging every responder's snapshot makes the union capture
+// every surviving write, whichever replica holds the freshest copy of each
+// object.
+func (n *Node) acceptJoinSnapshot(m *wire.Msg) error {
+	if !n.cfg.Rejoin {
+		return nil
+	}
+	from := int(m.Src) - n.teams
+	if from < 0 || from >= n.teams || from == n.team {
+		return nil
+	}
+	n.mu.Lock()
+	adopted, _, err := n.st.Merge(m.Payload)
+	if err == nil {
+		n.joinSnapped[from] = true
+	}
+	n.mu.Unlock()
+	if err != nil {
+		return nil // corrupt checkpoint is dropped; a retransmission follows
+	}
+	n.mc.AddCatchupDiffs(adopted)
+	return n.finishRejoin()
+}
+
+// finishRejoin completes the rejoin once every live team has delivered both
+// its ack and its checkpoint: restore the lock-manager shard — handback
+// records first (they carry live holders, queues, and ownership), then a
+// fresh adopt of whatever remains — and replay the lock traffic that
+// stalled while the shard was in flight.
+func (n *Node) finishRejoin() error {
+	n.mu.Lock()
+	if !n.rejoinPending {
+		n.mu.Unlock()
+		return nil
+	}
+	for t := 0; t < n.teams; t++ {
+		if t == n.team || n.crashed[t] {
+			continue
+		}
+		if !n.joinAcked[t] || !n.joinSnapped[t] {
+			n.mu.Unlock()
+			return nil
+		}
+	}
+	n.rejoinPending = false
+	for t := 0; t < n.teams; t++ {
+		if recs := n.joinRecs[t]; len(recs) > 0 {
+			n.mgr.Readmit(recs)
+		}
+	}
+	n.mgr.Adopt(n.shardOf(n.team), n.team)
+	stalled := n.joinStalled
+	n.joinStalled = nil
+	n.mu.Unlock()
+	n.tracef("svc %d rejoin complete: shard restored, replaying %d stalled messages", n.team, len(stalled))
+	for _, sm := range stalled {
+		var err error
+		switch sm.Kind {
+		case wire.KindLockReq:
+			err = n.handleLockReq(sm)
+		case wire.KindLockRelease:
+			err = n.handleLockRelease(sm)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // lockReq is one entry of an iteration's lock set.
 type lockReq struct {
 	obj   store.ID
@@ -480,6 +834,12 @@ func (n *Node) RunApp() (game.TeamStats, error) {
 	defer func() {
 		n.mc.SetExecTime(app.Now())
 	}()
+
+	if n.cfg.Rejoin {
+		if err := n.runJoin(); err != nil {
+			return n.stats, err
+		}
+	}
 
 	for tick := 1; tick <= n.cfg.Game.MaxTicks; tick++ {
 		if n.cfg.Game.EndOnFirstGoal {
@@ -529,6 +889,7 @@ func (n *Node) RunApp() (game.TeamStats, error) {
 	// In a first-to-goal game the winner tells every application the race
 	// is over.
 	if n.cfg.Game.EndOnFirstGoal && n.stats.ReachedGoal {
+		n.noteGameOver() // late joiners asking after this learn it from acks
 		for team := 0; team < n.teams; team++ {
 			if team == n.team || (n.ft() && n.isCrashed(team)) {
 				continue
@@ -562,6 +923,133 @@ func (n *Node) RunApp() (game.TeamStats, error) {
 	return n.stats, nil
 }
 
+// runJoin is the application half of a rejoin: broadcast KindJoinReq to
+// every other team's service, then wait — retransmitting under backoff —
+// until every team has either delivered its ack and checkpoint (tracked by
+// our own service) or been declared crashed. The service restores the
+// replica and the lock shard; here we only drive retransmission and then
+// recover the tank roster from the merged world. Tanks destroyed while the
+// process was away are simply absent from the board.
+func (n *Node) runJoin() error {
+	app := n.cfg.App
+	req := &wire.Msg{Kind: wire.KindJoinReq, Stamp: n.cfg.Incarnation}
+	var targets []int
+	for t := 0; t < n.teams; t++ {
+		if t != n.team {
+			targets = append(targets, t)
+		}
+	}
+	unresolved := func() []int {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		var out []int
+		for _, t := range targets {
+			if !n.crashed[t] && !(n.joinAcked[t] && n.joinSnapped[t]) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	send := func(t int) error {
+		if err := n.countSend(app, n.svcID(t), req.Clone()); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				n.declareCrash(t)
+				return nil
+			}
+			return fmt.Errorf("ec app %d: join req to %d: %w", n.team, t, err)
+		}
+		return nil
+	}
+	for _, t := range targets {
+		if err := send(t); err != nil {
+			return err
+		}
+	}
+	timeout := n.cfg.SuspectTimeout
+	wait := timeout
+	retries := 0
+	for len(unresolved()) > 0 {
+		m, ok, err := app.RecvTimeout(wait)
+		if err != nil {
+			return fmt.Errorf("ec app %d: join wait: %w", n.team, err)
+		}
+		if ok {
+			n.joinAppMsg(m)
+			continue
+		}
+		retries++
+		if retries > n.maxRetransmits() {
+			// Non-responders are presumed dead; the join completes among
+			// whoever answered.
+			for _, t := range unresolved() {
+				n.declareCrash(t)
+			}
+			break
+		}
+		for _, t := range unresolved() {
+			if err := send(t); err != nil {
+				return err
+			}
+			n.mc.AddRetransmit()
+		}
+		if wait < 8*timeout {
+			wait *= 2
+		}
+	}
+	// The service flips rejoinPending once every handback and checkpoint is
+	// in (our evictions above reach it as KindCrash); wait for that so the
+	// world below is complete.
+	for {
+		n.mu.Lock()
+		pending := n.rejoinPending
+		n.mu.Unlock()
+		if !pending {
+			break
+		}
+		m, ok, err := app.RecvTimeout(timeout)
+		if err != nil {
+			return fmt.Errorf("ec app %d: join wait: %w", n.team, err)
+		}
+		if ok {
+			n.joinAppMsg(m)
+		}
+	}
+	n.mu.Lock()
+	acks := len(n.joinAcked)
+	if n.over {
+		n.gameOver = true
+	}
+	var w *game.World
+	var err error
+	if acks > 0 {
+		w, err = game.DecodeWorld(n.cfg.Game, n.st)
+	}
+	n.mu.Unlock()
+	if acks == 0 {
+		return fmt.Errorf("ec app %d: rejoin found no live peers", n.team)
+	}
+	if err != nil {
+		return fmt.Errorf("ec app %d: decode joined world: %w", n.team, err)
+	}
+	for _, pos := range w.TankPositions()[n.team] {
+		n.tanks = append(n.tanks, game.NewTankState(pos))
+	}
+	n.mc.AddJoin()
+	n.tracef("app %d rejoined (inc %d): %d acks, %d tanks", n.team, n.cfg.Incarnation, acks, len(n.tanks))
+	return nil
+}
+
+// joinAppMsg handles application-endpoint traffic arriving mid-join (only
+// winner announcements and crash declarations are expected).
+func (n *Node) joinAppMsg(m *wire.Msg) {
+	switch m.Kind {
+	case wire.KindDone:
+		n.noteGameOver()
+	case wire.KindCrash:
+		n.noteCrash(int(m.Stamp), crashInc(m))
+	}
+}
+
 // pollApp drains queued application-endpoint traffic without blocking
 // (between iterations the only expected messages are winner announcements).
 func (n *Node) pollApp() {
@@ -571,10 +1059,10 @@ func (n *Node) pollApp() {
 			return
 		}
 		if m.Kind == wire.KindDone {
-			n.gameOver = true
+			n.noteGameOver()
 		}
 		if m.Kind == wire.KindCrash {
-			n.noteCrash(int(m.Stamp))
+			n.noteCrash(int(m.Stamp), crashInc(m))
 		}
 	}
 }
@@ -719,11 +1207,11 @@ func (n *Node) awaitKind(kind wire.Kind, obj uint32) (*wire.Msg, error) {
 			// A winner's announcement arriving mid-acquire: note it and
 			// keep waiting for the expected grant (locks are still
 			// released properly at the end of the iteration).
-			n.gameOver = true
+			n.noteGameOver()
 			continue
 		}
 		if m.Kind == wire.KindCrash {
-			n.noteCrash(int(m.Stamp))
+			n.noteCrash(int(m.Stamp), crashInc(m))
 			continue
 		}
 		// Unexpected traffic (e.g. a duplicate) is dropped.
@@ -776,10 +1264,10 @@ func (n *Node) awaitGrantFT(obj store.ID, req *wire.Msg, mgrTeam int) (*wire.Msg
 					}
 				}
 			case m.Kind == wire.KindDone:
-				n.gameOver = true
+				n.noteGameOver()
 			case m.Kind == wire.KindCrash:
-				n.noteCrash(int(m.Stamp))
-				if int(m.Stamp) == mgrTeam {
+				n.noteCrash(int(m.Stamp), crashInc(m))
+				if int(m.Stamp) == mgrTeam && n.isCrashed(mgrTeam) {
 					// Someone else buried our manager; fail over now.
 					if err := failover(); err != nil {
 						return nil, err
@@ -792,6 +1280,15 @@ func (n *Node) awaitGrantFT(obj store.ID, req *wire.Msg, mgrTeam int) (*wire.Msg
 			n.mc.AddSuspect()
 		}
 		retries++
+		if cur := n.liveManagerFor(obj); cur != mgrTeam {
+			// The routing changed beneath us — a crash learned through
+			// another exchange, or the base manager rejoined. Re-aim at
+			// the current manager before spending the retry budget on the
+			// wrong one.
+			mgrTeam = cur
+			suspect = cur
+			suspectIsHolder = false
+		}
 		n.tracef("app %d now=%v obj=%d grant-wait timeout #%d suspect=%d holder=%v",
 			n.team, app.Now(), obj, retries, suspect, suspectIsHolder)
 		if retries > n.maxRetransmits() {
@@ -845,10 +1342,10 @@ func (n *Node) awaitPullFT(obj store.ID, req *wire.Msg, owner int) (*wire.Msg, b
 			case m.Kind == wire.KindObjReply && m.Obj == uint32(obj):
 				return m, true, nil
 			case m.Kind == wire.KindDone:
-				n.gameOver = true
+				n.noteGameOver()
 			case m.Kind == wire.KindCrash:
-				n.noteCrash(int(m.Stamp))
-				if int(m.Stamp) == owner {
+				n.noteCrash(int(m.Stamp), crashInc(m))
+				if int(m.Stamp) == owner && n.isCrashed(owner) {
 					return nil, false, nil
 				}
 			}

@@ -90,6 +90,19 @@ type PlayerConfig struct {
 	// MaxRetransmits bounds retransmissions per suspicion episode; zero
 	// means core.DefaultMaxRetransmits.
 	MaxRetransmits int
+	// Join makes this process enter a game already in progress instead of
+	// assuming the initial rendezvous: it restores the world from peer
+	// checkpoints via core.Join and plays only the remaining ticks. Both a
+	// restarted crash victim and a brand-new late joiner use this path.
+	// Requires RendezvousTimeout > 0.
+	Join bool
+	// Incarnation distinguishes successive lives of this team's process
+	// ID (used with Join; 1 for a first restart or a late joiner).
+	Incarnation int64
+	// AbsentPeers lists teams not present at the initial rendezvous (late
+	// joiners); they enter the membership only when their join request
+	// arrives. Their tanks sit idle on the board until then.
+	AbsentPeers []int
 
 	// afterExchange, when set, runs after each completed exchange;
 	// onActions, when set, observes each tick's decisions (test-only
@@ -156,6 +169,24 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		stats: game.TeamStats{Team: cfg.Endpoint.ID()},
 	}
 
+	// A joiner starts knowing only itself and readmits peers as their join
+	// acks arrive; a survivor expecting late joiners starts without them.
+	var members []int
+	switch {
+	case cfg.Join:
+		members = []int{cfg.Endpoint.ID()}
+	case len(cfg.AbsentPeers) > 0:
+		absent := make(map[int]bool, len(cfg.AbsentPeers))
+		for _, t := range cfg.AbsentPeers {
+			absent[t] = true
+		}
+		for t := 0; t < cfg.Endpoint.N(); t++ {
+			if !absent[t] {
+				members = append(members, t)
+			}
+		}
+	}
+
 	rt, err := core.New(core.Config{
 		Endpoint:          cfg.Endpoint,
 		Metrics:           mc,
@@ -163,6 +194,13 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		Debug:             cfg.debug,
 		RendezvousTimeout: cfg.RendezvousTimeout,
 		MaxRetransmits:    cfg.MaxRetransmits,
+		InitialMembers:    members,
+		OnJoin: func(peer int) {
+			// Forget the joiner's pre-crash beacon: with no knowledge the
+			// MSYNC filters flush everything at the first rendezvous, so
+			// the rejoined peer cannot walk into withheld writes.
+			delete(p.known, peer)
+		},
 		OnBeacon: func(peer int, ints []int64) {
 			b, err := game.DecodeBeacon(ints)
 			if err != nil {
@@ -191,13 +229,17 @@ func (p *player) run() (game.TeamStats, error) {
 }
 
 // setup builds the deterministic initial world (identical on every process)
-// and registers every block as a shared object.
+// and registers every block as a shared object. A joiner instead restores
+// the current world from its peers' checkpoints.
 func (p *player) setup() error {
 	w, err := game.NewWorld(p.cfg.Game)
 	if err != nil {
 		return err
 	}
-	p.goal = w.Goal
+	p.goal = w.Goal // the goal block never moves; keep it even if hidden
+	if p.cfg.Join {
+		return p.joinSetup()
+	}
 	for i, c := range w.Cells {
 		if err := p.rt.Share(store.ID(i), game.EncodeCell(c)); err != nil {
 			return err
@@ -217,10 +259,43 @@ func (p *player) setup() error {
 	return nil
 }
 
-// play runs the tick loop: look, decide, modify, exchange.
+// joinSetup enters a game already in progress: core.Join restores the
+// world checkpoint and the rendezvous schedule, and the current board
+// tells us which of our tanks (placed at world creation, possibly
+// destroyed while we were away) are still alive.
+func (p *player) joinSetup() error {
+	if err := p.rt.Join(p.cfg.Incarnation); err != nil {
+		if errors.Is(err, core.ErrJoinFailed) && p.rt.GameOver() {
+			// The game ended while this process was away: nobody admits
+			// new rendezvous anymore. play() notices and finishes.
+			return nil
+		}
+		return err
+	}
+	w, err := game.DecodeWorld(p.cfg.Game, p.rt.Store())
+	if err != nil {
+		return fmt.Errorf("lookahead: decode joined world: %w", err)
+	}
+	for team, positions := range w.TankPositions() {
+		if team == p.team {
+			for _, pos := range positions {
+				p.tanks = append(p.tanks, game.NewTankState(pos))
+			}
+			continue
+		}
+		p.known[team] = &knownPeer{beacon: game.Beacon{Tanks: positions}, tick: p.rt.Now()}
+	}
+	return nil
+}
+
+// play runs the tick loop: look, decide, modify, exchange. The loop is
+// bounded by the logical clock, not an iteration count: a joiner resumes
+// with its clock already advanced to the admission tick and plays only
+// the remaining ticks.
 func (p *player) play() error {
 	cfg := p.cfg.Game
-	for tick := 1; tick <= cfg.MaxTicks; tick++ {
+	for p.rt.Now() < int64(cfg.MaxTicks) {
+		tick := p.rt.Now() + 1
 		appStart := p.cfg.Endpoint.Now()
 		if cfg.EndOnFirstGoal {
 			// Notice a winner's announcement even on rendezvous-free
@@ -247,7 +322,7 @@ func (p *player) play() error {
 		// moves); here we only account for the outcomes.
 		actions := p.decideAll()
 		if p.cfg.onActions != nil {
-			p.cfg.onActions(int64(tick), actions)
+			p.cfg.onActions(tick, actions)
 		}
 		modified := false
 		for _, ta := range actions {

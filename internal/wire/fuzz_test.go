@@ -11,6 +11,11 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	if b, err := sampleMsg().MarshalBinary(); err == nil {
 		f.Add(b)
 	}
+	for _, m := range joinKindMsgs() {
+		if b, err := m.MarshalBinary(); err == nil {
+			f.Add(b)
+		}
+	}
 	f.Add([]byte{})
 	f.Add(make([]byte, encodedHeaderSize))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -42,6 +47,12 @@ func FuzzReadFrame(f *testing.F) {
 	_ = WriteFrame(&buf, sampleMsg())
 	full := buf.Bytes()
 	f.Add(full)
+	for _, m := range joinKindMsgs() {
+		var jb bytes.Buffer
+		if err := WriteFrame(&jb, m); err == nil {
+			f.Add(jb.Bytes())
+		}
+	}
 	f.Add([]byte{0, 0, 0, 1, 9})
 	for _, cut := range []int{1, 3, 5, len(full) / 2, len(full) - 1} {
 		if cut > 0 && cut < len(full) {
@@ -54,4 +65,15 @@ func FuzzReadFrame(f *testing.F) {
 		var m Msg
 		_ = ReadFrame(bytes.NewReader(data), &m)
 	})
+}
+
+// joinKindMsgs seeds the corpus with the rejoin vocabulary (join request
+// and ack, store snapshot) in the shapes the protocols actually send.
+func joinKindMsgs() []*Msg {
+	return []*Msg{
+		{Kind: KindJoinReq, Src: 2, Stamp: 1},
+		{Kind: KindJoinAck, Src: 0, Dst: 2, Stamp: 14, Ints: []int64{3, 0, 0, 1, 2}},
+		{Kind: KindJoinAck, Src: 4, Dst: 6, Stamp: 1, Ints: []int64{0, 3}, Payload: []byte{0, 0, 0, 0}},
+		{Kind: KindSnapshot, Src: 0, Dst: 2, Stamp: 12, Payload: []byte{0, 0, 0, 0, 0, 0, 0, 12, 0, 0, 0, 0}},
+	}
 }

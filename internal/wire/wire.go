@@ -74,6 +74,23 @@ const (
 	// the requester redirects its suspicion from the (live) manager to a
 	// possibly-crashed holder.
 	KindLockBusy
+	// KindJoinReq asks a live peer to admit the sender — a restarted
+	// process or a brand-new late joiner — into the game. Stamp carries
+	// the joiner's incarnation number, which distinguishes successive
+	// lives of the same process ID.
+	KindJoinReq
+	// KindJoinAck admits a joiner. In the lookahead protocols Stamp carries
+	// the admission tick the responder granted and Ints is [epoch,
+	// gameOver, members...]: the responder's membership epoch, its
+	// game-over flag, and its live-member list. In EC, Stamp echoes the
+	// joiner's incarnation, Ints carries [gameOver, crashedTeams...], and
+	// Payload the lock-manager shard records handed back to the rejoining
+	// base manager (see lockmgr.EncodeRecords).
+	KindJoinAck
+	// KindSnapshot carries a store checkpoint — object bytes, versions,
+	// and a logical-clock floor (see store.Snapshot) — answering a
+	// KindJoinReq alongside the KindJoinAck.
+	KindSnapshot
 
 	kindMax
 )
@@ -95,6 +112,9 @@ var kindNames = map[Kind]string{
 	KindHello:       "HELLO",
 	KindCrash:       "CRASH",
 	KindLockBusy:    "LOCK_BUSY",
+	KindJoinReq:     "JOIN_REQ",
+	KindJoinAck:     "JOIN_ACK",
+	KindSnapshot:    "SNAPSHOT",
 }
 
 // String implements fmt.Stringer.
@@ -134,7 +154,7 @@ type Msg struct {
 // "data message" class); everything else is a control message.
 func (m *Msg) IsData() bool {
 	switch m.Kind {
-	case KindData, KindObjReply, KindDiffReply, KindUpdate:
+	case KindData, KindObjReply, KindDiffReply, KindUpdate, KindSnapshot:
 		return true
 	}
 	return false

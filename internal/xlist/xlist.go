@@ -209,6 +209,9 @@ func (b *SlottedBuffer) Add(proc int, obj store.ID, version int64, d diff.Diff) 
 		return fmt.Errorf("xlist: no slot for process %d", proc)
 	}
 	slot := b.slots[proc]
+	if slot == nil {
+		return nil // dropped peer: nothing accumulates until Readmit
+	}
 	prev := slot[obj]
 	if len(prev) == 0 || !b.merge {
 		slot[obj] = append(prev, ObjDiff{Obj: obj, Version: version, D: d})
@@ -290,10 +293,30 @@ func (b *SlottedBuffer) Objects(proc int) []store.ID {
 	return ids
 }
 
-// Drop discards proc's buffered diffs (peer announced DONE).
+// Drop discards proc's buffered diffs and tombstones the slot: a dropped
+// process (DONE, evicted as crashed, or absent from the initial
+// membership) accumulates nothing until Readmit re-opens its slot.
 func (b *SlottedBuffer) Drop(proc int) {
 	if proc == b.self || proc < 0 || proc >= b.n {
 		return
 	}
-	b.slots[proc] = make(map[store.ID][]ObjDiff)
+	b.slots[proc] = nil
+}
+
+// Dropped reports whether proc's slot is tombstoned.
+func (b *SlottedBuffer) Dropped(proc int) bool {
+	return proc != b.self && proc >= 0 && proc < b.n && b.slots[proc] == nil
+}
+
+// Readmit re-opens the slot of a previously dropped process so future
+// writes buffer for it again — the slotted-buffer half of peer rejoin. The
+// joiner's missed history travels in the store snapshot, so the re-opened
+// slot starts empty. Readmitting a live slot is a no-op.
+func (b *SlottedBuffer) Readmit(proc int) {
+	if proc == b.self || proc < 0 || proc >= b.n {
+		return
+	}
+	if b.slots[proc] == nil {
+		b.slots[proc] = make(map[store.ID][]ObjDiff)
+	}
 }
