@@ -6,343 +6,51 @@ package sdso
 //
 //	go test -bench=. -benchmem
 //
-// The figure benchmarks report the reproduced series through
-// b.ReportMetric: for each protocol P and process count n, a metric
-// "<P>_n<N>_<unit>". Absolute values are simulator-model outputs; the
-// paper-comparison (who wins, crossovers) lives in EXPERIMENTS.md and is
-// asserted by internal/harness's tests.
+// The bodies live in internal/benchsuite so cmd/bench can run the same
+// suite via testing.Benchmark and emit a benchmark-trajectory JSON file
+// (main packages cannot reach code in _test.go files). See that package
+// for what each benchmark measures and reports.
 
 import (
-	"fmt"
 	"testing"
-	"time"
 
-	"sdso/internal/diff"
-	"sdso/internal/game"
-	"sdso/internal/harness"
-	"sdso/internal/metrics"
-	"sdso/internal/netmodel"
-	"sdso/internal/protocol/lookahead"
-	"sdso/internal/transport"
-	"sdso/internal/vtime"
-	"sdso/internal/wire"
-	"sdso/internal/xlist"
+	"sdso/internal/benchsuite"
 )
 
-// benchSweep runs one paper sweep per b.N iteration and reports the final
-// iteration's series as metrics.
-func benchSweep(b *testing.B, rng int, metric harness.Metric, unit string) {
-	b.Helper()
-	var sw *harness.Sweep
-	for i := 0; i < b.N; i++ {
-		var err error
-		sw, err = harness.RunSweep(harness.SweepConfig{Range: rng, Seeds: []int64{1}})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, p := range harness.PaperProtocols {
-		for _, n := range harness.PaperNs {
-			b.ReportMetric(sw.Value(p, n, metric), fmt.Sprintf("%s_n%d_%s", p, n, unit))
-		}
-	}
-}
+func BenchmarkFig5Range1(b *testing.B) { benchsuite.Fig5Range1(b) }
 
-// BenchmarkFig5Range1 regenerates Figure 5 (left): normalized execution
-// time, range 1.
-func BenchmarkFig5Range1(b *testing.B) {
-	benchSweep(b, 1, harness.MetricNormalizedTime, "ms/mod")
-}
+func BenchmarkFig5Range3(b *testing.B) { benchsuite.Fig5Range3(b) }
 
-// BenchmarkFig5Range3 regenerates Figure 5 (right): normalized execution
-// time, range 3.
-func BenchmarkFig5Range3(b *testing.B) {
-	benchSweep(b, 3, harness.MetricNormalizedTime, "ms/mod")
-}
+func BenchmarkFig6Range1(b *testing.B) { benchsuite.Fig6Range1(b) }
 
-// BenchmarkFig6Range1 regenerates Figure 6 (left): total messages, range 1.
-func BenchmarkFig6Range1(b *testing.B) {
-	benchSweep(b, 1, harness.MetricTotalMsgs, "msgs")
-}
+func BenchmarkFig6Range3(b *testing.B) { benchsuite.Fig6Range3(b) }
 
-// BenchmarkFig6Range3 regenerates Figure 6 (right): total messages, range 3.
-func BenchmarkFig6Range3(b *testing.B) {
-	benchSweep(b, 3, harness.MetricTotalMsgs, "msgs")
-}
+func BenchmarkFig7Range1(b *testing.B) { benchsuite.Fig7Range1(b) }
 
-// BenchmarkFig7Range1 regenerates Figure 7 (left): data messages, range 1.
-func BenchmarkFig7Range1(b *testing.B) {
-	benchSweep(b, 1, harness.MetricDataMsgs, "datamsgs")
-}
+func BenchmarkFig7Range3(b *testing.B) { benchsuite.Fig7Range3(b) }
 
-// BenchmarkFig7Range3 regenerates Figure 7 (right): data messages, range 3.
-func BenchmarkFig7Range3(b *testing.B) {
-	benchSweep(b, 3, harness.MetricDataMsgs, "datamsgs")
-}
+func BenchmarkFig8(b *testing.B) { benchsuite.Fig8(b) }
 
-// BenchmarkFig8 regenerates Figure 8: protocol overhead percentages
-// (range 1).
-func BenchmarkFig8(b *testing.B) {
-	benchSweep(b, 1, harness.MetricOverheadPct, "ovh_pct")
-}
+func BenchmarkAblationDiffMerge(b *testing.B) { benchsuite.AblationDiffMerge(b) }
 
-// BenchmarkAblationDiffMerge measures the slotted buffer's diff-merging
-// optimization (paper §3.1): bytes shipped with and without merging for an
-// identical MSYNC2 game.
-func BenchmarkAblationDiffMerge(b *testing.B) {
-	run := func(merge bool) float64 {
-		g := game.DefaultConfig(8, 1)
-		g.MaxTicks = 150
-		g.EndOnFirstGoal = true
-		res, err := harness.Run(harness.Config{Game: g, Protocol: harness.MSYNC2, MergeDiffs: &merge})
-		if err != nil {
-			b.Fatal(err)
-		}
-		bytes := 0
-		for _, s := range res.Metrics.Procs {
-			bytes += s.BytesSent
-		}
-		return float64(bytes)
-	}
-	var with, without float64
-	for i := 0; i < b.N; i++ {
-		with = run(true)
-		without = run(false)
-	}
-	b.ReportMetric(with, "bytes_merged")
-	b.ReportMetric(without, "bytes_unmerged")
-	if without > 0 {
-		b.ReportMetric(with/without*100, "merged_pct_of_unmerged")
-	}
-}
+func BenchmarkAblationSpatialFilter(b *testing.B) { benchsuite.AblationSpatialFilter(b) }
 
-// BenchmarkAblationSpatialFilter isolates the value of s-function precision
-// (the only difference between the three lookahead protocols): data
-// messages at 16 processes under each filter.
-func BenchmarkAblationSpatialFilter(b *testing.B) {
-	var vals [3]float64
-	protos := []harness.Protocol{harness.BSYNC, harness.MSYNC, harness.MSYNC2}
-	for i := 0; i < b.N; i++ {
-		for k, p := range protos {
-			g := game.DefaultConfig(16, 1)
-			g.MaxTicks = 150
-			g.EndOnFirstGoal = true
-			res, err := harness.Run(harness.Config{Game: g, Protocol: p})
-			if err != nil {
-				b.Fatal(err)
-			}
-			vals[k] = float64(res.Metrics.DataMsgs())
-		}
-	}
-	for k, p := range protos {
-		b.ReportMetric(vals[k], fmt.Sprintf("%s_datamsgs", p))
-	}
-}
+func BenchmarkExtensionLRC(b *testing.B) { benchsuite.ExtensionLRC(b) }
 
-// BenchmarkExtensionLRC measures the §2.3 LRC-vs-EC comparison: bytes per
-// application tick (LRC's write-notice boards versus EC's per-object
-// grants).
-func BenchmarkExtensionLRC(b *testing.B) {
-	run := func(p harness.Protocol) float64 {
-		g := game.DefaultConfig(8, 1)
-		g.MaxTicks = 150
-		g.EndOnFirstGoal = true
-		res, err := harness.Run(harness.Config{Game: g, Protocol: p})
-		if err != nil {
-			b.Fatal(err)
-		}
-		bytes, ticks := 0, 0
-		for _, s := range res.Metrics.Procs {
-			bytes += s.BytesSent
-			ticks += s.Ticks
-		}
-		if ticks == 0 {
-			return 0
-		}
-		return float64(bytes) / float64(ticks)
-	}
-	var lrc, ec float64
-	for i := 0; i < b.N; i++ {
-		lrc = run(harness.LRC)
-		ec = run(harness.EC)
-	}
-	b.ReportMetric(lrc, "LRC_bytes/tick")
-	b.ReportMetric(ec, "EC_bytes/tick")
-}
+func BenchmarkExtensionCausal(b *testing.B) { benchsuite.ExtensionCausal(b) }
 
-// BenchmarkExtensionCausal measures the §2.3 causal-memory comparison:
-// bytes per tick versus BSYNC (vector timestamps versus scalar stamps).
-func BenchmarkExtensionCausal(b *testing.B) {
-	run := func(p harness.Protocol) float64 {
-		g := game.DefaultConfig(16, 1)
-		g.MaxTicks = 150
-		g.EndOnFirstGoal = true
-		res, err := harness.Run(harness.Config{Game: g, Protocol: p})
-		if err != nil {
-			b.Fatal(err)
-		}
-		bytes, ticks := 0, 0
-		for _, s := range res.Metrics.Procs {
-			bytes += s.BytesSent
-			ticks += s.Ticks
-		}
-		if ticks == 0 {
-			return 0
-		}
-		return float64(bytes) / float64(ticks)
-	}
-	var ca, bs float64
-	for i := 0; i < b.N; i++ {
-		ca = run(harness.Causal)
-		bs = run(harness.BSYNC)
-	}
-	b.ReportMetric(ca, "CAUSAL_bytes/tick")
-	b.ReportMetric(bs, "BSYNC_bytes/tick")
-}
+func BenchmarkDiffComputeApply(b *testing.B) { benchsuite.DiffComputeApply(b) }
 
-// --- Microbenchmarks of the substrates ---
+func BenchmarkDiffMergeChain(b *testing.B) { benchsuite.DiffMergeChain(b) }
 
-// BenchmarkDiffComputeApply measures the diff engine on cell-sized objects.
-func BenchmarkDiffComputeApply(b *testing.B) {
-	old := []byte{1, 0, 0, 0, 0, 0, 0, 0}
-	new := []byte{5, 3, 0, 0, 0, 0, 0, 0}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		d := diff.Compute(old, new)
-		if _, err := diff.Apply(old, d); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkWireCodec(b *testing.B) { benchsuite.WireCodec(b) }
 
-// BenchmarkDiffMergeChain measures merging a chain of single-cell diffs.
-func BenchmarkDiffMergeChain(b *testing.B) {
-	states := make([][]byte, 16)
-	for i := range states {
-		states[i] = []byte{byte(i + 1), byte(i), 0, 0, 0, 0, 0, 0}
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		acc := diff.Compute(states[0], states[1])
-		for k := 2; k < len(states); k++ {
-			next := diff.Compute(states[k-1], states[k])
-			var err error
-			acc, err = diff.Merge(acc, next)
-			if err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
+func BenchmarkExchangeList(b *testing.B) { benchsuite.ExchangeList(b) }
 
-// BenchmarkWireCodec measures message encode/decode round trips.
-func BenchmarkWireCodec(b *testing.B) {
-	m := &wire.Msg{
-		Kind: wire.KindData, Src: 3, Dst: 7, Stamp: 42, Obj: 123,
-		Ints: []int64{1, 2, 3}, Payload: make([]byte, 256),
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		buf, err := m.MarshalBinary()
-		if err != nil {
-			b.Fatal(err)
-		}
-		var out wire.Msg
-		if err := out.UnmarshalBinary(buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkVtimePingPong(b *testing.B) { benchsuite.VtimePingPong(b) }
 
-// BenchmarkExchangeList measures schedule maintenance at cluster scale.
-func BenchmarkExchangeList(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		l := xlist.NewList()
-		for p := 0; p < 16; p++ {
-			l.Set(p, int64(p%5)+1)
-		}
-		for tick := int64(1); tick <= 50; tick++ {
-			for _, e := range l.Due(tick) {
-				l.Set(e.Proc, tick+int64(e.Proc%7)+1)
-			}
-		}
-	}
-}
+func BenchmarkClusterLinkModel(b *testing.B) { benchsuite.ClusterLinkModel(b) }
 
-// BenchmarkVtimePingPong measures the simulator's context-switch cost.
-func BenchmarkVtimePingPong(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		sim := vtime.NewSim(vtime.Config{Links: vtime.ConstantDelay(time.Microsecond)})
-		sim.Spawn(func(p *vtime.Proc) {
-			for k := 0; k < 100; k++ {
-				p.Send(1, k, 64)
-				if _, ok := p.Recv(); !ok {
-					return
-				}
-			}
-		})
-		sim.Spawn(func(p *vtime.Proc) {
-			for k := 0; k < 100; k++ {
-				if _, ok := p.Recv(); !ok {
-					return
-				}
-				p.Send(0, k, 64)
-			}
-		})
-		if err := sim.Run(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkReferenceGame(b *testing.B) { benchsuite.ReferenceGame(b) }
 
-// BenchmarkClusterLinkModel measures the NIC-serialization link model.
-func BenchmarkClusterLinkModel(b *testing.B) {
-	c := netmodel.NewCluster(netmodel.Ethernet10Mbps())
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		c.Delivery(i%16, (i+1)%16, 2048, vtime.Time(i)*vtime.Time(time.Microsecond))
-	}
-}
-
-// BenchmarkReferenceGame measures the pure lockstep game simulation.
-func BenchmarkReferenceGame(b *testing.B) {
-	cfg := game.DefaultConfig(8, 1)
-	cfg.MaxTicks = 100
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := game.RunReference(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkMemnetGame measures a full distributed game on the in-memory
-// transport (real goroutine concurrency, no network model).
-func BenchmarkMemnetGame(b *testing.B) {
-	cfg := game.DefaultConfig(8, 1)
-	cfg.MaxTicks = 100
-	for i := 0; i < b.N; i++ {
-		net := transport.NewMemNetwork(cfg.Teams)
-		errc := make(chan error, cfg.Teams)
-		for t := 0; t < cfg.Teams; t++ {
-			t := t
-			go func() {
-				_, err := lookahead.RunPlayer(lookahead.PlayerConfig{
-					Game:     cfg,
-					Protocol: lookahead.MSYNC2,
-					Endpoint: net.Endpoint(t),
-					Metrics:  metrics.NewCollector(),
-				})
-				errc <- err
-			}()
-		}
-		for t := 0; t < cfg.Teams; t++ {
-			if err := <-errc; err != nil {
-				b.Fatal(err)
-			}
-		}
-		net.Close()
-	}
-}
+func BenchmarkMemnetGame(b *testing.B) { benchsuite.MemnetGame(b) }

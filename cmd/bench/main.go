@@ -1,0 +1,117 @@
+// Command bench runs the repo's benchmark suite (internal/benchsuite) —
+// the figure regenerations, ablations, and substrate microbenchmarks — via
+// testing.Benchmark and writes one machine-readable trajectory file with
+// ns/op, allocs/op, and B/op for every benchmark, plus each benchmark's
+// reported series metrics. The checked-in BENCH_PR3.json at the repo root
+// was produced by this tool; regenerate it with:
+//
+//	go run ./cmd/bench -o BENCH_PR3.json
+//
+// Flags:
+//
+//	-o file     output path (default BENCH_PR3.json)
+//	-run substr only benchmarks whose name contains substr
+//	-q          quiet: no per-benchmark progress on stderr
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"sdso/internal/benchsuite"
+)
+
+// result is one benchmark's measurement in the trajectory file.
+type result struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Extra carries the series a figure benchmark reported through
+	// b.ReportMetric (e.g. "MSYNC2_n16_msgs": 1234).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// trajectory is the top-level shape of BENCH_PR3.json.
+type trajectory struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Results     []result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_PR3.json", "output path for the trajectory JSON")
+	match := fs.String("run", "", "only benchmarks whose name contains this substring")
+	quiet := fs.Bool("q", false, "suppress per-benchmark progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	traj := trajectory{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, bench := range benchsuite.All() {
+		if *match != "" && !strings.Contains(bench.Name, *match) {
+			continue
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s...\n", bench.Name)
+		}
+		r := testing.Benchmark(bench.F)
+		if r.N == 0 {
+			// testing.Benchmark returns a zero result when the benchmark
+			// failed (b.Fatal); surface that instead of recording zeros.
+			return fmt.Errorf("benchmark %s failed", bench.Name)
+		}
+		traj.Results = append(traj.Results, result{
+			Name:        bench.Name,
+			N:           r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Extra:       r.Extra,
+		})
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  %d ops, %d ns/op, %d B/op, %d allocs/op\n",
+				r.N, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+	}
+	if len(traj.Results) == 0 {
+		return fmt.Errorf("no benchmarks matched %q", *match)
+	}
+
+	buf, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(traj.Results))
+	}
+	return nil
+}

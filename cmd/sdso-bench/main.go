@@ -32,6 +32,7 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", 3, "number of game seeds to average over")
 	maxTicks := fs.Int("ticks", 200, "game horizon in logical ticks")
 	extras := fs.Bool("extensions", false, "also run the LRC and causal-memory baselines")
+	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +64,7 @@ func run(args []string) error {
 			Range:     r,
 			Seeds:     seedList,
 			MaxTicks:  *maxTicks,
+			Workers:   *workers,
 		})
 		if err != nil {
 			return err

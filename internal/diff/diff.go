@@ -45,15 +45,52 @@ var (
 	ErrCorrupt        = errors.New("diff: corrupt encoding")
 )
 
+// grow extends d.Runs by one slot, resurrecting a previously truncated
+// element (and its Data capacity) when the backing array allows.
+func (d *Diff) grow() *Run {
+	n := len(d.Runs)
+	if n < cap(d.Runs) {
+		d.Runs = d.Runs[:n+1]
+	} else {
+		d.Runs = append(d.Runs, Run{})
+	}
+	return &d.Runs[n]
+}
+
+// appendRun appends a run holding a copy of data, reusing recycled run
+// storage where capacity allows. Run data is never nil, matching the
+// codec's decoded form (an empty replacement has a 0-length data slice).
+func (d *Diff) appendRun(off int, data []byte) {
+	r := d.grow()
+	r.Off = off
+	if r.Data == nil && len(data) == 0 {
+		r.Data = make([]byte, 0)
+		return
+	}
+	r.Data = append(r.Data[:0], data...)
+}
+
 // Compute returns the diff that transforms old into new. If the lengths
 // differ it returns a whole-state replacement.
 func Compute(old, new []byte) Diff {
+	var d Diff
+	ComputeInto(&d, old, new)
+	return d
+}
+
+// ComputeInto is Compute with reuse semantics: the result lands in d,
+// recycling d's Runs slice and each run's Data capacity. A steady-state
+// differ that recycles one Diff per object computes diffs with zero heap
+// allocations once its buffers have warmed up.
+func ComputeInto(d *Diff, old, new []byte) {
+	d.Runs = d.Runs[:0]
+	d.Len = len(new)
+	d.Replace = false
 	if len(old) != len(new) {
-		data := make([]byte, len(new))
-		copy(data, new)
-		return Diff{Replace: true, Len: len(new), Runs: []Run{{Off: 0, Data: data}}}
+		d.Replace = true
+		d.appendRun(0, new)
+		return
 	}
-	d := Diff{Len: len(new)}
 	i := 0
 	for i < len(new) {
 		if old[i] == new[i] {
@@ -81,11 +118,8 @@ func Compute(old, new []byte) Diff {
 			}
 			break
 		}
-		data := make([]byte, last+1-start)
-		copy(data, new[start:last+1])
-		d.Runs = append(d.Runs, Run{Off: start, Data: data})
+		d.appendRun(start, new[start:last+1])
 	}
-	return d
 }
 
 // Empty reports whether the diff changes nothing.
@@ -103,19 +137,24 @@ func (d Diff) ByteSize() int {
 
 // Apply transforms base according to the diff, returning a fresh slice.
 func Apply(base []byte, d Diff) ([]byte, error) {
+	return ApplyTo(nil, base, d)
+}
+
+// ApplyTo is Apply with reuse semantics: the transformed state is written
+// into dst (resized in place when its capacity suffices) and returned.
+// dst must not alias base or the diff's run data. Callers that recycle one
+// state buffer per object apply diffs with zero heap allocations.
+func ApplyTo(dst, base []byte, d Diff) ([]byte, error) {
 	if d.Replace {
 		if len(d.Runs) != 1 || d.Runs[0].Off != 0 || len(d.Runs[0].Data) != d.Len {
 			return nil, fmt.Errorf("%w: malformed replacement", ErrCorrupt)
 		}
-		out := make([]byte, d.Len)
-		copy(out, d.Runs[0].Data)
-		return out, nil
+		return append(dst[:0], d.Runs[0].Data...), nil
 	}
 	if len(base) != d.Len {
 		return nil, fmt.Errorf("%w: base %d, diff %d", ErrLengthMismatch, len(base), d.Len)
 	}
-	out := make([]byte, len(base))
-	copy(out, base)
+	out := append(dst[:0], base...)
 	for _, r := range d.Runs {
 		if r.Off < 0 || r.Off+len(r.Data) > len(out) {
 			return nil, fmt.Errorf("%w: run at %d len %d in state of %d", ErrOutOfBounds, r.Off, len(r.Data), len(out))
@@ -197,6 +236,123 @@ func Merge(first, second Diff) (Diff, error) {
 		out.Runs = append(out.Runs, Run{Off: sp.off, Data: data})
 	}
 	return out, nil
+}
+
+// cloneInto copies src into dst with reuse semantics.
+func (d Diff) cloneInto(dst *Diff) {
+	dst.Replace = d.Replace
+	dst.Len = d.Len
+	dst.Runs = dst.Runs[:0]
+	for _, r := range d.Runs {
+		dst.appendRun(r.Off, r.Data)
+	}
+	if d.Runs == nil {
+		dst.Runs = nil
+	}
+}
+
+// MergeInto is Merge with reuse semantics: the merged diff lands in dst,
+// recycling dst's Runs and run Data storage. dst must not alias first or
+// second (their runs are read throughout the merge). Unlike Merge, which
+// builds an intermediate span list, MergeInto walks the two sorted run
+// lists directly, so a steady-state merger allocates nothing once dst's
+// buffers have warmed up. Differentially tested against Merge.
+func MergeInto(dst *Diff, first, second Diff) error {
+	switch {
+	case second.Replace:
+		second.cloneInto(dst)
+		return nil
+	case first.Replace:
+		// Apply second on top of the replacement state. The intermediate
+		// state lands in dst's single run, reused when possible.
+		state, err := Apply(first.Runs[0].Data, second)
+		if err != nil {
+			return fmt.Errorf("merge onto replacement: %w", err)
+		}
+		dst.Replace = true
+		dst.Len = len(state)
+		dst.Runs = dst.Runs[:0]
+		dst.appendRun(0, state)
+		return nil
+	case first.Empty():
+		second.cloneInto(dst)
+		return nil
+	case second.Empty():
+		first.cloneInto(dst)
+		return nil
+	case first.Len != second.Len:
+		return fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, first.Len, second.Len)
+	}
+
+	dst.Replace = false
+	dst.Len = first.Len
+	dst.Runs = dst.Runs[:0]
+	// emit appends [off, off+len(data)) to dst, coalescing with the
+	// previous run when adjacent. Calls arrive in ascending offset order.
+	emit := func(off int, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if n := len(dst.Runs); n > 0 && dst.Runs[n-1].Off+len(dst.Runs[n-1].Data) == off {
+			dst.Runs[n-1].Data = append(dst.Runs[n-1].Data, data...)
+			return
+		}
+		dst.appendRun(off, data)
+	}
+
+	// Walk both sorted, non-overlapping run lists; second's runs shadow
+	// first's wherever they overlap.
+	fi, si := 0, 0
+	fCur := 0 // progress cursor within first.Runs[fi]
+	if len(first.Runs) > 0 {
+		fCur = first.Runs[0].Off
+	}
+	for fi < len(first.Runs) || si < len(second.Runs) {
+		if fi >= len(first.Runs) {
+			s := second.Runs[si]
+			emit(s.Off, s.Data)
+			si++
+			continue
+		}
+		f := first.Runs[fi]
+		if fCur < f.Off {
+			fCur = f.Off
+		}
+		fEnd := f.Off + len(f.Data)
+		if fCur >= fEnd {
+			fi++
+			continue
+		}
+		if si >= len(second.Runs) {
+			emit(fCur, f.Data[fCur-f.Off:])
+			fi++
+			fCur = fEnd
+			continue
+		}
+		s := second.Runs[si]
+		sEnd := s.Off + len(s.Data)
+		switch {
+		case sEnd <= fCur:
+			// s lies entirely before the unshadowed remainder of f.
+			emit(s.Off, s.Data)
+			si++
+		case s.Off >= fEnd:
+			// The remainder of f lies entirely before s.
+			emit(fCur, f.Data[fCur-f.Off:])
+			fi++
+			fCur = fEnd
+		default:
+			// Overlap: emit f's prefix up to s, then s itself; f resumes
+			// past s's end (possibly in a later iteration / later run).
+			if fCur < s.Off {
+				emit(fCur, f.Data[fCur-f.Off:s.Off-f.Off])
+			}
+			emit(s.Off, s.Data)
+			si++
+			fCur = sEnd
+		}
+	}
+	return nil
 }
 
 func (d Diff) clone() Diff {

@@ -8,6 +8,8 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"sdso/internal/faultnet"
@@ -120,6 +122,46 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	default:
 		return nil, fmt.Errorf("harness: chaos runs support the paper's four protocols, not %q", cfg.Protocol)
 	}
+}
+
+// RunChaosGrid executes a batch of chaos experiments concurrently on a
+// worker pool (workers <= 0 means GOMAXPROCS) and returns the results in
+// input order. Every experiment is a self-contained simulation whose fault
+// decisions derive only from its own ChaosConfig.Seed, so concurrent
+// execution reproduces the exact sequential results — decision logs
+// included; TestChaosGridParallelDeterminism asserts it under -race. On
+// error the first failing experiment in input order is reported.
+func RunChaosGrid(cfgs []ChaosConfig, workers int) ([]*ChaosResult, error) {
+	results := make([]*ChaosResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = RunChaos(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {

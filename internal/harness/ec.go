@@ -54,6 +54,7 @@ func runECVtime(cfg Config) (*Result, error) {
 			Svc:            svcEPs[i],
 			Metrics:        collectors[i],
 			ComputePerTick: cfg.ComputePerTick,
+			SuspectTimeout: cfg.SuspectTimeout,
 		})
 		if err != nil {
 			return nil, err

@@ -2,12 +2,15 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"sdso/internal/game"
 	"sdso/internal/metrics"
+	"sdso/internal/netmodel"
 )
 
 // PaperNs are the process counts on the paper's x-axes.
@@ -29,6 +32,20 @@ type SweepConfig struct {
 	Seeds []int64
 	// MaxTicks bounds each game; defaults to 200.
 	MaxTicks int
+	// Net overrides the simulated cluster network for every cell; the
+	// zero value keeps the paper's 10 Mbps Ethernet model. Lossy sweeps
+	// set DropProb/DropSeed here — each cell still derives every drop
+	// decision deterministically from its own seed and link state, so
+	// sweeps stay reproducible under any worker count.
+	Net netmodel.Params
+	// SuspectTimeout is handed to every cell (see Config.SuspectTimeout);
+	// required when Net is lossy.
+	SuspectTimeout time.Duration
+	// Workers bounds how many (protocol, n, seed) cells run concurrently.
+	// Zero means GOMAXPROCS; 1 reproduces the historical sequential
+	// execution exactly. Every cell is an independent vtime simulation,
+	// so the assembled Sweep is identical for any worker count.
+	Workers int
 }
 
 func (sc SweepConfig) withDefaults() SweepConfig {
@@ -57,25 +74,99 @@ type Sweep struct {
 	Results map[Protocol]map[int][]*Result
 }
 
-// RunSweep executes every (protocol, n, seed) experiment of the sweep.
-func RunSweep(sc SweepConfig) (*Sweep, error) {
-	sc = sc.withDefaults()
-	sw := &Sweep{Config: sc, Results: make(map[Protocol]map[int][]*Result)}
+// sweepCell is one point of the (protocol, n, seed) grid, in grid order.
+type sweepCell struct {
+	proto Protocol
+	n     int
+	seed  int64
+}
+
+func (sc SweepConfig) cells() []sweepCell {
+	cells := make([]sweepCell, 0, len(sc.Protocols)*len(sc.Ns)*len(sc.Seeds))
 	for _, proto := range sc.Protocols {
-		sw.Results[proto] = make(map[int][]*Result)
 		for _, n := range sc.Ns {
 			for _, seed := range sc.Seeds {
-				g := game.DefaultConfig(n, sc.Range)
-				g.Seed = seed
-				g.MaxTicks = sc.MaxTicks
-				g.EndOnFirstGoal = true // the paper's race semantics
-				res, err := Run(Config{Game: g, Protocol: proto})
-				if err != nil {
-					return nil, fmt.Errorf("sweep %s n=%d range=%d seed=%d: %w", proto, n, sc.Range, seed, err)
-				}
-				sw.Results[proto][n] = append(sw.Results[proto][n], res)
+				cells = append(cells, sweepCell{proto: proto, n: n, seed: seed})
 			}
 		}
+	}
+	return cells
+}
+
+func runCell(sc SweepConfig, c sweepCell) (*Result, error) {
+	g := game.DefaultConfig(c.n, sc.Range)
+	g.Seed = c.seed
+	g.MaxTicks = sc.MaxTicks
+	g.EndOnFirstGoal = true // the paper's race semantics
+	res, err := Run(Config{Game: g, Protocol: c.proto, Net: sc.Net, SuspectTimeout: sc.SuspectTimeout})
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s n=%d range=%d seed=%d: %w", c.proto, c.n, sc.Range, c.seed, err)
+	}
+	return res, nil
+}
+
+// RunSweep executes every (protocol, n, seed) experiment of the sweep.
+//
+// Cells run concurrently on a pool of SweepConfig.Workers goroutines
+// (default GOMAXPROCS). Each cell is a self-contained vtime simulation —
+// deterministic per seed, sharing no state with its neighbours — so the
+// assembled Sweep is identical to a sequential (Workers=1) execution;
+// TestRunSweepParallelMatchesSequential asserts byte-equality. On error the
+// first failing cell in grid order is reported, matching the sequential
+// path's choice.
+func RunSweep(sc SweepConfig) (*Sweep, error) {
+	sc = sc.withDefaults()
+	cells := sc.cells()
+	results := make([]*Result, len(cells))
+
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			res, err := runCell(sc, c)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+	} else {
+		errs := make([]error, len(cells))
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = runCell(sc, cells[i])
+				}
+			}()
+		}
+		for i := range cells {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sw := &Sweep{Config: sc, Results: make(map[Protocol]map[int][]*Result)}
+	for i, c := range cells {
+		m := sw.Results[c.proto]
+		if m == nil {
+			m = make(map[int][]*Result)
+			sw.Results[c.proto] = m
+		}
+		m[c.n] = append(m[c.n], results[i])
 	}
 	return sw, nil
 }

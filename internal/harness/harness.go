@@ -62,6 +62,12 @@ type Config struct {
 	// Horizon bounds virtual time (guard against runaway runs). Zero
 	// means 10 minutes of virtual time.
 	Horizon time.Duration
+	// SuspectTimeout enables the runtime's failure-detection and
+	// retransmission machinery (the lookahead rendezvous timeout, EC's
+	// suspect timeout). Required when Net is lossy (DropProb > 0): a
+	// dropped SYNC or lock message would otherwise deadlock the run.
+	// Zero leaves detection off, as in the paper's fault-free testbed.
+	SuspectTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -135,12 +141,13 @@ func runLookahead(cfg Config) (*Result, error) {
 		collectors[i] = metrics.NewCollector()
 		sim.Spawn(func(p *vtime.Proc) {
 			stats[i], errs[i] = lookahead.RunPlayer(lookahead.PlayerConfig{
-				Game:           cfg.Game,
-				Protocol:       lookaheadVariant(cfg.Protocol),
-				Endpoint:       eps[i],
-				Metrics:        collectors[i],
-				MergeDiffs:     cfg.MergeDiffs,
-				ComputePerTick: cfg.ComputePerTick,
+				Game:              cfg.Game,
+				Protocol:          lookaheadVariant(cfg.Protocol),
+				Endpoint:          eps[i],
+				Metrics:           collectors[i],
+				MergeDiffs:        cfg.MergeDiffs,
+				ComputePerTick:    cfg.ComputePerTick,
+				RendezvousTimeout: cfg.SuspectTimeout,
 			})
 		})
 	}

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdso/internal/wire"
@@ -69,43 +69,47 @@ func Categories() []Category {
 	return out
 }
 
+// padded is a cache-line-padded atomic counter. A Collector's counters sit
+// side by side in one struct; without padding, two goroutines bumping
+// adjacent counters would ping-pong the same cache line between cores.
+type padded struct {
+	v atomic.Int64
+	_ [56]byte // pad to a 64-byte line
+}
+
 // Collector gathers one process's counters. It is safe for concurrent use
-// (real transports receive on multiple goroutines).
+// (real transports receive on multiple goroutines): every counter is an
+// independent padded atomic, so hot-path increments are lock-free and
+// uncontended.
 type Collector struct {
-	mu        sync.Mutex
-	msgsSent  map[wire.Kind]int
-	bytesSent int
-	durations map[Category]time.Duration
-	mods      int
-	ticks     int
-	execTime  time.Duration
+	msgsSent  [wire.NumKinds]padded // indexed by wire.Kind
+	bytesSent padded
+	durations [int(catMax)]padded // nanoseconds, indexed by Category
+	mods      padded
+	ticks     padded
+	execTime  atomic.Int64
 
 	// Fault-tolerance counters (crash detection and recovery).
-	retransmits int
-	suspects    int
-	evictions   int
-	faults      int
+	retransmits padded
+	suspects    padded
+	evictions   padded
+	faults      padded
 
 	// Rejoin counters (checkpointed state transfer and membership).
-	joins         int
-	snapshotBytes int
-	catchupDiffs  int
+	joins         padded
+	snapshotBytes padded
+	catchupDiffs  padded
 }
 
 // NewCollector returns an empty collector.
-func NewCollector() *Collector {
-	return &Collector{
-		msgsSent:  make(map[wire.Kind]int),
-		durations: make(map[Category]time.Duration),
-	}
-}
+func NewCollector() *Collector { return new(Collector) }
 
 // CountSend records an outgoing message of the given wire size.
 func (c *Collector) CountSend(m *wire.Msg, size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.msgsSent[m.Kind]++
-	c.bytesSent += size
+	if m.Kind.Valid() {
+		c.msgsSent[m.Kind].v.Add(1)
+	}
+	c.bytesSent.v.Add(int64(size))
 }
 
 // AddTime attributes a span of (virtual) time to a category.
@@ -113,114 +117,79 @@ func (c *Collector) AddTime(cat Category, d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.durations[cat] += d
+	if cat < CatAppCompute || cat >= catMax {
+		cat = CatOther
+	}
+	c.durations[cat].v.Add(int64(d))
 }
 
 // AddMod records one object modification.
-func (c *Collector) AddMod() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.mods++
-}
+func (c *Collector) AddMod() { c.mods.v.Add(1) }
 
 // AddTick records one logical clock tick.
-func (c *Collector) AddTick() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ticks++
-}
+func (c *Collector) AddTick() { c.ticks.v.Add(1) }
 
 // AddRetransmit records one retransmission of an unacknowledged message
 // (rendezvous SYNC or sync put/get request).
-func (c *Collector) AddRetransmit() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.retransmits++
-}
+func (c *Collector) AddRetransmit() { c.retransmits.v.Add(1) }
 
 // AddSuspect records that a peer entered the suspected state (a timeout
 // expired without an answer from it).
-func (c *Collector) AddSuspect() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.suspects++
-}
+func (c *Collector) AddSuspect() { c.suspects.v.Add(1) }
 
 // AddEviction records that a suspected peer was declared crashed and
 // removed from the process's live set.
-func (c *Collector) AddEviction() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.evictions++
-}
+func (c *Collector) AddEviction() { c.evictions.v.Add(1) }
 
 // AddFault records one injected fault (dropped, duplicated, delayed, or
 // partitioned message, or a crash-stop) observed at this process's
 // fault-injecting transport.
-func (c *Collector) AddFault() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.faults++
-}
+func (c *Collector) AddFault() { c.faults.v.Add(1) }
 
 // AddJoin records one completed join handshake: a joiner that finished
 // catching up, or a survivor that served a join request.
-func (c *Collector) AddJoin() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.joins++
-}
+func (c *Collector) AddJoin() { c.joins.v.Add(1) }
 
 // AddSnapshotBytes records n bytes of checkpoint payload sent to a joiner.
-func (c *Collector) AddSnapshotBytes(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.snapshotBytes += n
-}
+func (c *Collector) AddSnapshotBytes(n int) { c.snapshotBytes.v.Add(int64(n)) }
 
 // AddCatchupDiffs records n object states adopted from peer snapshots
 // while catching up after a join.
-func (c *Collector) AddCatchupDiffs(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.catchupDiffs += n
-}
+func (c *Collector) AddCatchupDiffs(n int) { c.catchupDiffs.v.Add(int64(n)) }
 
 // SetExecTime records the process's total execution time (its clock at
 // completion).
-func (c *Collector) SetExecTime(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.execTime = d
-}
+func (c *Collector) SetExecTime(d time.Duration) { c.execTime.Store(int64(d)) }
 
-// Snapshot returns an immutable copy of the collected values.
+// Snapshot returns an immutable copy of the collected values. Counters that
+// were never touched are omitted from the maps, matching what the old
+// map-backed collector exposed.
 func (c *Collector) Snapshot() Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := Snapshot{
-		MsgsSent:    make(map[wire.Kind]int, len(c.msgsSent)),
-		Durations:   make(map[Category]time.Duration, len(c.durations)),
-		BytesSent:   c.bytesSent,
-		Mods:        c.mods,
-		Ticks:       c.ticks,
-		ExecTime:    c.execTime,
-		Retransmits: c.retransmits,
-		Suspects:    c.suspects,
-		Evictions:   c.evictions,
-		Faults:      c.faults,
+		MsgsSent:    make(map[wire.Kind]int),
+		Durations:   make(map[Category]time.Duration),
+		BytesSent:   int(c.bytesSent.v.Load()),
+		Mods:        int(c.mods.v.Load()),
+		Ticks:       int(c.ticks.v.Load()),
+		ExecTime:    time.Duration(c.execTime.Load()),
+		Retransmits: int(c.retransmits.v.Load()),
+		Suspects:    int(c.suspects.v.Load()),
+		Evictions:   int(c.evictions.v.Load()),
+		Faults:      int(c.faults.v.Load()),
 
-		Joins:         c.joins,
-		SnapshotBytes: c.snapshotBytes,
-		CatchupDiffs:  c.catchupDiffs,
+		Joins:         int(c.joins.v.Load()),
+		SnapshotBytes: int(c.snapshotBytes.v.Load()),
+		CatchupDiffs:  int(c.catchupDiffs.v.Load()),
 	}
-	for k, v := range c.msgsSent {
-		s.MsgsSent[k] = v
+	for k := wire.KindSync; int(k) < wire.NumKinds; k++ {
+		if n := c.msgsSent[k].v.Load(); n != 0 {
+			s.MsgsSent[k] = int(n)
+		}
 	}
-	for k, v := range c.durations {
-		s.Durations[k] = v
+	for _, cat := range Categories() {
+		if d := c.durations[cat].v.Load(); d != 0 {
+			s.Durations[cat] = time.Duration(d)
+		}
 	}
 	return s
 }

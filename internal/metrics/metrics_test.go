@@ -183,3 +183,51 @@ func TestJoinCounters(t *testing.T) {
 		t.Errorf("CatchupDiffs = %d, want 3", got)
 	}
 }
+
+// TestCollectorConcurrentUse hammers every counter from several goroutines
+// under -race: the atomic collector must neither race nor lose increments.
+func TestCollectorConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.CountSend(&wire.Msg{Kind: wire.KindData}, 10)
+				c.AddTime(CatExchange, time.Microsecond)
+				c.AddMod()
+				c.AddTick()
+				c.AddRetransmit()
+				c.AddSuspect()
+				c.AddEviction()
+				c.AddFault()
+				c.AddJoin()
+				c.AddSnapshotBytes(2)
+				c.AddCatchupDiffs(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	total := workers * perWorker
+	if s.MsgsSent[wire.KindData] != total || s.BytesSent != 10*total {
+		t.Errorf("sends lost: msgs=%d bytes=%d, want %d/%d", s.MsgsSent[wire.KindData], s.BytesSent, total, 10*total)
+	}
+	if s.Durations[CatExchange] != time.Duration(total)*time.Microsecond {
+		t.Errorf("durations lost: %v", s.Durations[CatExchange])
+	}
+	for name, got := range map[string]int{
+		"mods": s.Mods, "ticks": s.Ticks, "retransmits": s.Retransmits,
+		"suspects": s.Suspects, "evictions": s.Evictions, "faults": s.Faults,
+		"joins": s.Joins,
+	} {
+		if got != total {
+			t.Errorf("%s = %d, want %d", name, got, total)
+		}
+	}
+	if s.SnapshotBytes != 2*total || s.CatchupDiffs != total {
+		t.Errorf("rejoin counters lost: bytes=%d diffs=%d", s.SnapshotBytes, s.CatchupDiffs)
+	}
+}

@@ -1,0 +1,80 @@
+package vtime
+
+// heap4 is a generic 4-ary min-heap. It replaces container/heap on the
+// simulator's hot paths for two reasons: elements are stored concretely
+// (container/heap boxes every Push/Pop operand in an interface, costing an
+// allocation and a type assertion per scheduler decision), and the wider
+// node fans out a shallower tree — sift-downs touch ~half the levels of a
+// binary heap, which is where a discrete-event scheduler spends its time.
+type heap4[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// newHeap4 returns an empty heap ordered by less.
+func newHeap4[T any](less func(a, b T) bool) heap4[T] {
+	return heap4[T]{less: less}
+}
+
+// Len returns the number of queued elements.
+func (h *heap4[T]) Len() int { return len(h.items) }
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap, like indexing a slice out of range.
+func (h *heap4[T]) Peek() T { return h.items[0] }
+
+// Push inserts x.
+func (h *heap4[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element.
+func (h *heap4[T]) Pop() T {
+	it := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero // drop the reference so the GC can reclaim it
+	h.items = h.items[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return it
+}
+
+func (h *heap4[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *heap4[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := i
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if h.less(h.items[c], h.items[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}

@@ -21,7 +21,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -110,7 +109,7 @@ type Proc struct {
 	// goroutine runs at a time.
 	baton chan struct{}
 
-	inbox msgQueue
+	inbox heap4[*event]
 
 	// deadline, when hasDeadline is set, bounds the current blocking Recv:
 	// the scheduler wakes the process at this virtual time even with an
@@ -141,9 +140,12 @@ type Stats struct {
 
 // Sim is a deterministic discrete-event simulation.
 type Sim struct {
-	cfg     Config
-	procs   []*Proc
-	events  eventQueue
+	cfg    Config
+	procs  []*Proc
+	events heap4[*event]
+	// free recycles delivered events back into Send; only one goroutine
+	// (scheduler or the running process) executes at a time, so no lock.
+	free    []*event
 	seq     uint64
 	yield   chan struct{}
 	started bool
@@ -157,9 +159,28 @@ func NewSim(cfg Config) *Sim {
 		cfg.Links = ConstantDelay(time.Millisecond)
 	}
 	return &Sim{
-		cfg:   cfg,
-		yield: make(chan struct{}),
+		cfg:    cfg,
+		events: newHeap4[*event](eventBefore),
+		yield:  make(chan struct{}),
 	}
+}
+
+// newEvent takes an event from the free-list, or allocates one.
+func (s *Sim) newEvent() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return new(event)
+}
+
+// recycle returns a consumed event to the free-list, clearing the message so
+// the payload it carried becomes collectable immediately.
+func (s *Sim) recycle(ev *event) {
+	ev.msg = Message{}
+	s.free = append(s.free, ev)
 }
 
 // Spawn registers a new process whose body is fn. Processes are numbered in
@@ -173,6 +194,7 @@ func (s *Sim) Spawn(fn func(p *Proc)) *Proc {
 		sim:   s,
 		state: stateRunnable,
 		baton: make(chan struct{}),
+		inbox: newHeap4[*event](eventBefore),
 	}
 	s.procs = append(s.procs, p)
 	go func() {
@@ -230,10 +252,10 @@ func (s *Sim) Run() error {
 				next, nextAt = p, at
 			}
 		}
-		if len(s.events) > 0 {
-			ev := s.events[0]
+		if s.events.Len() > 0 {
+			ev := s.events.Peek()
 			if next == nil || ev.at <= nextAt {
-				heap.Pop(&s.events)
+				s.events.Pop()
 				s.deliver(ev)
 				continue
 			}
@@ -306,9 +328,10 @@ func (s *Sim) deadlockError() error {
 func (s *Sim) deliver(ev *event) {
 	p := s.procs[ev.msg.To]
 	if p.state == stateDone {
-		return // messages to finished processes are dropped
+		s.recycle(ev) // messages to finished processes are dropped
+		return
 	}
-	heap.Push(&p.inbox, ev)
+	p.inbox.Push(ev)
 	if p.state == stateBlocked {
 		// The receiver resumes no earlier than the delivery instant.
 		if ev.at > p.now {
@@ -386,18 +409,17 @@ func (p *Proc) Send(to int, payload any, size int) {
 		panic("vtime: LinkModel produced delivery before send")
 	}
 	p.sim.seq++
-	ev := &event{
-		at:  at,
-		seq: p.sim.seq,
-		msg: Message{
-			From:    p.id,
-			To:      to,
-			Payload: payload,
-			Size:    size,
-			SentAt:  p.now,
-		},
+	ev := p.sim.newEvent()
+	ev.at = at
+	ev.seq = p.sim.seq
+	ev.msg = Message{
+		From:    p.id,
+		To:      to,
+		Payload: payload,
+		Size:    size,
+		SentAt:  p.now,
 	}
-	heap.Push(&p.sim.events, ev)
+	p.sim.events.Push(ev)
 	p.sent++
 	p.sentBytes += size
 }
@@ -409,11 +431,13 @@ func (p *Proc) Recv() (Message, bool) {
 		if p.failed() {
 			return Message{}, false
 		}
-		if len(p.inbox) > 0 {
-			ev := heap.Pop(&p.inbox).(*event)
-			ev.msg.Delivered = ev.at
+		if p.inbox.Len() > 0 {
+			ev := p.inbox.Pop()
+			msg := ev.msg
+			msg.Delivered = ev.at
+			p.sim.recycle(ev)
 			p.recvd++
-			return ev.msg, true
+			return msg, true
 		}
 		p.yieldToScheduler(stateBlocked)
 	}
@@ -433,11 +457,13 @@ func (p *Proc) RecvTimeout(d Time) (msg Message, got bool, timedOut bool) {
 		if p.failed() {
 			return Message{}, false, false
 		}
-		if len(p.inbox) > 0 {
-			ev := heap.Pop(&p.inbox).(*event)
-			ev.msg.Delivered = ev.at
+		if p.inbox.Len() > 0 {
+			ev := p.inbox.Pop()
+			msg := ev.msg
+			msg.Delivered = ev.at
+			p.sim.recycle(ev)
 			p.recvd++
-			return ev.msg, true, false
+			return msg, true, false
 		}
 		if p.now >= deadline {
 			return Message{}, false, true
@@ -452,13 +478,15 @@ func (p *Proc) RecvTimeout(d Time) (msg Message, got bool, timedOut bool) {
 // inbox, without blocking. Determinism caveat: the result depends on how far
 // other clocks have advanced, so protocols should prefer Recv.
 func (p *Proc) TryRecv() (Message, bool) {
-	if p.failed() || len(p.inbox) == 0 {
+	if p.failed() || p.inbox.Len() == 0 {
 		return Message{}, false
 	}
-	ev := heap.Pop(&p.inbox).(*event)
-	ev.msg.Delivered = ev.at
+	ev := p.inbox.Pop()
+	msg := ev.msg
+	msg.Delivered = ev.at
+	p.sim.recycle(ev)
 	p.recvd++
-	return ev.msg, true
+	return msg, true
 }
 
 // Yield gives other entities with equal or lower clocks a chance to run
@@ -477,26 +505,11 @@ type event struct {
 	msg Message
 }
 
-// eventQueue orders events by (delivery time, sequence number).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventBefore orders events by (delivery time, sequence number); it is the
+// comparator for both the global delivery queue and every inbox.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-
-// msgQueue orders an inbox identically to the global event queue.
-type msgQueue = eventQueue

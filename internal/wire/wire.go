@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Kind identifies a message's role in a consistency protocol.
@@ -94,6 +95,9 @@ const (
 
 	kindMax
 )
+
+// NumKinds is one past the largest valid Kind, for dense per-kind tables.
+const NumKinds = int(kindMax)
 
 var kindNames = map[Kind]string{
 	KindSync:        "SYNC",
@@ -190,15 +194,20 @@ func (m *Msg) EncodedSize() int {
 	return encodedHeaderSize + 8*len(m.Ints) + len(m.Payload)
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
-func (m *Msg) MarshalBinary() ([]byte, error) {
+// AppendBinary appends m's binary encoding to dst and returns the extended
+// slice (encoding.BinaryAppender semantics). It allocates only when dst
+// lacks capacity, so steady-state encoders that recycle their buffers
+// marshal with zero per-message heap allocations.
+func (m *Msg) AppendBinary(dst []byte) ([]byte, error) {
 	if !m.Kind.Valid() {
-		return nil, ErrBadKind
+		return dst, ErrBadKind
 	}
 	if len(m.Payload) > MaxPayload || len(m.Ints) > MaxInts {
-		return nil, ErrTooLarge
+		return dst, ErrTooLarge
 	}
-	buf := make([]byte, m.EncodedSize())
+	base := len(dst)
+	dst = append(dst, make([]byte, m.EncodedSize())...)
+	buf := dst[base:]
 	buf[0] = byte(m.Kind)
 	buf[1] = m.Mode
 	binary.BigEndian.PutUint32(buf[2:], uint32(m.Src))
@@ -213,10 +222,25 @@ func (m *Msg) MarshalBinary() ([]byte, error) {
 		off += 8
 	}
 	copy(buf[off:], m.Payload)
+	return dst, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Msg) MarshalBinary() ([]byte, error) {
+	buf, err := m.AppendBinary(make([]byte, 0, m.EncodedSize()))
+	if err != nil {
+		return nil, err
+	}
 	return buf, nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler with reuse
+// semantics: m's existing Ints and Payload slices are resized in place when
+// their capacity suffices, so a steady-state decoder that recycles one Msg
+// pays zero per-message heap allocations. The decoded fields never alias
+// buf — ReadFrame pools and scribbles over its frame buffers, and protocols
+// buffer decoded messages long after the frame is recycled
+// (TestUnmarshalDoesNotAliasInput is the regression witness).
 func (m *Msg) UnmarshalBinary(buf []byte) error {
 	if len(buf) < encodedHeaderSize {
 		return ErrShortBuffer
@@ -240,41 +264,68 @@ func (m *Msg) UnmarshalBinary(buf []byte) error {
 	m.Dst = int32(binary.BigEndian.Uint32(buf[6:]))
 	m.Stamp = int64(binary.BigEndian.Uint64(buf[10:]))
 	m.Obj = binary.BigEndian.Uint32(buf[18:])
-	m.Ints = nil
-	if nInts > 0 {
-		m.Ints = make([]int64, nInts)
+	if nInts == 0 {
+		if m.Ints != nil {
+			m.Ints = m.Ints[:0]
+		}
+	} else {
+		if cap(m.Ints) < int(nInts) {
+			m.Ints = make([]int64, nInts)
+		} else {
+			m.Ints = m.Ints[:nInts]
+		}
 		off := encodedHeaderSize
 		for i := range m.Ints {
 			m.Ints[i] = int64(binary.BigEndian.Uint64(buf[off:]))
 			off += 8
 		}
 	}
-	m.Payload = nil
-	if nPayload > 0 {
-		m.Payload = make([]byte, nPayload)
+	if nPayload == 0 {
+		if m.Payload != nil {
+			m.Payload = m.Payload[:0]
+		}
+	} else {
+		if cap(m.Payload) < int(nPayload) {
+			m.Payload = make([]byte, nPayload)
+		} else {
+			m.Payload = m.Payload[:nPayload]
+		}
 		copy(m.Payload, buf[len(buf)-int(nPayload):])
 	}
 	return nil
 }
 
-// WriteFrame writes m to w as a length-prefixed frame.
+// framePool recycles frame scratch buffers across WriteFrame/ReadFrame
+// calls. Buffers are pooled through a pointer-to-slice so the pool itself
+// does not allocate per Put, and they re-enter the pool scribbled-over only
+// in the sense that the next frame overwrites them — decoded Msgs never
+// alias them (see UnmarshalBinary).
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4+encodedHeaderSize+512); return &b }}
+
+// WriteFrame writes m to w as a length-prefixed frame. The frame is staged
+// in a pooled scratch buffer and issued as a single Write, so steady-state
+// senders allocate nothing per message.
 func WriteFrame(w io.Writer, m *Msg) error {
-	body, err := m.MarshalBinary()
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	buf := append((*bp)[:0], 0, 0, 0, 0) // length prefix placeholder
+	buf, err := m.AppendBinary(buf)
 	if err != nil {
+		*bp = buf[:0]
 		return fmt.Errorf("marshal %s: %w", m.Kind, err)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("write frame body: %w", err)
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	*bp = buf // keep any growth for the next frame
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame from r into m.
+// ReadFrame reads one length-prefixed frame from r into m. The frame body
+// lands in a pooled scratch buffer that is recycled on return; m owns none
+// of it (UnmarshalBinary copies), so callers may retain m and its slices
+// indefinitely.
 func ReadFrame(r io.Reader, m *Msg) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -284,7 +335,15 @@ func ReadFrame(r io.Reader, m *Msg) error {
 	if n < encodedHeaderSize || n > MaxPayload+8*MaxInts+encodedHeaderSize {
 		return fmt.Errorf("%w: frame length %d", ErrTooLarge, n)
 	}
-	body := make([]byte, n)
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	var body []byte
+	if cap(*bp) < int(n) {
+		body = make([]byte, n)
+	} else {
+		body = (*bp)[:n]
+	}
+	*bp = body[:0]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return fmt.Errorf("read frame body: %w", err)
 	}

@@ -15,11 +15,31 @@ package xlist
 import (
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sdso/internal/diff"
 	"sdso/internal/store"
 )
+
+// compareEntries orders entries by (time, proc) — the exchange-list order.
+// A single named comparator avoids re-allocating a closure (and its capture)
+// on every Due/Entries call inside the protocols' exchange loops.
+func compareEntries(a, b Entry) int {
+	switch {
+	case a.Time != b.Time:
+		if a.Time < b.Time {
+			return -1
+		}
+		return 1
+	case a.Proc != b.Proc:
+		if a.Proc < b.Proc {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
 
 // Entry is one (exchange-time, process) pair.
 type Entry struct {
@@ -93,18 +113,21 @@ func (l *List) Peek() (Entry, bool) {
 // reschedule them via Set after the exchange completes (the paper's
 // exchange() deletes the entry and has the s-function compute a new time).
 func (l *List) Due(now int64) []Entry {
-	var due []Entry
+	if len(l.index) == 0 {
+		return nil
+	}
+	due := make([]Entry, 0, len(l.index))
 	for _, it := range l.index {
 		if it.Time <= now {
 			due = append(due, it.Entry)
 		}
 	}
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].Time != due[j].Time {
-			return due[i].Time < due[j].Time
-		}
-		return due[i].Proc < due[j].Proc
-	})
+	if len(due) == 0 {
+		return nil
+	}
+	if !slices.IsSortedFunc(due, compareEntries) {
+		slices.SortFunc(due, compareEntries)
+	}
 	return due
 }
 
@@ -115,12 +138,9 @@ func (l *List) Entries() []Entry {
 	for _, it := range l.index {
 		out = append(out, it.Entry)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Time != out[j].Time {
-			return out[i].Time < out[j].Time
-		}
-		return out[i].Proc < out[j].Proc
-	})
+	if !slices.IsSortedFunc(out, compareEntries) {
+		slices.SortFunc(out, compareEntries)
+	}
 	return out
 }
 
@@ -218,8 +238,12 @@ func (b *SlottedBuffer) Add(proc int, obj store.ID, version int64, d diff.Diff) 
 		return nil
 	}
 	last := prev[len(prev)-1]
-	m, err := diff.Merge(last.D, d)
-	if err != nil {
+	// MergeInto with a fresh destination: the merge-walk emits each output
+	// run once instead of Merge's split-then-coalesce spans. The destination
+	// must not be recycled scratch — Flush hands ObjDiffs to callers whose
+	// lifetime we do not control.
+	var m diff.Diff
+	if err := diff.MergeInto(&m, last.D, d); err != nil {
 		return fmt.Errorf("merge buffered diff for obj %d: %w", obj, err)
 	}
 	prev[len(prev)-1] = ObjDiff{Obj: obj, Version: version, D: m}
@@ -266,8 +290,10 @@ func (b *SlottedBuffer) Flush(proc int) []ObjDiff {
 	for id := range slot {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var out []ObjDiff
+	if !slices.IsSorted(ids) {
+		slices.Sort(ids)
+	}
+	out := make([]ObjDiff, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, slot[id]...)
 	}
@@ -289,7 +315,9 @@ func (b *SlottedBuffer) Objects(proc int) []store.ID {
 	for id := range slot {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if !slices.IsSorted(ids) {
+		slices.Sort(ids)
+	}
 	return ids
 }
 
