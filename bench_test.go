@@ -54,3 +54,15 @@ func BenchmarkClusterLinkModel(b *testing.B) { benchsuite.ClusterLinkModel(b) }
 func BenchmarkReferenceGame(b *testing.B) { benchsuite.ReferenceGame(b) }
 
 func BenchmarkMemnetGame(b *testing.B) { benchsuite.MemnetGame(b) }
+
+func BenchmarkBroadcastFanout4(b *testing.B) { benchsuite.BroadcastFanout4(b) }
+
+func BenchmarkBroadcastFanout8(b *testing.B) { benchsuite.BroadcastFanout8(b) }
+
+func BenchmarkBroadcastFanout16(b *testing.B) { benchsuite.BroadcastFanout16(b) }
+
+func BenchmarkBroadcastFanoutPerPeer16(b *testing.B) { benchsuite.BroadcastFanoutPerPeer16(b) }
+
+func BenchmarkTCPLoopbackExchange(b *testing.B) { benchsuite.TCPLoopbackExchange(b) }
+
+func BenchmarkFramesPerExchange(b *testing.B) { benchsuite.FramesPerExchange(b) }

@@ -2,16 +2,20 @@
 // the figure regenerations, ablations, and substrate microbenchmarks — via
 // testing.Benchmark and writes one machine-readable trajectory file with
 // ns/op, allocs/op, and B/op for every benchmark, plus each benchmark's
-// reported series metrics. The checked-in BENCH_PR3.json at the repo root
-// was produced by this tool; regenerate it with:
+// reported series metrics. The checked-in BENCH_PR4.json at the repo root
+// was produced by this tool (BENCH_PR3.json is the previous trajectory);
+// regenerate it with:
 //
-//	go run ./cmd/bench -o BENCH_PR3.json
+//	go run ./cmd/bench
 //
 // Flags:
 //
-//	-o file     output path (default BENCH_PR3.json)
+//	-o file     output path (default BENCH_PR4.json)
 //	-run substr only benchmarks whose name contains substr
 //	-q          quiet: no per-benchmark progress on stderr
+//	-check      verify the trajectory file covers the current suite
+//	            (exists and has a result for every benchmark) without
+//	            running anything; CI fails the build on a stale file
 package main
 
 import (
@@ -39,7 +43,7 @@ type result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// trajectory is the top-level shape of BENCH_PR3.json.
+// trajectory is the top-level shape of BENCH_PR4.json.
 type trajectory struct {
 	GeneratedAt string   `json:"generated_at"`
 	GoVersion   string   `json:"go_version"`
@@ -58,11 +62,15 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("o", "BENCH_PR3.json", "output path for the trajectory JSON")
+	out := fs.String("o", "BENCH_PR4.json", "output path for the trajectory JSON")
 	match := fs.String("run", "", "only benchmarks whose name contains this substring")
 	quiet := fs.Bool("q", false, "suppress per-benchmark progress on stderr")
+	check := fs.Bool("check", false, "verify the trajectory file covers the current suite; run nothing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *check {
+		return checkTrajectory(*out)
 	}
 
 	traj := trajectory{
@@ -113,5 +121,36 @@ func run(args []string) error {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(traj.Results))
 	}
+	return nil
+}
+
+// checkTrajectory verifies that the checked-in trajectory file is not stale
+// relative to the suite: it must exist, parse, and hold a result for every
+// benchmark benchsuite.All() currently lists. A new or renamed benchmark
+// without a regenerated file fails the check (and CI with it).
+func checkTrajectory(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("trajectory file missing (regenerate with `go run ./cmd/bench`): %w", err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(buf, &traj); err != nil {
+		return fmt.Errorf("trajectory file %s is corrupt: %w", path, err)
+	}
+	have := make(map[string]bool, len(traj.Results))
+	for _, r := range traj.Results {
+		have[r.Name] = true
+	}
+	var missing []string
+	for _, bench := range benchsuite.All() {
+		if !have[bench.Name] {
+			missing = append(missing, bench.Name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s is stale: missing benchmarks %s (regenerate with `go run ./cmd/bench`)",
+			path, strings.Join(missing, ", "))
+	}
+	fmt.Printf("%s covers all %d suite benchmarks\n", path, len(benchsuite.All()))
 	return nil
 }

@@ -56,6 +56,12 @@ func All() []Bench {
 		{"ClusterLinkModel", ClusterLinkModel},
 		{"ReferenceGame", ReferenceGame},
 		{"MemnetGame", MemnetGame},
+		{"BroadcastFanout4", BroadcastFanout4},
+		{"BroadcastFanout8", BroadcastFanout8},
+		{"BroadcastFanout16", BroadcastFanout16},
+		{"BroadcastFanoutPerPeer16", BroadcastFanoutPerPeer16},
+		{"TCPLoopbackExchange", TCPLoopbackExchange},
+		{"FramesPerExchange", FramesPerExchange},
 	}
 }
 

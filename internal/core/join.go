@@ -67,6 +67,7 @@ func (r *Runtime) Join(incarnation int64) error {
 			return fmt.Errorf("join request to %d: %w", peer, err)
 		}
 	}
+	r.flush()
 
 	resolved := func(peer int) bool {
 		if r.peerDone[peer] || r.peerCrashed[peer] {
@@ -92,6 +93,7 @@ func (r *Runtime) Join(incarnation int64) error {
 		}
 		if ok {
 			r.dispatch(m, nil, nil)
+			r.flush() // dispatch may have answered (echo, object serve)
 			continue
 		}
 		retries++
@@ -118,6 +120,7 @@ func (r *Runtime) Join(incarnation int64) error {
 			}
 			r.mc.AddRetransmit()
 		}
+		r.flush()
 		if wait < 8*timeout {
 			wait *= 2
 		}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sdso/internal/metrics"
+	"sdso/internal/store"
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+)
+
+// runConfigGroup runs body for each of n runtimes built by mkCfg over an
+// in-memory network.
+func runConfigGroup(t *testing.T, n int, mkCfg func(ep transport.Endpoint) Config, body func(r *Runtime) error) []*Runtime {
+	t.Helper()
+	net := transport.NewMemNetwork(n)
+	t.Cleanup(net.Close)
+	rts := make([]*Runtime, n)
+	for i := 0; i < n; i++ {
+		r, err := New(mkCfg(net.Endpoint(i)))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rts[i] = r
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = body(rts[i])
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("group deadlocked")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("runtime %d: %v", i, err)
+		}
+	}
+	return rts
+}
+
+// lockstepBody is the BSYNC shape used by the piggyback tests: every
+// process owns one counter object, increments it each tick, and exchanges
+// with everyone every tick, advertising a per-tick beacon.
+func lockstepBody(n, ticks int) func(r *Runtime) error {
+	return func(r *Runtime) error {
+		for obj := 0; obj < n; obj++ {
+			if err := r.Share(store.ID(obj), counterBytes(0)); err != nil {
+				return err
+			}
+		}
+		mine := store.ID(r.ID())
+		for k := 1; k <= ticks; k++ {
+			if err := r.Write(mine, counterBytes(uint64(k))); err != nil {
+				return err
+			}
+			opts := ExchangeOpts{
+				Resync: true,
+				SFunc:  EveryTick,
+				Beacon: func(peer int) []int64 { return []int64{int64(r.ID()), r.Now()} },
+			}
+			if err := r.Exchange(opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestPiggybackConvergence runs the lockstep game with SYNC piggybacking
+// on: replicas must still converge on the sequential outcome, and — since
+// data flows to every peer at every tick — every SYNC must have ridden on
+// a data frame, sending zero standalone SYNC messages.
+func TestPiggybackConvergence(t *testing.T) {
+	const n, ticks = 4, 10
+	mcs := make([]*metrics.Collector, n)
+	rts := runConfigGroup(t, n, func(ep transport.Endpoint) Config {
+		mc := metrics.NewCollector()
+		mcs[ep.ID()] = mc
+		return Config{Endpoint: ep, MergeDiffs: true, PiggybackSync: true, Metrics: mc}
+	}, lockstepBody(n, ticks))
+	for i := 1; i < n; i++ {
+		if !rts[0].Store().Equal(rts[i].Store()) {
+			t.Fatalf("replica %d diverged from replica 0", i)
+		}
+	}
+	for obj := 0; obj < n; obj++ {
+		b, err := rts[0].Store().Get(store.ID(obj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint64(b); got != ticks {
+			t.Errorf("object %d = %d, want %d", obj, got, ticks)
+		}
+	}
+	for i, mc := range mcs {
+		s := mc.Snapshot()
+		wantPairs := ticks * (n - 1)
+		if got := s.MsgsSent[wire.KindSync]; got != 0 {
+			t.Errorf("process %d sent %d standalone SYNCs, want 0 (all piggybacked)", i, got)
+		}
+		if got := s.MsgsSent[wire.KindData]; got != wantPairs {
+			t.Errorf("process %d sent %d DATA messages, want %d", i, got, wantPairs)
+		}
+		if got := s.PiggybackedSyncs; got != wantPairs {
+			t.Errorf("process %d piggybacked %d SYNCs, want %d", i, got, wantPairs)
+		}
+	}
+}
+
+// TestPiggybackEquivalence replays the identical lockstep game with
+// piggybacking off and on: final replicas and the full per-process beacon
+// observation logs must match exactly — the receive path synthesizes the
+// same logical (data, SYNC) pairs either way — while the messages-sent
+// count halves.
+func TestPiggybackEquivalence(t *testing.T) {
+	const n, ticks = 4, 10
+	run := func(piggy bool) ([]*Runtime, [][]string, int) {
+		beacons := make([][]string, n)
+		mcs := make([]*metrics.Collector, n)
+		rts := runConfigGroup(t, n, func(ep transport.Endpoint) Config {
+			id := ep.ID()
+			mc := metrics.NewCollector()
+			mcs[id] = mc
+			return Config{
+				Endpoint: ep, MergeDiffs: true, PiggybackSync: piggy, Metrics: mc,
+				OnBeacon: func(peer int, b []int64) {
+					beacons[id] = append(beacons[id], fmt.Sprintf("%d:%v", peer, b))
+				},
+			}
+		}, lockstepBody(n, ticks))
+		total := 0
+		for _, mc := range mcs {
+			total += mc.Snapshot().TotalMsgs()
+		}
+		return rts, beacons, total
+	}
+	rtsOff, beaconsOff, totalOff := run(false)
+	rtsOn, beaconsOn, totalOn := run(true)
+	for i := 0; i < n; i++ {
+		if !rtsOff[i].Store().Equal(rtsOn[i].Store()) {
+			t.Fatalf("replica %d: piggybacked run diverged from baseline", i)
+		}
+		if fmt.Sprint(beaconsOff[i]) != fmt.Sprint(beaconsOn[i]) {
+			t.Fatalf("process %d beacon logs diverged:\noff: %v\non:  %v", i, beaconsOff[i], beaconsOn[i])
+		}
+	}
+	if totalOn*2 != totalOff {
+		t.Errorf("messages sent: %d with piggybacking, %d without; want exactly half", totalOn, totalOff)
+	}
+}
+
+// TestPiggybackWithSpatialFilter mixes the two frame shapes in one game:
+// the spatial filter withholds data from higher-numbered peers, so those
+// rendezvous use bare SYNCs while the rest piggyback, and withheld diffs
+// stay buffered until the filter opens. Replicas must still converge once
+// a final unfiltered broadcast flushes everything.
+func TestPiggybackWithSpatialFilter(t *testing.T) {
+	const n, ticks = 3, 6
+	rts := runConfigGroup(t, n, func(ep transport.Endpoint) Config {
+		return Config{Endpoint: ep, MergeDiffs: true, PiggybackSync: true}
+	}, func(r *Runtime) error {
+		for obj := 0; obj < n; obj++ {
+			if err := r.Share(store.ID(obj), counterBytes(0)); err != nil {
+				return err
+			}
+		}
+		mine := store.ID(r.ID())
+		for k := 1; k <= ticks; k++ {
+			if err := r.Write(mine, counterBytes(uint64(k))); err != nil {
+				return err
+			}
+			opts := ExchangeOpts{
+				Resync:   true,
+				SFunc:    EveryTick,
+				SendData: func(peer int) bool { return peer < r.ID() },
+				Beacon:   func(peer int) []int64 { return []int64{r.Now()} },
+			}
+			if err := r.Exchange(opts); err != nil {
+				return err
+			}
+		}
+		// A closing broadcast flushes every withheld diff.
+		return r.Exchange(ExchangeOpts{Resync: true, SFunc: EveryTick, How: Broadcast})
+	})
+	for i := 1; i < n; i++ {
+		if !rts[0].Store().Equal(rts[i].Store()) {
+			t.Fatalf("replica %d diverged from replica 0", i)
+		}
+	}
+	for obj := 0; obj < n; obj++ {
+		b, err := rts[0].Store().Get(store.ID(obj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint64(b); got != ticks {
+			t.Errorf("object %d = %d, want %d", obj, got, ticks)
+		}
+	}
+}

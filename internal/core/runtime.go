@@ -101,6 +101,14 @@ type Config struct {
 	// MergeDiffs enables the slotted buffer's diff merging (paper §3.1
 	// optimization; on by default in protocols, off in the ablation).
 	MergeDiffs bool
+	// PiggybackSync merges each rendezvous's SYNC marker onto the data
+	// frame when one flows to the peer anyway: the DATA message carries
+	// wire.ModeSyncPiggyback plus the beacon in Ints, and the receiver
+	// synthesizes the logical (data, SYNC) pair, halving steady-state
+	// frames per exchange. Peers receiving no data this tick still get a
+	// bare SYNC, and retransmissions are always bare SYNCs. Off by default
+	// so existing traces (and the harness sweeps) stay byte-identical.
+	PiggybackSync bool
 	// FirstExchange is the tick of the initial rendezvous with every
 	// peer; zero means tick 1 (everyone synchronizes once at the start,
 	// which seeds the beacons).
@@ -462,6 +470,37 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 		sendData := opts.How == Broadcast || opts.SendData == nil || opts.SendData(peer)
 		if sendData && r.buf.Pending(peer) > 0 {
 			diffs := r.buf.Flush(peer)
+			if r.cfg.PiggybackSync {
+				// One frame carries both halves of the rendezvous: the
+				// beacon — evaluated after the flush, exactly as for a
+				// bare SYNC — rides in Ints under the piggyback flag, and
+				// the receiver synthesizes the logical (data, SYNC) pair.
+				var beacon []int64
+				if opts.Beacon != nil {
+					beacon = opts.Beacon(peer)
+				}
+				data := &wire.Msg{
+					Kind:    wire.KindData,
+					Mode:    wire.ModeSyncPiggyback,
+					Stamp:   r.now,
+					Ints:    beacon,
+					Payload: xlist.EncodeDiffs(diffs),
+				}
+				if err := r.send(peer, data); err != nil {
+					if errors.Is(err, transport.ErrPeerGone) {
+						r.evictPeer(peer)
+						continue
+					}
+					return fmt.Errorf("exchange data to %d: %w", peer, err)
+				}
+				r.mc.AddPiggybackSync()
+				// The logical SYNC is recorded for the retransmission and
+				// echo machinery but never sent on its own.
+				sync := &wire.Msg{Kind: wire.KindSync, Stamp: r.now, Ints: beacon}
+				sentSync[peer] = sync
+				r.lastSync[peer] = sync
+				continue
+			}
 			data := &wire.Msg{
 				Kind:    wire.KindData,
 				Stamp:   r.now,
@@ -490,6 +529,9 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 		sentSync[peer] = sync
 		r.lastSync[peer] = sync
 	}
+	// Barrier: release whatever the transport coalesced before blocking on
+	// (or returning control ahead of) the peers' answers.
+	r.flush()
 
 	if opts.Resync {
 		timeout := opts.Timeout
@@ -529,6 +571,7 @@ func (r *Runtime) absorbEarly(gotSync map[int][]int64, haveSync map[int]bool) {
 		for _, m := range msgs {
 			if m.Stamp <= r.now {
 				r.applyData(m)
+				r.recycle(m)
 			} else {
 				keep = append(keep, m)
 			}
@@ -597,6 +640,7 @@ func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSy
 				return fmt.Errorf("exchange recv at tick %d: %w", r.now, err)
 			}
 			r.dispatch(m, onSync, onPeerDone)
+			r.flush() // dispatch may have answered (echo, object serve)
 		}
 		return nil
 	}
@@ -610,6 +654,7 @@ func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSy
 		}
 		if ok {
 			r.dispatch(m, onSync, onPeerDone)
+			r.flush() // dispatch may have answered (echo, object serve)
 			continue
 		}
 		// Timeout: every remaining straggler becomes a suspect.
@@ -651,6 +696,7 @@ func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSy
 			}
 			r.mc.AddRetransmit()
 		}
+		r.flush()
 		if wait < 8*timeout {
 			wait *= 2
 		}
@@ -688,68 +734,76 @@ func (r *Runtime) evictPeer(peer int) {
 	delete(r.earlySync, peer)
 }
 
-// dispatch routes one incoming message. onSync fires for SYNC messages
+// flush releases whatever frames the transport has coalesced since the
+// last barrier; a no-op on transports without deferred flushing.
+func (r *Runtime) flush() { _ = transport.Flush(r.ep) }
+
+// recycle returns a fully consumed incoming message to the transport's
+// free-list; a no-op on transports that do not pool received messages.
+// Beacon slices can outlive the message (earlySync and the rendezvous
+// gotSync map retain them), so Ints is always detached before pooling.
+func (r *Runtime) recycle(m *wire.Msg) {
+	m.Ints = nil
+	transport.Recycle(r.ep, m)
+}
+
+// dispatch routes one incoming message. onSync fires for SYNC content
 // stamped with the current tick; onPeerDone fires when a peer announces
-// completion.
+// completion. Messages fully consumed by the routing are recycled back to
+// the transport's pool.
 func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64, stamp int64), onPeerDone func(peer int)) {
+	if r.consume(m, onSync, onPeerDone) {
+		r.recycle(m)
+	}
+}
+
+// consume routes m and reports whether it was fully consumed (true) or
+// retained by the runtime — buffered as early data or parked as a pending
+// reply — and therefore must not be recycled.
+func (r *Runtime) consume(m *wire.Msg, onSync func(peer int, beacon []int64, stamp int64), onPeerDone func(peer int)) bool {
 	peer := int(m.Src)
 	// Join traffic is routed before the crashed/absent gate: a join
 	// request from an evicted or absent peer is exactly the expected way
 	// back in, and a joiner holds every peer absent until its ack lands.
+	// Join messages are rare; they are left out of the recycling pool.
 	switch m.Kind {
 	case wire.KindJoinReq:
 		r.serveJoin(peer, m)
-		return
+		return false
 	case wire.KindJoinAck:
 		r.handleJoinAck(peer, m)
-		return
+		return false
 	case wire.KindSnapshot:
 		r.handleSnapshot(peer, m)
-		return
+		return false
 	}
 	if r.peerCrashed[peer] || r.peerAbsent[peer] {
 		// Other traffic from an evicted (or not-yet-joined) peer is
 		// dropped: the eviction decision is final (late messages from a
 		// slow-but-live peer must not resurrect half of its state), and
 		// an absent peer has no rendezvous to serve until it joins.
-		return
+		return true
 	}
 	switch m.Kind {
 	case wire.KindData:
+		// A piggybacked frame is the logical (data, SYNC) pair in one
+		// message: the sync half is peeled off immediately — even when
+		// the data half is early-buffered — so the rendezvous machinery
+		// sees it at arrival, exactly as if a bare SYNC had followed.
+		piggy := m.Mode&wire.ModeSyncPiggyback != 0
 		if m.Stamp > r.now {
 			r.earlyData[peer] = append(r.earlyData[peer], m)
-			return
+			if piggy {
+				r.handleSyncPart(peer, m.Stamp, m.Ints, 0, onSync)
+			}
+			return false
 		}
 		r.applyData(m)
+		if piggy {
+			r.handleSyncPart(peer, m.Stamp, m.Ints, 0, onSync)
+		}
 	case wire.KindSync:
-		if m.Stamp <= r.syncSeen[peer] {
-			// Duplicate of a SYNC already consumed (a retransmission or
-			// an injected duplicate). An explicit retransmission means
-			// the peer never received our answering SYNC for that tick —
-			// re-echo the last SYNC we sent it so its rendezvous can
-			// complete. Echoes are sent unmarked, so an echo arriving as
-			// a duplicate dies here without ping-ponging.
-			if m.Mode == modeRetransmit {
-				if ls := r.lastSync[peer]; ls != nil && ls.Stamp >= m.Stamp {
-					if err := r.send(peer, ls.Clone()); err == nil {
-						r.mc.AddRetransmit()
-					}
-				}
-			}
-			return
-		}
-		if m.Stamp > r.now || onSync == nil {
-			// Ahead of our clock, or nobody is awaiting a rendezvous
-			// right now: hold the SYNC until the matching Exchange.
-			stamps, ok := r.earlySync[peer]
-			if !ok {
-				stamps = make(map[int64][]int64)
-				r.earlySync[peer] = stamps
-			}
-			stamps[m.Stamp] = m.Ints
-			return
-		}
-		onSync(peer, m.Ints, m.Stamp)
+		r.handleSyncPart(peer, m.Stamp, m.Ints, m.Mode, onSync)
 	case wire.KindDone:
 		r.handleDone(peer, m)
 		if onPeerDone != nil {
@@ -771,20 +825,57 @@ func (r *Runtime) dispatch(m *wire.Msg, onSync func(peer int, beacon []int64, st
 			if cur, err := r.st.Version(store.ID(m.Obj)); err == nil && ver >= cur {
 				_ = r.st.SetState(store.ID(m.Obj), m.Payload, ver)
 			}
-			return
+			return true
 		}
 		if m.Stamp != 0 && m.Stamp <= r.corrDone {
 			// Stale duplicate of a reply already consumed (the request
 			// was retransmitted and answered twice). Correlation stamps
 			// are strictly increasing, so the floor identifies them.
-			return
+			return true
 		}
 		r.pendingReplies = append(r.pendingReplies, m)
+		return false
 	default:
 		// Unknown traffic for this runtime (e.g., misrouted lock
 		// messages) is ignored; the lock-based protocols use their own
 		// node loops.
 	}
+	return true
+}
+
+// handleSyncPart processes the SYNC content of an incoming frame — a bare
+// KindSync message, or the sync half synthesized from a piggybacked DATA
+// frame (mode 0 in that case: a piggybacked frame is never a
+// retransmission).
+func (r *Runtime) handleSyncPart(peer int, stamp int64, beacon []int64, mode uint8, onSync func(peer int, beacon []int64, stamp int64)) {
+	if stamp <= r.syncSeen[peer] {
+		// Duplicate of a SYNC already consumed (a retransmission or
+		// an injected duplicate). An explicit retransmission means
+		// the peer never received our answering SYNC for that tick —
+		// re-echo the last SYNC we sent it so its rendezvous can
+		// complete. Echoes are sent unmarked, so an echo arriving as
+		// a duplicate dies here without ping-ponging.
+		if mode == modeRetransmit {
+			if ls := r.lastSync[peer]; ls != nil && ls.Stamp >= stamp {
+				if err := r.send(peer, ls.Clone()); err == nil {
+					r.mc.AddRetransmit()
+				}
+			}
+		}
+		return
+	}
+	if stamp > r.now || onSync == nil {
+		// Ahead of our clock, or nobody is awaiting a rendezvous
+		// right now: hold the SYNC until the matching Exchange.
+		stamps, ok := r.earlySync[peer]
+		if !ok {
+			stamps = make(map[int64][]int64)
+			r.earlySync[peer] = stamps
+		}
+		stamps[stamp] = beacon
+		return
+	}
+	onSync(peer, beacon, stamp)
 }
 
 func (r *Runtime) handleDone(peer int, m *wire.Msg) {
@@ -880,6 +971,7 @@ func (r *Runtime) Poll() {
 	for {
 		m, ok, err := r.ep.TryRecv()
 		if err != nil || !ok {
+			r.flush() // dispatch may have answered (echo, object serve)
 			return
 		}
 		r.dispatch(m, nil, nil)
@@ -928,6 +1020,8 @@ func (r *Runtime) Done(won bool) error {
 			return fmt.Errorf("done to %d: %w", peer, err)
 		}
 	}
+	// The process may never send again; force the final frames out.
+	r.flush()
 	return nil
 }
 
@@ -940,7 +1034,11 @@ func (r *Runtime) AsyncPut(id store.ID, to int) error {
 	}
 	ver, _ := r.st.Version(id)
 	m := &wire.Msg{Kind: wire.KindObjReply, Obj: uint32(id), Ints: []int64{ver}, Payload: state}
-	return r.send(to, m)
+	if err := r.send(to, m); err != nil {
+		return err
+	}
+	r.flush()
+	return nil
 }
 
 // SyncPut sends obj's state and blocks until the remote acknowledges — the
@@ -964,6 +1062,7 @@ func (r *Runtime) SyncPut(id store.ID, to int) error {
 		}
 		return err
 	}
+	r.flush()
 	return r.waitReply(to, m, uint32(id), stamp, false)
 }
 
@@ -1005,7 +1104,11 @@ func (r *Runtime) acceptPut(peer int, m *wire.Msg) {
 // async_get.
 func (r *Runtime) AsyncGet(id store.ID, from int) error {
 	m := &wire.Msg{Kind: wire.KindObjReq, Mode: modeAuto, Obj: uint32(id), Stamp: r.now}
-	return r.send(from, m)
+	if err := r.send(from, m); err != nil {
+		return err
+	}
+	r.flush()
+	return nil
 }
 
 // SyncGet requests obj's state from a remote process and blocks until it
@@ -1021,6 +1124,7 @@ func (r *Runtime) SyncGet(id store.ID, from int) error {
 		}
 		return err
 	}
+	r.flush()
 	return r.waitReply(from, m, uint32(id), stamp, true)
 }
 
@@ -1053,7 +1157,9 @@ func (r *Runtime) waitReply(to int, req *wire.Msg, obj uint32, stamp int64, appl
 		for i, m := range r.pendingReplies {
 			if take(m) {
 				r.pendingReplies = append(r.pendingReplies[:i], r.pendingReplies[i+1:]...)
-				return consume(m)
+				err := consume(m)
+				r.recycle(m) // SetState copies the payload
+				return err
 			}
 		}
 		if timeout <= 0 {
@@ -1062,6 +1168,7 @@ func (r *Runtime) waitReply(to int, req *wire.Msg, obj uint32, stamp int64, appl
 				return fmt.Errorf("await reply for obj %d: %w", obj, err)
 			}
 			r.dispatch(m, nil, nil)
+			r.flush() // dispatch may have answered (echo, object serve)
 			continue
 		}
 		if r.peerDone[to] || r.peerCrashed[to] {
@@ -1073,6 +1180,7 @@ func (r *Runtime) waitReply(to int, req *wire.Msg, obj uint32, stamp int64, appl
 		}
 		if ok {
 			r.dispatch(m, nil, nil)
+			r.flush() // dispatch may have answered (echo, object serve)
 			continue
 		}
 		if retries == 0 {
@@ -1091,6 +1199,7 @@ func (r *Runtime) waitReply(to int, req *wire.Msg, obj uint32, stamp int64, appl
 			return err
 		}
 		r.mc.AddRetransmit()
+		r.flush()
 		if wait < 8*timeout {
 			wait *= 2
 		}

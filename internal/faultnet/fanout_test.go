@@ -1,0 +1,125 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sdso/internal/transport"
+	"sdso/internal/wire"
+)
+
+// fanoutPlan injects drops on every link and a one-way partition 0→2, the
+// fault mix the differential test must be invisible under.
+func fanoutPlan(seed int64) *Plan {
+	return &Plan{
+		Seed:    seed,
+		Default: LinkFaults{DropProb: 0.3},
+		OneWay:  [][2]int{{0, 2}},
+	}
+}
+
+// deliveredKey flattens one received message for sequence comparison.
+func deliveredKey(m *wire.Msg) string {
+	return fmt.Sprintf("%d:%d:%d->%d:%x;", m.Kind, m.Stamp, m.Src, m.Dst, m.Payload)
+}
+
+// runFanout replays a fixed 60-round fanout schedule from node 0 to nodes
+// 1..3, using SendMany when many is set and a per-peer Send loop
+// otherwise, and returns the per-receiver delivered sequences plus node
+// 0's decision log.
+func runFanout(t *testing.T, plan *Plan, many bool) ([3][]byte, []byte) {
+	t.Helper()
+	net := transport.NewMemNetwork(4)
+	defer net.Close()
+	ep := plan.Wrap(net.Endpoint(0), nil)
+	dsts := []int{1, 2, 3}
+	for i := 0; i < 60; i++ {
+		m := &wire.Msg{Kind: wire.KindData, Stamp: int64(i), Ints: []int64{int64(i)}, Payload: []byte{byte(i), byte(i >> 8)}}
+		var err error
+		if many {
+			err = ep.SendMany(dsts, m)
+		} else {
+			for _, to := range dsts {
+				if serr := ep.Send(to, m.Clone()); serr != nil {
+					err = serr
+				}
+			}
+		}
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	var got [3][]byte
+	for i := 0; i < 3; i++ {
+		for {
+			m, ok, err := net.Endpoint(i + 1).TryRecv()
+			if err != nil || !ok {
+				break
+			}
+			got[i] = append(got[i], deliveredKey(m)...)
+		}
+	}
+	return got, ep.DecisionLog()
+}
+
+// SendMany must be indistinguishable from the per-peer Send loop under
+// drops and one-way partitions: identical per-link fault decisions and
+// identical delivered sequences at every receiver.
+func TestSendManyDifferential(t *testing.T) {
+	for _, seed := range []int64{7, 13, 21, 33, 57} {
+		gotLoop, logLoop := runFanout(t, fanoutPlan(seed), false)
+		gotMany, logMany := runFanout(t, fanoutPlan(seed), true)
+		if !bytes.Equal(logLoop, logMany) {
+			t.Fatalf("seed %d: decision logs diverged:\nloop: %s\nmany: %s", seed, logLoop, logMany)
+		}
+		for i := range gotLoop {
+			if !bytes.Equal(gotLoop[i], gotMany[i]) {
+				t.Fatalf("seed %d receiver %d: delivered sequences diverged:\nloop: %s\nmany: %s",
+					seed, i+1, gotLoop[i], gotMany[i])
+			}
+		}
+		// The one-way partition must actually bite: receiver 2 (node 2)
+		// gets nothing, the others get something.
+		if len(gotLoop[1]) != 0 {
+			t.Fatalf("seed %d: one-way partition 0→2 leaked: %s", seed, gotLoop[1])
+		}
+		if len(gotLoop[0]) == 0 || len(gotLoop[2]) == 0 {
+			t.Fatalf("seed %d: drops swallowed every message", seed)
+		}
+	}
+}
+
+// transport.Broadcast over a crash-stopping sender: the crash trips on the
+// first destination, the remaining sends report the crash rather than
+// silently half-broadcasting, and errors.Is sees ErrCrashed through the
+// join — the regression shape for the old first-error-aborts Broadcast.
+func TestBroadcastCrashStop(t *testing.T) {
+	net := transport.NewMemNetwork(4)
+	defer net.Close()
+	plan := &Plan{Seed: 1, Crashes: map[int]Crash{0: {AtTick: 5}}}
+	ep := plan.Wrap(net.Endpoint(0), nil)
+
+	// Below the crash tick the broadcast reaches everyone.
+	if err := transport.Broadcast(ep, &wire.Msg{Kind: wire.KindData, Stamp: 4}); err != nil {
+		t.Fatalf("pre-crash broadcast: %v", err)
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok, _ := net.Endpoint(i).TryRecv(); !ok {
+			t.Fatalf("node %d missed the pre-crash broadcast", i)
+		}
+	}
+
+	// At the crash tick the sender goes silent; the best-effort broadcast
+	// still visits every destination and reports the crash, joined.
+	err := transport.Broadcast(ep, &wire.Msg{Kind: wire.KindData, Stamp: 5})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash broadcast error = %v, want ErrCrashed", err)
+	}
+	for i := 1; i < 4; i++ {
+		if m, ok, _ := net.Endpoint(i).TryRecv(); ok {
+			t.Fatalf("node %d received tick-5 traffic from a crashed sender: %v", i, m)
+		}
+	}
+}

@@ -295,6 +295,72 @@ func (e *Endpoint) link(to int) *linkState {
 func (e *Endpoint) Send(to int, m *wire.Msg) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.sendOneLocked(to, m,
+		func(to, copies int) error {
+			for i := 0; i < copies; i++ {
+				out := m
+				if i > 0 {
+					out = m.Clone()
+				}
+				if err := e.inner.Send(to, out); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() *wire.Msg { return m })
+}
+
+// SendMany implements transport.MultiSender. Every destination draws its
+// fault decision from its own per-link stream in dsts order — exactly the
+// draws, decision-log bytes, and per-link delivery order the equivalent
+// per-peer Send loop would produce, so chaos runs are indistinguishable —
+// while the deliveries themselves share one encoding of m whenever the
+// wrapped transport can forward pre-encoded frames. Best-effort across
+// destinations with joined errors.
+func (e *Endpoint) SendMany(dsts []int, m *wire.Msg) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	es, _ := e.inner.(transport.EncodedSender)
+	var enc *wire.Encoded
+	if es != nil {
+		var err error
+		if enc, err = wire.EncodeFrame(m); err != nil {
+			return err
+		}
+		defer enc.Release()
+	}
+	deliver := func(to, copies int) error {
+		for i := 0; i < copies; i++ {
+			var err error
+			if es != nil {
+				err = es.SendEncoded(to, enc, m)
+			} else {
+				err = e.inner.Send(to, m.Clone())
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// A delayed message is held per link; unlike Send, the caller's m fans
+	// out to other links too, so each hold gets a private clone.
+	hold := func() *wire.Msg { return m.Clone() }
+	var errs []error
+	for _, to := range dsts {
+		if err := e.sendOneLocked(to, m, deliver, hold); err != nil {
+			errs = append(errs, fmt.Errorf("faultnet: send to %d: %w", to, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// sendOneLocked runs the per-destination fault decision ladder (e.mu
+// held). deliver transmits the message copies times on the now-decided
+// link; hold surrenders a message the link may retain for delayed
+// re-injection.
+func (e *Endpoint) sendOneLocked(to int, m *wire.Msg, deliver func(to, copies int) error, hold func() *wire.Msg) error {
 	if e.checkCrashLocked(m) {
 		return ErrCrashed
 	}
@@ -307,7 +373,7 @@ func (e *Endpoint) Send(to int, m *wire.Msg) error {
 	f := e.plan.linkFor(e.inner.ID(), to)
 	if f.zero() {
 		ls.note(decPass)
-		return e.flushAndSend(to, ls, m, 1)
+		return e.flushAndDeliver(to, ls, deliver, 1)
 	}
 	switch r := ls.rng.Float64(); {
 	case r < f.DropProb:
@@ -318,7 +384,7 @@ func (e *Endpoint) Send(to int, m *wire.Msg) error {
 	case r < f.DropProb+f.DupProb:
 		ls.note(decDup)
 		e.countFault()
-		return e.flushAndSend(to, ls, m, 2)
+		return e.flushAndDeliver(to, ls, deliver, 2)
 	case r < f.DropProb+f.DupProb+f.DelayProb:
 		ls.note(decDelay)
 		e.countFault()
@@ -327,35 +393,34 @@ func (e *Endpoint) Send(to int, m *wire.Msg) error {
 		if delay < 1 {
 			delay = 1
 		}
-		ls.held = append(ls.held, m)
+		ls.held = append(ls.held, hold())
 		ls.due = append(ls.due, ls.sends+delay)
 		return nil
 	default:
 		ls.note(decPass)
-		return e.flushAndSend(to, ls, m, 1)
+		return e.flushAndDeliver(to, ls, deliver, 1)
 	}
 }
 
 func (ls *linkState) note(dec byte) { ls.log = append(ls.log, dec) }
 
-// flushAndSend re-injects due delayed messages, then transmits m copies
-// times.
-func (e *Endpoint) flushAndSend(to int, ls *linkState, m *wire.Msg, copies int) error {
+// flushAndDeliver re-injects due delayed messages, then transmits the
+// decided message copies times.
+func (e *Endpoint) flushAndDeliver(to int, ls *linkState, deliver func(to, copies int) error, copies int) error {
 	ls.sends++
 	if err := e.flushDue(to, ls, false); err != nil {
 		return err
 	}
-	for i := 0; i < copies; i++ {
-		out := m
-		if i > 0 {
-			out = m.Clone()
-		}
-		if err := e.inner.Send(to, out); err != nil {
-			return err
-		}
-	}
-	return nil
+	return deliver(to, copies)
 }
+
+// Flush implements transport.Flusher by delegation, so the runtime's flush
+// barrier reaches a coalescing transport under the fault layer.
+func (e *Endpoint) Flush() error { return transport.Flush(e.inner) }
+
+// Recycle forwards consumed messages to the wrapped transport's free-list
+// when it has one (transport.Recycler); otherwise it is a no-op.
+func (e *Endpoint) Recycle(m *wire.Msg) { transport.Recycle(e.inner, m) }
 
 // flushDue transmits held messages that have come due (all of them when
 // force is set).

@@ -99,6 +99,16 @@ type Collector struct {
 	joins         padded
 	snapshotBytes padded
 	catchupDiffs  padded
+
+	// Wire-level counters (encode-once fanout and frame coalescing).
+	// These count physical frames and bytes at the transport, as opposed to
+	// msgsSent/bytesSent which count logical protocol messages — with SYNC
+	// piggybacking one frame can carry two logical messages, and with
+	// deferred flushing many frames share one syscall.
+	framesSent padded
+	flushes    padded
+	wireBytes  padded
+	piggySyncs padded
 }
 
 // NewCollector returns an empty collector.
@@ -157,6 +167,21 @@ func (c *Collector) AddSnapshotBytes(n int) { c.snapshotBytes.v.Add(int64(n)) }
 // while catching up after a join.
 func (c *Collector) AddCatchupDiffs(n int) { c.catchupDiffs.v.Add(int64(n)) }
 
+// AddFrame records one physical frame of n bytes put on the wire (or
+// staged in a coalescing write buffer).
+func (c *Collector) AddFrame(n int) {
+	c.framesSent.v.Add(1)
+	c.wireBytes.v.Add(int64(n))
+}
+
+// AddFlush records one writer flush — the syscall boundary that frames
+// coalesce into. FramesSent/Flushes is the coalescing factor.
+func (c *Collector) AddFlush() { c.flushes.v.Add(1) }
+
+// AddPiggybackSync records one SYNC marker that rode on a data frame
+// instead of occupying a frame of its own.
+func (c *Collector) AddPiggybackSync() { c.piggySyncs.v.Add(1) }
+
 // SetExecTime records the process's total execution time (its clock at
 // completion).
 func (c *Collector) SetExecTime(d time.Duration) { c.execTime.Store(int64(d)) }
@@ -180,6 +205,11 @@ func (c *Collector) Snapshot() Snapshot {
 		Joins:         int(c.joins.v.Load()),
 		SnapshotBytes: int(c.snapshotBytes.v.Load()),
 		CatchupDiffs:  int(c.catchupDiffs.v.Load()),
+
+		FramesSent:       int(c.framesSent.v.Load()),
+		Flushes:          int(c.flushes.v.Load()),
+		WireBytes:        int(c.wireBytes.v.Load()),
+		PiggybackedSyncs: int(c.piggySyncs.v.Load()),
 	}
 	for k := wire.KindSync; int(k) < wire.NumKinds; k++ {
 		if n := c.msgsSent[k].v.Load(); n != 0 {
@@ -215,6 +245,15 @@ type Snapshot struct {
 	Joins         int
 	SnapshotBytes int
 	CatchupDiffs  int
+	// Wire-level counters: physical frames and bytes at the transport
+	// (only populated by transports that report them, currently TCP), the
+	// flush syscalls those frames coalesced into, and SYNC markers that
+	// were piggybacked onto data frames instead of sent as frames of their
+	// own.
+	FramesSent       int
+	Flushes          int
+	WireBytes        int
+	PiggybackedSyncs int
 }
 
 // DataMsgs returns the number of data messages sent (paper Figure 7).
@@ -347,6 +386,52 @@ func (g Group) CatchupDiffs() int {
 		n += s.CatchupDiffs
 	}
 	return n
+}
+
+// FramesSent sums physical frame counts across processes.
+func (g Group) FramesSent() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.FramesSent
+	}
+	return n
+}
+
+// Flushes sums writer-flush counts across processes.
+func (g Group) Flushes() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.Flushes
+	}
+	return n
+}
+
+// WireBytes sums physical wire bytes across processes.
+func (g Group) WireBytes() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.WireBytes
+	}
+	return n
+}
+
+// PiggybackedSyncs sums piggybacked SYNC markers across processes.
+func (g Group) PiggybackedSyncs() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.PiggybackedSyncs
+	}
+	return n
+}
+
+// FramesPerFlush returns the average number of frames coalesced into one
+// flush (zero when no flushes were recorded).
+func (g Group) FramesPerFlush() float64 {
+	f := g.Flushes()
+	if f == 0 {
+		return 0
+	}
+	return float64(g.FramesSent()) / float64(f)
 }
 
 // AvgExecTime averages process execution times.

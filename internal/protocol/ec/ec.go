@@ -200,7 +200,13 @@ func (n *Node) svcID(team int) int { return n.teams + team }
 
 func (n *Node) countSend(ep transport.Endpoint, to int, m *wire.Msg) error {
 	n.mc.CountSend(m, m.EncodedSize())
-	return ep.Send(to, m)
+	if err := ep.Send(to, m); err != nil {
+		return err
+	}
+	// EC is request/response shaped: nearly every send immediately precedes
+	// a block on Recv, so on transports with deferred flushing the frame
+	// must go out now — there is no exchange-round barrier to ride.
+	return transport.Flush(ep)
 }
 
 // ft reports whether crash tolerance is enabled.

@@ -1,6 +1,7 @@
 package ec
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -19,13 +20,26 @@ func runECGame(t *testing.T, cfg game.Config) ([]*Node, []game.TeamStats) {
 	n := cfg.Teams
 	net := transport.NewMemNetwork(2 * n)
 	t.Cleanup(net.Close)
+	apps := make([]transport.Endpoint, n)
+	svcs := make([]transport.Endpoint, n)
+	for i := 0; i < n; i++ {
+		apps[i] = net.Endpoint(i)
+		svcs[i] = net.Endpoint(n + i)
+	}
+	return runECGameOn(t, cfg, apps, svcs)
+}
 
+// runECGameOn plays a full EC game over caller-supplied app and service
+// endpoints (one pair per node), whatever transport they sit on.
+func runECGameOn(t *testing.T, cfg game.Config, apps, svcs []transport.Endpoint) ([]*Node, []game.TeamStats) {
+	t.Helper()
+	n := cfg.Teams
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node, err := New(NodeConfig{
 			Game:    cfg,
-			App:     net.Endpoint(i),
-			Svc:     net.Endpoint(n + i),
+			App:     apps[i],
+			Svc:     svcs[i],
 			Metrics: metrics.NewCollector(),
 		})
 		if err != nil {
@@ -78,72 +92,79 @@ func TestECGameSafetyInvariants(t *testing.T) {
 		cfg.Seed = seed
 		cfg.MaxTicks = 120
 		nodes, stats := runECGame(t, cfg)
+		checkECWorldSanity(t, cfg, nodes, stats, fmt.Sprintf("seed %d", seed))
+	}
+}
 
-		initial, err := game.NewWorld(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
+// checkECWorldSanity is the EC conformance oracle: merge the replicas by
+// version into the final world and require tank conservation, a surviving
+// goal block, stationary bombs, and no tanks left for finished teams.
+func checkECWorldSanity(t *testing.T, cfg game.Config, nodes []*Node, stats []game.TeamStats, label string) {
+	t.Helper()
+	initial, err := game.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-		// Merge replicas by version to reconstruct the final world.
-		merged := store.New()
-		for i := 0; i < cfg.NumObjects(); i++ {
-			id := store.ID(i)
-			var best []byte
-			bestVer := int64(-1)
-			for _, node := range nodes {
-				v, err := node.Store().Version(id)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if v > bestVer {
-					bestVer = v
-					b, _ := node.Store().Get(id)
-					best = b
-				}
-			}
-			if err := merged.Register(id, best); err != nil {
+	// Merge replicas by version to reconstruct the final world.
+	merged := store.New()
+	for i := 0; i < cfg.NumObjects(); i++ {
+		id := store.ID(i)
+		var best []byte
+		bestVer := int64(-1)
+		for _, node := range nodes {
+			v, err := node.Store().Version(id)
+			if err != nil {
 				t.Fatal(err)
 			}
-		}
-		final, err := game.DecodeWorld(cfg, merged)
-		if err != nil {
-			t.Fatalf("seed %d: final world corrupt: %v", seed, err)
-		}
-
-		// Tank conservation per team.
-		tanksOnBoard := map[int]int{}
-		bombs := 0
-		goalSeen := false
-		for i, c := range final.Cells {
-			switch c.Kind {
-			case game.Tank:
-				tanksOnBoard[c.Team]++
-			case game.Bomb:
-				bombs++
-				if initial.Cells[i].Kind != game.Bomb {
-					t.Errorf("seed %d: bomb appeared at %v", seed, cfg.PosOf(store.ID(i)))
-				}
-			case game.Goal:
-				goalSeen = true
+			if v > bestVer {
+				bestVer = v
+				b, _ := node.Store().Get(id)
+				best = b
 			}
 		}
-		if !goalSeen {
-			t.Errorf("seed %d: goal block destroyed", seed)
+		if err := merged.Register(id, best); err != nil {
+			t.Fatal(err)
 		}
-		if bombs != cfg.Bombs {
-			t.Errorf("seed %d: %d bombs, want %d", seed, bombs, cfg.Bombs)
+	}
+	final, err := game.DecodeWorld(cfg, merged)
+	if err != nil {
+		t.Fatalf("%s: final world corrupt: %v", label, err)
+	}
+
+	// Tank conservation per team.
+	tanksOnBoard := map[int]int{}
+	bombs := 0
+	goalSeen := false
+	for i, c := range final.Cells {
+		switch c.Kind {
+		case game.Tank:
+			tanksOnBoard[c.Team]++
+		case game.Bomb:
+			bombs++
+			if initial.Cells[i].Kind != game.Bomb {
+				t.Errorf("%s: bomb appeared at %v", label, cfg.PosOf(store.ID(i)))
+			}
+		case game.Goal:
+			goalSeen = true
 		}
-		for _, st := range stats {
-			onBoard := tanksOnBoard[st.Team]
-			switch {
-			case st.ReachedGoal, st.Destroyed:
-				if onBoard != 0 {
-					t.Errorf("seed %d: finished team %d still on board (%d tanks): %+v", seed, st.Team, onBoard, st)
-				}
-			default:
-				if onBoard != cfg.TanksPerTeam {
-					t.Errorf("seed %d: live team %d has %d tanks on board", seed, st.Team, onBoard)
-				}
+	}
+	if !goalSeen {
+		t.Errorf("%s: goal block destroyed", label)
+	}
+	if bombs != cfg.Bombs {
+		t.Errorf("%s: %d bombs, want %d", label, bombs, cfg.Bombs)
+	}
+	for _, st := range stats {
+		onBoard := tanksOnBoard[st.Team]
+		switch {
+		case st.ReachedGoal, st.Destroyed:
+			if onBoard != 0 {
+				t.Errorf("%s: finished team %d still on board (%d tanks): %+v", label, st.Team, onBoard, st)
+			}
+		default:
+			if onBoard != cfg.TanksPerTeam {
+				t.Errorf("%s: live team %d has %d tanks on board", label, st.Team, onBoard)
 			}
 		}
 	}

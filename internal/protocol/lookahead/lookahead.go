@@ -78,6 +78,10 @@ type PlayerConfig struct {
 	// MergeDiffs toggles slotted-buffer diff merging (default on; the
 	// ablation bench turns it off).
 	MergeDiffs *bool
+	// PiggybackSync rides each rendezvous's SYNC marker on the data frame
+	// when one flows anyway (see core.Config.PiggybackSync). Off by
+	// default so existing traces stay byte-identical.
+	PiggybackSync bool
 	// ComputePerTick models the application's per-tick local processing
 	// ("the application processes have only a minimal amount of local
 	// processor processing to perform", §4).
@@ -191,6 +195,7 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		Endpoint:          cfg.Endpoint,
 		Metrics:           mc,
 		MergeDiffs:        merge,
+		PiggybackSync:     cfg.PiggybackSync,
 		Debug:             cfg.debug,
 		RendezvousTimeout: cfg.RendezvousTimeout,
 		MaxRetransmits:    cfg.MaxRetransmits,

@@ -39,17 +39,33 @@ func (n *MemNetwork) Close() {
 	}
 }
 
+// memItem is one queued delivery: either an eagerly delivered Msg pointer
+// (plain Send — the receiver sees the very struct the sender passed, which
+// is why this transport never recycles received messages) or a shared
+// encoding from a SendMany fanout, decoded lazily at receive time so each
+// receiver gets a private copy (copy-on-read) while the fanout itself
+// marshaled only once.
+type memItem struct {
+	m        *wire.Msg
+	enc      *wire.Encoded
+	src, dst int32 // routing for the enc path, carried out of band
+}
+
 type memEndpoint struct {
 	net *MemNetwork
 	id  int
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*wire.Msg
+	queue  []memItem
 	closed bool
 }
 
-var _ Endpoint = (*memEndpoint)(nil)
+var (
+	_ Endpoint      = (*memEndpoint)(nil)
+	_ MultiSender   = (*memEndpoint)(nil)
+	_ EncodedSender = (*memEndpoint)(nil)
+)
 
 func (e *memEndpoint) ID() int { return e.id }
 func (e *memEndpoint) N() int  { return len(e.net.eps) }
@@ -71,9 +87,57 @@ func (e *memEndpoint) Send(to int, m *wire.Msg) error {
 	if dst.closed {
 		return nil // messages to a closed peer are dropped, like the sim
 	}
-	dst.queue = append(dst.queue, m)
+	dst.queue = append(dst.queue, memItem{m: m})
 	dst.cond.Signal()
 	return nil
+}
+
+// SendEncoded implements EncodedSender: the shared frame is retained and
+// queued as-is; the receiver decodes its own copy (see pop).
+func (e *memEndpoint) SendEncoded(to int, enc *wire.Encoded, m *wire.Msg) error {
+	if to < 0 || to >= len(e.net.eps) {
+		return fmt.Errorf("transport: send to unknown endpoint %d", to)
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	m.Src, m.Dst = int32(e.id), int32(to)
+	dst := e.net.eps[to]
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		return nil // dropped, as in Send
+	}
+	dst.queue = append(dst.queue, memItem{enc: enc.Retain(), src: int32(e.id), dst: int32(to)})
+	dst.cond.Signal()
+	return nil
+}
+
+// SendMany implements MultiSender: one encode, shared across destinations.
+func (e *memEndpoint) SendMany(dsts []int, m *wire.Msg) error {
+	return sendManyEncoded(e, dsts, m)
+}
+
+// pop dequeues the head item (e.mu held) and materializes a Msg: eager
+// deliveries pass the sender's pointer through, shared encodings decode a
+// private copy and patch the out-of-band routing in.
+func (e *memEndpoint) pop() (*wire.Msg, error) {
+	it := e.queue[0]
+	e.queue[0] = memItem{}
+	e.queue = e.queue[1:]
+	if it.enc == nil {
+		return it.m, nil
+	}
+	defer it.enc.Release()
+	m := new(wire.Msg)
+	if err := it.enc.DecodeInto(m); err != nil {
+		return nil, err
+	}
+	m.Src, m.Dst = it.src, it.dst
+	return m, nil
 }
 
 func (e *memEndpoint) Recv() (*wire.Msg, error) {
@@ -85,9 +149,7 @@ func (e *memEndpoint) Recv() (*wire.Msg, error) {
 	if len(e.queue) == 0 {
 		return nil, ErrClosed
 	}
-	m := e.queue[0]
-	e.queue = e.queue[1:]
-	return m, nil
+	return e.pop()
 }
 
 // RecvTimeout implements Endpoint with a wall-clock deadline: a timer
@@ -111,9 +173,8 @@ func (e *memEndpoint) RecvTimeout(d time.Duration) (*wire.Msg, bool, error) {
 	if len(e.queue) == 0 {
 		return nil, false, ErrClosed
 	}
-	m := e.queue[0]
-	e.queue = e.queue[1:]
-	return m, true, nil
+	m, err := e.pop()
+	return m, err == nil, err
 }
 
 func (e *memEndpoint) TryRecv() (*wire.Msg, bool, error) {
@@ -125,9 +186,8 @@ func (e *memEndpoint) TryRecv() (*wire.Msg, bool, error) {
 		}
 		return nil, false, nil
 	}
-	m := e.queue[0]
-	e.queue = e.queue[1:]
-	return m, true, nil
+	m, err := e.pop()
+	return m, err == nil, err
 }
 
 func (e *memEndpoint) Now() time.Duration { return time.Since(e.net.start) }

@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"sdso/internal/metrics"
 	"sdso/internal/wire"
 )
 
@@ -19,8 +21,9 @@ const (
 	tcpCloseGrace = 2 * time.Second
 )
 
-// TCPConfig tunes the TCP transport's timing. The zero value selects the
-// defaults (10s dial timeout, 2s close grace).
+// TCPConfig tunes the TCP transport's timing and write batching. The zero
+// value selects the defaults (10s dial timeout, 2s close grace, flush on
+// every send).
 type TCPConfig struct {
 	// DialTimeout bounds how long DialTCP waits for every peer to come
 	// up; all nodes must start within this window of each other.
@@ -28,6 +31,18 @@ type TCPConfig struct {
 	// CloseGrace bounds how long Close lingers waiting for peers to
 	// finish sending before hard-closing connections.
 	CloseGrace time.Duration
+	// FlushThreshold switches the endpoint to deferred flushing: frames
+	// accumulate in each peer's write buffer until the runtime's Flush
+	// barrier (end of an exchange round, before blocking in a receive
+	// loop) or until at least this many bytes are buffered, coalescing
+	// many frames into one syscall. Zero keeps the historical
+	// flush-per-Send behavior, which callers without a Flush barrier
+	// (request/reply loops) rely on.
+	FlushThreshold int
+	// Metrics, when non-nil, counts physical frames, wire bytes, and
+	// flushes at this endpoint (metrics.Snapshot's FramesSent /
+	// WireBytes / Flushes).
+	Metrics *metrics.Collector
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -189,8 +204,12 @@ func (e *TCPEndpoint) readLoop(p *tcpPeer) {
 	defer e.wg.Done()
 	br := bufio.NewReader(p.conn)
 	for {
-		m := new(wire.Msg)
+		// Decode into a pooled Msg; the runtime hands it back through
+		// Recycle once fully consumed, so steady-state receive paths stop
+		// allocating a Msg (plus its slices) per frame.
+		m := wire.GetMsg()
 		if err := wire.ReadFrame(br, m); err != nil {
+			wire.PutMsg(m)
 			return // peer closed or endpoint shutting down
 		}
 		if m.Kind == wire.KindDone {
@@ -217,45 +236,149 @@ func (e *TCPEndpoint) ID() int { return e.id }
 // N implements Endpoint.
 func (e *TCPEndpoint) N() int { return e.n }
 
-// Send implements Endpoint.
-func (e *TCPEndpoint) Send(to int, m *wire.Msg) error {
+// peer resolves the live link to peer `to`, or reports why there is none.
+func (e *TCPEndpoint) peer(to int) (*tcpPeer, error) {
 	if to < 0 || to >= e.n || to == e.id {
-		return fmt.Errorf("transport: send to invalid peer %d", to)
+		return nil, fmt.Errorf("transport: send to invalid peer %d", to)
 	}
 	e.mu.Lock()
 	p := e.peers[to]
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if p == nil {
-		return fmt.Errorf("transport: no link to peer %d", to)
+		return nil, fmt.Errorf("transport: no link to peer %d", to)
 	}
-	m.Src, m.Dst = int32(e.id), int32(to)
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	return p, nil
+}
+
+// maybeFlushLocked applies the flush policy after a frame was staged in
+// p.bw (p.mu held): flush-per-send when no threshold is configured,
+// otherwise only once the buffer crosses the threshold — the runtime's
+// Flush barrier picks up the rest.
+func (e *TCPEndpoint) maybeFlushLocked(p *tcpPeer) error {
+	if e.cfg.FlushThreshold > 0 && p.bw.Buffered() < e.cfg.FlushThreshold {
+		return nil
+	}
+	if err := p.bw.Flush(); err != nil {
+		return err
+	}
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.AddFlush()
+	}
+	return nil
+}
+
+// brokenLocked handles a write failure on p (p.mu held): the link is
+// declared dead and the error is classified. A peer that announced DONE
+// legitimately departed (processes exit once finished), so messages to it
+// are silently dropped — the same contract as the in-memory and simulated
+// transports. A peer that vanished without DONE is presumed crashed:
+// report ErrPeerGone so the runtime's failure detector can observe it.
+func (p *tcpPeer) brokenLocked() error {
 	if !p.dead {
-		err := wire.WriteFrame(p.bw, m)
-		if err == nil {
-			err = p.bw.Flush()
-		}
-		if err == nil {
-			return nil
-		}
 		p.dead = true
 		_ = p.conn.Close()
 	}
-	// The link is broken. A peer that announced DONE legitimately departed
-	// (processes exit once finished), so messages to it are silently
-	// dropped — the same contract as the in-memory and simulated
-	// transports. A peer that vanished without DONE is presumed crashed:
-	// report ErrPeerGone so the runtime's failure detector can observe it.
 	if p.departed {
 		return nil
 	}
 	return ErrPeerGone
 }
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(to int, m *wire.Msg) error {
+	p, err := e.peer(to)
+	if err != nil {
+		return err
+	}
+	m.Src, m.Dst = int32(e.id), int32(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return p.brokenLocked()
+	}
+	if err := wire.WriteFrame(p.bw, m); err != nil {
+		return p.brokenLocked()
+	}
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.AddFrame(4 + m.EncodedSize())
+	}
+	if err := e.maybeFlushLocked(p); err != nil {
+		return p.brokenLocked()
+	}
+	return nil
+}
+
+// SendEncoded implements EncodedSender: it patches the routing header into
+// the shared frame and writes the bytes without re-encoding. The write
+// completes (or is staged in the peer's buffer) before returning, so
+// patching the shared bytes is safe — the caller serializes destinations.
+func (e *TCPEndpoint) SendEncoded(to int, enc *wire.Encoded, m *wire.Msg) error {
+	p, err := e.peer(to)
+	if err != nil {
+		return err
+	}
+	m.Src, m.Dst = int32(e.id), int32(to)
+	enc.SetSrc(int32(e.id))
+	enc.SetDst(int32(to))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return p.brokenLocked()
+	}
+	if _, err := p.bw.Write(enc.Frame()); err != nil {
+		return p.brokenLocked()
+	}
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.AddFrame(enc.Len())
+	}
+	if err := e.maybeFlushLocked(p); err != nil {
+		return p.brokenLocked()
+	}
+	return nil
+}
+
+// SendMany implements MultiSender: one encode shared across all
+// destinations, best-effort with joined errors.
+func (e *TCPEndpoint) SendMany(dsts []int, m *wire.Msg) error {
+	return sendManyEncoded(e, dsts, m)
+}
+
+// Flush implements Flusher: it pushes every peer's buffered frames onto
+// the wire. The runtime calls it as a barrier at the end of each exchange
+// round and before blocking in a receive loop.
+func (e *TCPEndpoint) Flush() error {
+	e.mu.Lock()
+	peers := make([]*tcpPeer, len(e.peers))
+	copy(peers, e.peers)
+	e.mu.Unlock()
+	var errs []error
+	for to, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if !p.dead && p.bw.Buffered() > 0 {
+			if err := p.bw.Flush(); err != nil {
+				if err := p.brokenLocked(); err != nil {
+					errs = append(errs, fmt.Errorf("flush to %d: %w", to, err))
+				}
+			} else if e.cfg.Metrics != nil {
+				e.cfg.Metrics.AddFlush()
+			}
+		}
+		p.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// Recycle implements Recycler: messages delivered by this endpoint are
+// decoded from frames into pool-owned structs (see readLoop), so a fully
+// consumed message goes back to the free-list.
+func (e *TCPEndpoint) Recycle(m *wire.Msg) { wire.PutMsg(m) }
 
 // Recv implements Endpoint.
 func (e *TCPEndpoint) Recv() (*wire.Msg, error) {
@@ -343,6 +466,9 @@ func (e *TCPEndpoint) Close() error {
 			continue
 		}
 		p.mu.Lock()
+		if !p.dead {
+			_ = p.bw.Flush() // drain frames deferred past the last barrier
+		}
 		if tc, ok := p.conn.(*net.TCPConn); ok && !p.dead {
 			_ = tc.CloseWrite()
 		}

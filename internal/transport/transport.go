@@ -11,6 +11,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"sdso/internal/wire"
@@ -74,15 +75,113 @@ func FixedSize(n int) SizeFunc { return func(*wire.Msg) int { return n } }
 // EncodedSize charges each message its exact binary-encoded length.
 func EncodedSize(m *wire.Msg) int { return m.EncodedSize() }
 
-// Broadcast sends m to every process in the group except the sender.
-func Broadcast(ep Endpoint, m *wire.Msg) error {
-	for i := 0; i < ep.N(); i++ {
-		if i == ep.ID() {
-			continue
-		}
-		if err := ep.Send(i, m.Clone()); err != nil {
-			return err
+// MultiSender is an optional Endpoint capability: a group-send fast path
+// that transmits one message to many destinations with a single encode,
+// sharing the immutable bytes across links (wire.Encoded). Implementations
+// visit destinations in slice order, attempt every destination even after
+// an earlier one fails (best-effort), and join per-destination errors with
+// errors.Join. The caller keeps ownership of m; implementations do not
+// retain it past the call.
+type MultiSender interface {
+	SendMany(dsts []int, m *wire.Msg) error
+}
+
+// EncodedSender is an optional Endpoint capability used by SendMany
+// implementations and fault-injecting wrappers: it forwards one shared,
+// pre-encoded frame (the encoding of m) to a single destination without
+// re-encoding. Implementations either write the bytes synchronously —
+// patching Src/Dst into the shared frame is then safe, since the caller
+// serializes destinations — or Retain the frame and carry the routing out
+// of band, patching it into the Msg after their own lazy decode. m is the
+// message the frame encodes, provided for sizing and header inspection;
+// implementations may set its Src/Dst (as Send does) but never retain it.
+type EncodedSender interface {
+	SendEncoded(to int, enc *wire.Encoded, m *wire.Msg) error
+}
+
+// sendManyEncoded is the shared MultiSender implementation: marshal once,
+// then fan the immutable bytes out per destination, best-effort with
+// joined errors.
+func sendManyEncoded(es EncodedSender, dsts []int, m *wire.Msg) error {
+	enc, err := wire.EncodeFrame(m)
+	if err != nil {
+		return err
+	}
+	defer enc.Release()
+	var errs []error
+	for _, to := range dsts {
+		if err := es.SendEncoded(to, enc, m); err != nil {
+			errs = append(errs, fmt.Errorf("send to %d: %w", to, err))
 		}
 	}
+	return errors.Join(errs...)
+}
+
+// Flusher is an optional Endpoint capability: endpoints that coalesce
+// frames in per-peer write buffers expose a Flush barrier. The runtime
+// calls it at the end of each exchange round (and before blocking in a
+// receive loop) so deferred frames actually hit the wire. Flush errors are
+// advisory — a broken link also surfaces on the next Send to that peer.
+type Flusher interface {
+	Flush() error
+}
+
+// Recycler is an optional Endpoint capability: receivers hand fully
+// consumed messages back to the transport's free-list so steady-state
+// receive paths stop allocating. Only endpoints whose delivered messages
+// are transport-owned (decoded from frames, never aliased by the sender)
+// implement it; the in-memory transport deliberately does not, because it
+// delivers sender-retained pointers.
+type Recycler interface {
+	Recycle(m *wire.Msg)
+}
+
+// SendMany transmits m to every destination in dsts, using the endpoint's
+// encode-once fast path when it has one and falling back to a per-
+// destination Send of clones otherwise. Both paths are best-effort across
+// all destinations with errors joined, so one dead peer does not starve
+// the rest of a multicast.
+func SendMany(ep Endpoint, dsts []int, m *wire.Msg) error {
+	if ms, ok := ep.(MultiSender); ok {
+		return ms.SendMany(dsts, m)
+	}
+	var errs []error
+	for _, to := range dsts {
+		if err := ep.Send(to, m.Clone()); err != nil {
+			errs = append(errs, fmt.Errorf("send to %d: %w", to, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Flush forces any frames deferred in the endpoint's write buffers onto
+// the wire; it is a no-op for endpoints that deliver eagerly.
+func Flush(ep Endpoint) error {
+	if f, ok := ep.(Flusher); ok {
+		return f.Flush()
+	}
 	return nil
+}
+
+// Recycle returns a fully consumed received message to the endpoint's
+// free-list when the transport supports it, and drops it otherwise. The
+// caller must not touch m afterwards.
+func Recycle(ep Endpoint, m *wire.Msg) {
+	if r, ok := ep.(Recycler); ok {
+		r.Recycle(m)
+	}
+}
+
+// Broadcast sends m to every process in the group except the sender. It is
+// best-effort: every destination is attempted even when an earlier send
+// fails, and the per-destination errors come back joined, so one crashed
+// peer no longer starves the rest of the group of the broadcast.
+func Broadcast(ep Endpoint, m *wire.Msg) error {
+	dsts := make([]int, 0, ep.N()-1)
+	for i := 0; i < ep.N(); i++ {
+		if i != ep.ID() {
+			dsts = append(dsts, i)
+		}
+	}
+	return SendMany(ep, dsts, m)
 }

@@ -18,7 +18,20 @@ type SimEndpoint struct {
 	alive bool
 }
 
-var _ Endpoint = (*SimEndpoint)(nil)
+var (
+	_ Endpoint      = (*SimEndpoint)(nil)
+	_ MultiSender   = (*SimEndpoint)(nil)
+	_ EncodedSender = (*SimEndpoint)(nil)
+)
+
+// simEncoded is the vtime payload for shared-encoding deliveries: the
+// frame plus out-of-band routing, decoded lazily at receive time so every
+// receiver gets a private copy while the fanout marshaled once. The link
+// model saw the usual per-link (message, size) pair at send time.
+type simEncoded struct {
+	enc      *wire.Encoded
+	src, dst int32
+}
 
 // NewSimEndpoint wraps proc as an endpoint in a group of n simulated
 // processes. size chooses the wire size charged to the link model; nil
@@ -49,6 +62,41 @@ func (e *SimEndpoint) Send(to int, m *wire.Msg) error {
 	return nil
 }
 
+// SendEncoded implements EncodedSender: the link model is charged exactly
+// as for Send (per-link message and size), but the payload shares the
+// one-time encoding.
+func (e *SimEndpoint) SendEncoded(to int, enc *wire.Encoded, m *wire.Msg) error {
+	if !e.alive {
+		return ErrClosed
+	}
+	m.Src, m.Dst = int32(e.proc.ID()), int32(to)
+	e.proc.Send(to, &simEncoded{enc: enc.Retain(), src: m.Src, dst: m.Dst}, e.size(m))
+	return nil
+}
+
+// SendMany implements MultiSender: one encode, shared across destinations.
+func (e *SimEndpoint) SendMany(dsts []int, m *wire.Msg) error {
+	return sendManyEncoded(e, dsts, m)
+}
+
+// simDecode materializes a received vtime payload: eager *wire.Msg
+// deliveries pass through, shared encodings decode a private copy.
+func simDecode(payload any) (*wire.Msg, bool) {
+	switch v := payload.(type) {
+	case *wire.Msg:
+		return v, true
+	case *simEncoded:
+		defer v.enc.Release()
+		m := new(wire.Msg)
+		if err := v.enc.DecodeInto(m); err != nil {
+			return nil, false
+		}
+		m.Src, m.Dst = v.src, v.dst
+		return m, true
+	}
+	return nil, false
+}
+
 // Recv implements Endpoint.
 func (e *SimEndpoint) Recv() (*wire.Msg, error) {
 	if !e.alive {
@@ -58,7 +106,7 @@ func (e *SimEndpoint) Recv() (*wire.Msg, error) {
 	if !ok {
 		return nil, ErrClosed
 	}
-	m, ok := vm.Payload.(*wire.Msg)
+	m, ok := simDecode(vm.Payload)
 	if !ok {
 		return nil, ErrClosed
 	}
@@ -78,7 +126,7 @@ func (e *SimEndpoint) RecvTimeout(d time.Duration) (*wire.Msg, bool, error) {
 	if !got {
 		return nil, false, ErrClosed
 	}
-	m, okM := vm.Payload.(*wire.Msg)
+	m, okM := simDecode(vm.Payload)
 	if !okM {
 		return nil, false, ErrClosed
 	}
@@ -94,7 +142,7 @@ func (e *SimEndpoint) TryRecv() (*wire.Msg, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	m, okM := vm.Payload.(*wire.Msg)
+	m, okM := simDecode(vm.Payload)
 	if !okM {
 		return nil, false, nil
 	}

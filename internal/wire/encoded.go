@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Fixed byte offsets of the Src and Dst header fields within a frame
+// (4-byte length prefix + encoded body; see AppendBinary for the layout).
+// They let a fanout patch per-destination routing into an already-encoded
+// frame instead of re-encoding the whole message per peer.
+const (
+	frameSrcOff = 4 + 2
+	frameDstOff = 4 + 6
+)
+
+// Encoded is a frame-ready binary encoding of one Msg — the length-prefixed
+// bytes WriteFrame would produce — that can be shared across destinations:
+// the message body is marshaled exactly once and the immutable bulk (kind,
+// stamp, ints, payload) is reused for every peer, with only the fixed-offset
+// Src/Dst header words patched per destination.
+//
+// Ownership follows a reference count. EncodeFrame returns an Encoded with
+// one reference; Retain adds one per additional holder and Release drops
+// one, recycling the buffer through a pool when the count reaches zero.
+// SetSrc/SetDst mutate the shared bytes, so they are only safe while a
+// single goroutine owns the frame (the TCP fanout patches and writes each
+// destination in turn); consumers that share one Encoded across receivers
+// (the in-memory and simulated transports) carry the destination out of
+// band and patch it into the decoded Msg instead.
+type Encoded struct {
+	buf  []byte // length prefix + body
+	refs atomic.Int32
+}
+
+var encodedPool = sync.Pool{New: func() any {
+	return &Encoded{buf: make([]byte, 0, 4+encodedHeaderSize+512)}
+}}
+
+// EncodeFrame marshals m once into a pooled, shareable frame. The returned
+// Encoded holds one reference; callers hand it to Release when done.
+func EncodeFrame(m *Msg) (*Encoded, error) {
+	e := encodedPool.Get().(*Encoded)
+	buf := append(e.buf[:0], 0, 0, 0, 0) // length prefix placeholder
+	buf, err := m.AppendBinary(buf)
+	if err != nil {
+		e.buf = buf[:0]
+		encodedPool.Put(e)
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	e.buf = buf
+	e.refs.Store(1)
+	return e, nil
+}
+
+// Retain adds one reference and returns e, for handing the same frame to an
+// additional holder (one per destination in a shared-encoding fanout).
+func (e *Encoded) Retain() *Encoded {
+	e.refs.Add(1)
+	return e
+}
+
+// Release drops one reference; the buffer is recycled once every holder has
+// released. Using e after the final Release is a use-after-free.
+func (e *Encoded) Release() {
+	if e.refs.Add(-1) == 0 {
+		encodedPool.Put(e)
+	}
+}
+
+// Frame returns the full wire frame (length prefix + body), ready for a
+// single Write.
+func (e *Encoded) Frame() []byte { return e.buf }
+
+// Len returns the frame length in bytes, including the 4-byte prefix —
+// the exact on-wire cost of shipping this message once.
+func (e *Encoded) Len() int { return len(e.buf) }
+
+// EncodedSize returns the body length, matching Msg.EncodedSize of the
+// encoded message.
+func (e *Encoded) EncodedSize() int { return len(e.buf) - 4 }
+
+// SetSrc patches the sender field in the shared bytes (sole-owner only).
+func (e *Encoded) SetSrc(src int32) {
+	binary.BigEndian.PutUint32(e.buf[frameSrcOff:], uint32(src))
+}
+
+// SetDst patches the destination field in the shared bytes (sole-owner
+// only).
+func (e *Encoded) SetDst(dst int32) {
+	binary.BigEndian.PutUint32(e.buf[frameDstOff:], uint32(dst))
+}
+
+// Kind returns the encoded message's kind without decoding.
+func (e *Encoded) Kind() Kind { return Kind(e.buf[4]) }
+
+// Stamp returns the encoded message's stamp without decoding.
+func (e *Encoded) Stamp() int64 {
+	return int64(binary.BigEndian.Uint64(e.buf[4+10:]))
+}
+
+// WriteTo writes the frame to w as one Write call.
+func (e *Encoded) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(e.buf)
+	return int64(n), err
+}
+
+// DecodeInto decodes the frame body into m with UnmarshalBinary's reuse
+// semantics. The decoded fields never alias the shared frame bytes, so the
+// caller may retain m past the frame's Release.
+func (e *Encoded) DecodeInto(m *Msg) error { return m.UnmarshalBinary(e.buf[4:]) }
+
+// msgPool recycles Msg structs delivered by transports that decode frames
+// themselves (the TCP read loop, shared-encoding deliveries). A recycled
+// Msg keeps its Ints/Payload capacity, so steady-state receive paths decode
+// with zero per-message heap allocations.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
+
+// GetMsg returns a Msg from the free-list (fields zeroed, slice capacity
+// possibly retained from a previous life).
+func GetMsg() *Msg { return msgPool.Get().(*Msg) }
+
+// PutMsg recycles m. The caller must own m and every slice it references:
+// after PutMsg the struct and its Ints/Payload backing arrays will be
+// scribbled over by a future decode. Callers that handed a slice onward
+// (a retained beacon, say) detach it (m.Ints = nil) before recycling.
+func PutMsg(m *Msg) {
+	if m == nil {
+		return
+	}
+	m.Kind, m.Mode = 0, 0
+	m.Src, m.Dst = 0, 0
+	m.Stamp, m.Obj = 0, 0
+	if m.Ints != nil {
+		m.Ints = m.Ints[:0]
+	}
+	if m.Payload != nil {
+		m.Payload = m.Payload[:0]
+	}
+	msgPool.Put(m)
+}
+
+// encodeCalls counts AppendBinary invocations — one per message encode,
+// however reached (MarshalBinary, WriteFrame, EncodeFrame). It exists so
+// tests can assert the encode-once fanout property ("broadcasting to k
+// peers performs exactly one encode"); a single uncontended atomic add is
+// noise next to the memmove the encode itself performs.
+var encodeCalls atomic.Int64
+
+// EncodeCalls returns the number of message encodes performed so far
+// (test instrumentation; see encodeCalls).
+func EncodeCalls() int64 { return encodeCalls.Load() }

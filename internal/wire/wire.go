@@ -140,6 +140,15 @@ const (
 	ModeWrite uint8 = 2
 )
 
+// ModeSyncPiggyback is a Mode flag bit on KindData frames marking that the
+// frame also carries the sender's SYNC rendezvous marker for the same
+// Stamp: Ints holds the SYNC beacon and the receiver synthesizes the
+// logical (data, SYNC) pair. The flag occupies the high bit so it composes
+// with (and is disjoint from) the small-integer mode values; decoders that
+// predate it pass Mode through the codec untouched, so old frames and new
+// frames coexist on one wire.
+const ModeSyncPiggyback uint8 = 0x80
+
 // Msg is a protocol message. The fixed header fields cover every protocol's
 // needs; Ints is a small variable-length header (owner/version pairs, vector
 // clocks) and Payload carries object state or encoded diffs.
@@ -205,6 +214,7 @@ func (m *Msg) AppendBinary(dst []byte) ([]byte, error) {
 	if len(m.Payload) > MaxPayload || len(m.Ints) > MaxInts {
 		return dst, ErrTooLarge
 	}
+	encodeCalls.Add(1)
 	base := len(dst)
 	dst = append(dst, make([]byte, m.EncodedSize())...)
 	buf := dst[base:]
