@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sdso/internal/trace"
 	"sdso/internal/transport"
 	"sdso/internal/wire"
 )
@@ -145,6 +146,7 @@ func (r *Runtime) Join(incarnation int64) error {
 	if earliest-1 > r.now {
 		r.now = earliest - 1
 	}
+	r.tr.Record(trace.OpJoined, -1, 0, 0, r.now, earliest)
 	r.mc.AddJoin()
 	r.debugf("now=%d joined epoch=%d members=%v", r.now, r.epoch, r.View().Members)
 	return nil
@@ -175,6 +177,7 @@ func (r *Runtime) serveJoin(peer int, m *wire.Msg) {
 	r.joinGrant[peer] = admit
 	r.joinInc[peer] = inc
 	r.xl.Set(peer, admit)
+	r.tr.Record(trace.OpAdmit, peer, 0, 0, r.now, admit)
 	r.debugf("now=%d serveJoin peer=%d inc=%d admit=%d epoch=%d", r.now, peer, inc, admit, r.epoch)
 	r.mc.AddJoin()
 	if r.cfg.OnJoin != nil {
@@ -240,6 +243,7 @@ func (r *Runtime) handleJoinAck(peer int, m *wire.Msg) {
 	r.readmitPeer(peer) // the responder is live and a member
 	js.admit[peer] = m.Stamp
 	r.xl.Set(peer, m.Stamp)
+	r.tr.Record(trace.OpAdmit, peer, 0, 0, r.now, m.Stamp)
 	if len(m.Ints) > 0 && m.Ints[0] > r.epoch {
 		r.epoch = m.Ints[0]
 	}

@@ -7,8 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"sdso/internal/check"
 	"sdso/internal/metrics"
 	"sdso/internal/store"
+	"sdso/internal/trace"
 	"sdso/internal/transport"
 	"sdso/internal/wire"
 )
@@ -160,6 +162,41 @@ func TestPiggybackEquivalence(t *testing.T) {
 	}
 	if totalOn*2 != totalOff {
 		t.Errorf("messages sent: %d with piggybacking, %d without; want exactly half", totalOn, totalOff)
+	}
+}
+
+// TestPiggybackOracleClean replays the lockstep game with piggybacking off
+// and on, this time under trace recorders, and hands both histories to the
+// consistency oracle: riding SYNCs on data frames must leave every checked
+// invariant — clock monotonicity, exchange-list adherence, PID arbitration,
+// delivery, convergence — exactly as sound as the standalone-SYNC path.
+func TestPiggybackOracleClean(t *testing.T) {
+	const n, ticks = 4, 10
+	run := func(piggy bool) check.History {
+		recs := make([]*trace.Recorder, n)
+		rts := runConfigGroup(t, n, func(ep transport.Endpoint) Config {
+			recs[ep.ID()] = trace.NewRecorder(ep.ID())
+			return Config{Endpoint: ep, MergeDiffs: true, PiggybackSync: piggy, Trace: recs[ep.ID()]}
+		}, lockstepBody(n, ticks))
+		h := check.History{
+			Procs:   make([][]trace.Event, n),
+			Stores:  make([]*store.Store, n),
+			Crashed: make([]bool, n),
+		}
+		for i := range recs {
+			h.Procs[i] = recs[i].Events()
+			h.Stores[i] = rts[i].Store()
+		}
+		return h
+	}
+	for _, piggy := range []bool{false, true} {
+		rep := check.Analyze(run(piggy), check.Options{Convergence: true})
+		if !rep.Ok() {
+			t.Errorf("piggyback=%v: oracle found violations:\n%s", piggy, rep)
+		}
+		if rep.Events == 0 {
+			t.Errorf("piggyback=%v: no events traced", piggy)
+		}
 	}
 }
 

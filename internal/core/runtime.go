@@ -34,6 +34,7 @@ import (
 	"sdso/internal/diff"
 	"sdso/internal/metrics"
 	"sdso/internal/store"
+	"sdso/internal/trace"
 	"sdso/internal/transport"
 	"sdso/internal/wire"
 	"sdso/internal/xlist"
@@ -140,6 +141,13 @@ type Config struct {
 	// resends a full picture.
 	OnJoin func(peer int)
 
+	// Trace, when set, records this process's observation history — clock
+	// ticks, schedule changes, data sends/applies, SYNC receipt,
+	// membership transitions — for the consistency oracle in
+	// internal/check. Nil (the default) disables tracing; the hot paths
+	// then pay a single nil check and allocate nothing.
+	Trace *trace.Recorder
+
 	// RendezvousTimeout enables failure detection: a blocking wait
 	// (rendezvous or sync put/get reply) that stays silent this long marks
 	// the awaited peer suspected, retransmits the unacknowledged message,
@@ -169,6 +177,7 @@ type Runtime struct {
 	ep  transport.Endpoint
 	st  *store.Store
 	mc  *metrics.Collector
+	tr  *trace.Recorder // nil when tracing is off; Record is nil-safe
 	cfg Config
 
 	now  int64
@@ -242,6 +251,7 @@ func New(cfg Config) (*Runtime, error) {
 		ep:        ep,
 		st:        store.New(),
 		mc:        mc,
+		tr:        cfg.Trace,
 		cfg:       cfg,
 		xl:        xlist.NewList(),
 		buf:       xlist.NewSlottedBuffer(ep.ID(), ep.N(), cfg.MergeDiffs),
@@ -276,6 +286,14 @@ func New(cfg Config) (*Runtime, error) {
 			r.peerAbsent[peer] = true
 			r.xl.Remove(peer)
 			r.buf.Drop(peer)
+		}
+	}
+	if r.tr != nil {
+		for peer := 0; peer < ep.N(); peer++ {
+			if peer == ep.ID() || r.peerAbsent[peer] {
+				continue
+			}
+			r.tr.Record(trace.OpSched, peer, 0, 0, 0, first)
 		}
 	}
 	return r, nil
@@ -377,7 +395,7 @@ func (r *Runtime) Share(id store.ID, initial []byte) error {
 // (internal/diff) still carries the updates — a replacement is one kind of
 // diff — and slotted-buffer merging still collapses successive writes.
 func (r *Runtime) Write(id store.ID, data []byte) error {
-	d, err := r.st.Update(id, data)
+	d, err := r.st.UpdateBy(id, data, r.ep.ID())
 	if err != nil {
 		return fmt.Errorf("write object %d: %w", id, err)
 	}
@@ -389,6 +407,7 @@ func (r *Runtime) Write(id store.ID, data []byte) error {
 	if err != nil {
 		return err
 	}
+	r.tr.Record(trace.OpWrite, r.ep.ID(), int64(id), ver, r.now, 0)
 	state := make([]byte, len(data))
 	copy(state, data)
 	repl := diff.Diff{Replace: true, Len: len(state), Runs: []diff.Run{{Off: 0, Data: state}}}
@@ -434,6 +453,7 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 	startWall := r.ep.Now()
 	r.now++
 	r.mc.AddTick()
+	r.tr.Record(trace.OpTick, -1, 0, 0, r.now, 0)
 
 	// Determine this tick's rendezvous set.
 	var targets []int
@@ -468,6 +488,11 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 			continue
 		}
 		sendData := opts.How == Broadcast || opts.SendData == nil || opts.SendData(peer)
+		if r.tr != nil && !sendData {
+			for _, obj := range r.buf.Objects(peer) {
+				r.tr.Record(trace.OpWithheld, peer, int64(obj), 0, r.now, 0)
+			}
+		}
 		if sendData && r.buf.Pending(peer) > 0 {
 			diffs := r.buf.Flush(peer)
 			if r.cfg.PiggybackSync {
@@ -493,6 +518,7 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 					}
 					return fmt.Errorf("exchange data to %d: %w", peer, err)
 				}
+				r.traceDataSend(peer, diffs, r.now)
 				r.mc.AddPiggybackSync()
 				// The logical SYNC is recorded for the retransmission and
 				// echo machinery but never sent on its own.
@@ -513,6 +539,7 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 				}
 				return fmt.Errorf("exchange data to %d: %w", peer, err)
 			}
+			r.traceDataSend(peer, diffs, r.now)
 		}
 		var beacon []int64
 		if opts.Beacon != nil {
@@ -555,6 +582,7 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 				return fmt.Errorf("core: s-function scheduled peer %d at %d, not after now=%d", peer, next, r.now)
 			}
 			r.debugf("now=%d reschedule peer=%d next=%d", r.now, peer, next)
+			r.tr.Record(trace.OpRendezvous, peer, 0, 0, r.now, next)
 			r.xl.Set(peer, next)
 		}
 	}
@@ -592,6 +620,7 @@ func (r *Runtime) absorbEarly(gotSync map[int][]int64, haveSync map[int]bool) {
 		if best < 0 {
 			continue
 		}
+		r.tr.Record(trace.OpSyncRecv, peer, 0, 0, r.now, best)
 		gotSync[peer] = stamps[best]
 		haveSync[peer] = true
 		if best > r.syncSeen[peer] {
@@ -728,10 +757,23 @@ func (r *Runtime) evictPeer(peer int) {
 	delete(r.joinGrant, peer) // a future rejoin negotiates a fresh admission
 	delete(r.joinInc, peer)
 	r.mc.AddEviction()
+	r.tr.Record(trace.OpEvict, peer, 0, 0, r.now, 0)
 	r.debugf("now=%d evict peer=%d epoch=%d", r.now, peer, r.epoch)
 	r.xl.Remove(peer)
 	r.buf.Drop(peer)
 	delete(r.earlySync, peer)
+}
+
+// traceDataSend records a flushed DATA message and each object diff it
+// carried (no-op when tracing is off).
+func (r *Runtime) traceDataSend(peer int, diffs []xlist.ObjDiff, stamp int64) {
+	if r.tr == nil {
+		return
+	}
+	for _, od := range diffs {
+		r.tr.Record(trace.OpSendObj, peer, int64(od.Obj), od.Version, stamp, 0)
+	}
+	r.tr.Record(trace.OpDataSend, peer, 0, 0, stamp, int64(len(diffs)))
 }
 
 // flush releases whatever frames the transport has coalesced since the
@@ -867,6 +909,7 @@ func (r *Runtime) handleSyncPart(peer int, stamp int64, beacon []int64, mode uin
 	if stamp > r.now || onSync == nil {
 		// Ahead of our clock, or nobody is awaiting a rendezvous
 		// right now: hold the SYNC until the matching Exchange.
+		r.tr.Record(trace.OpSyncEarly, peer, 0, 0, r.now, stamp)
 		stamps, ok := r.earlySync[peer]
 		if !ok {
 			stamps = make(map[int64][]int64)
@@ -875,6 +918,7 @@ func (r *Runtime) handleSyncPart(peer int, stamp int64, beacon []int64, mode uin
 		stamps[stamp] = beacon
 		return
 	}
+	r.tr.Record(trace.OpSyncRecv, peer, 0, 0, r.now, stamp)
 	onSync(peer, beacon, stamp)
 }
 
@@ -889,6 +933,7 @@ func (r *Runtime) handleDone(peer int, m *wire.Msg) {
 	}
 	r.peerDone[peer] = true
 	r.epoch++
+	r.tr.Record(trace.OpPeerDone, peer, 0, 0, r.now, m.Stamp)
 	r.debugf("now=%d peerDone peer=%d stamp=%d epoch=%d", r.now, peer, m.Stamp, r.epoch)
 	r.xl.Remove(peer)
 	r.buf.Drop(peer)
@@ -922,15 +967,34 @@ func (r *Runtime) applyData(m *wire.Msg) {
 		// good version and the next rendezvous re-syncs.
 		return
 	}
+	src := int(m.Src)
 	for _, od := range diffs {
 		// Version gate: updates from different writers can arrive in
 		// any order; only content newer than the local replica is
-		// applied (see Write).
+		// applied (see Write). At equal versions two processes raced a
+		// write to the same object; the lower process ID wins (the
+		// paper's data-race arbitration rule), which makes the outcome
+		// independent of arrival order.
 		cur, err := r.st.Version(od.Obj)
-		if err != nil || od.Version <= cur {
+		if err != nil {
 			continue
 		}
-		_ = r.st.ApplyDiff(od.Obj, od.D, od.Version)
+		if od.Version < cur {
+			r.tr.Record(trace.OpStale, src, int64(od.Obj), od.Version, r.now, 0)
+			continue
+		}
+		if od.Version == cur {
+			w, _ := r.st.WriterOf(od.Obj)
+			if w < 0 || src >= w {
+				// Unknown local writer (initial or snapshot state) keeps
+				// the local copy, matching the old <= gate; a known
+				// lower-or-equal writer keeps its win.
+				r.tr.Record(trace.OpStale, src, int64(od.Obj), od.Version, r.now, 1)
+				continue
+			}
+		}
+		_ = r.st.ApplyDiffFrom(od.Obj, od.D, od.Version, src)
+		r.tr.Record(trace.OpApply, src, int64(od.Obj), od.Version, r.now, m.Stamp)
 	}
 	if m.Stamp > r.seen[int(m.Src)] {
 		r.seen[int(m.Src)] = m.Stamp
@@ -987,9 +1051,12 @@ func (r *Runtime) Done(won bool) error {
 	}
 	r.localDone = true
 	var mode uint8
+	var wonAux int64
 	if won {
 		mode = doneWon
+		wonAux = 1
 	}
+	r.tr.Record(trace.OpDone, -1, 0, 0, r.now, wonAux)
 	// Done replaces the Exchange of the tick in progress, so the final
 	// flush is stamped now+1 — the tick those writes logically belong to.
 	// Peers at that tick apply them on receipt; peers behind buffer them
@@ -1010,6 +1077,7 @@ func (r *Runtime) Done(won bool) error {
 				}
 				return fmt.Errorf("final flush to %d: %w", peer, err)
 			}
+			r.traceDataSend(peer, diffs, r.now+1)
 		}
 		done := &wire.Msg{Kind: wire.KindDone, Stamp: r.now, Mode: mode}
 		if err := r.send(peer, done); err != nil {

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+
+	"sdso/internal/check"
+)
+
+// TestRunCheckedClean runs each protocol through the oracle on a handful of
+// schedules, fault-free and faulted, and demands a clean report. This is
+// the smoke version of the cmd/sdso-check grid; the CI oracle job runs the
+// full breadth.
+func TestRunCheckedClean(t *testing.T) {
+	seeds := []int64{1, 2}
+	if !testing.Short() {
+		seeds = []int64{1, 2, 3, 5, 8}
+	}
+	for _, proto := range []Protocol{BSYNC, MSYNC, MSYNC2, EC} {
+		for _, seed := range seeds {
+			for _, faults := range []bool{false, true} {
+				rep, err := RunChecked(CheckedConfig{
+					Protocol: proto,
+					Seed:     seed,
+					Ticks:    24,
+					Faults:   faults,
+				})
+				if err != nil {
+					t.Fatalf("%s seed=%d faults=%v: %v", proto, seed, faults, err)
+				}
+				if !rep.Ok() {
+					t.Errorf("%s seed=%d faults=%v:\n%s", proto, seed, faults, rep)
+				}
+				if rep.Events == 0 {
+					t.Errorf("%s seed=%d faults=%v: no events recorded", proto, seed, faults)
+				}
+			}
+		}
+	}
+}
+
+// TestRunCheckedDeterministic re-runs one scenario and demands the oracle
+// see the identical event stream: the whole checked stack — jittered
+// delivery, fault decisions, tracing — is a pure function of the seed.
+func TestRunCheckedDeterministic(t *testing.T) {
+	for _, proto := range []Protocol{BSYNC, MSYNC2, EC} {
+		cfg := CheckedConfig{Protocol: proto, Seed: 11, Ticks: 16, Faults: true}
+		a, err := RunChecked(cfg)
+		if err != nil {
+			t.Fatalf("%s first run: %v", proto, err)
+		}
+		b, err := RunChecked(cfg)
+		if err != nil {
+			t.Fatalf("%s second run: %v", proto, err)
+		}
+		if a.Events != b.Events {
+			t.Errorf("%s: event counts diverged across identical runs: %d vs %d", proto, a.Events, b.Events)
+		}
+		if !a.Ok() || !b.Ok() {
+			t.Errorf("%s: expected clean reports, got:\n%s\n%s", proto, a, b)
+		}
+	}
+}
+
+// TestExploreWithCheckedRunner drives the explorer end to end over the
+// real harness runner, fault plans included.
+func TestExploreWithCheckedRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores a schedule grid")
+	}
+	for _, proto := range []Protocol{BSYNC, MSYNC, MSYNC2, EC} {
+		res := check.Explore(check.ExploreConfig{
+			Schedules:  8,
+			BaseSeed:   1,
+			Ticks:      16,
+			Teams:      4,
+			FaultEvery: 4,
+		}, CheckedRunner(proto))
+		if !res.Ok() {
+			for _, f := range res.Failures {
+				t.Errorf("%s: %s\n  repro: %s", proto, f, ReproLine(proto, f.Shrunk))
+			}
+		}
+		if res.Explored != 8 || res.FaultRuns != 2 {
+			t.Errorf("%s: explored %d schedules (%d faulted), want 8 (2)", proto, res.Explored, res.FaultRuns)
+		}
+	}
+}

@@ -69,13 +69,24 @@ func Categories() []Category {
 	return out
 }
 
-// padded is a cache-line-padded atomic counter. A Collector's counters sit
-// side by side in one struct; without padding, two goroutines bumping
-// adjacent counters would ping-pong the same cache line between cores.
-type padded struct {
+// PaddedCounter is a cache-line-padded atomic counter. A Collector's
+// counters sit side by side in one struct; without padding, two goroutines
+// bumping adjacent counters would ping-pong the same cache line between
+// cores. It is exported so other hot-path instrumentation (the trace
+// recorder in internal/trace) can reuse the same layout.
+type PaddedCounter struct {
 	v atomic.Int64
 	_ [56]byte // pad to a 64-byte line
 }
+
+// Add atomically adds n to the counter.
+func (c *PaddedCounter) Add(n int64) { c.v.Add(n) }
+
+// Load atomically reads the counter.
+func (c *PaddedCounter) Load() int64 { return c.v.Load() }
+
+// padded keeps the Collector's field declarations short.
+type padded = PaddedCounter
 
 // Collector gathers one process's counters. It is safe for concurrent use
 // (real transports receive on multiple goroutines): every counter is an

@@ -31,6 +31,7 @@ import (
 	"sdso/internal/lockmgr"
 	"sdso/internal/metrics"
 	"sdso/internal/store"
+	"sdso/internal/trace"
 	"sdso/internal/transport"
 	"sdso/internal/wire"
 )
@@ -76,6 +77,14 @@ type NodeConfig struct {
 	Incarnation int64
 	// Debug, when set, receives trace lines (like core.Config.Debug).
 	Debug func(string)
+
+	// AppTrace and SvcTrace, when set, record the application's and the
+	// service's observation histories (ticks, lock requests/grants/releases,
+	// writes) for the consistency oracle in internal/check. Nil disables
+	// tracing. Each recorder is appended to only from its own process's
+	// goroutine.
+	AppTrace *trace.Recorder
+	SvcTrace *trace.Recorder
 }
 
 // DefaultMaxRetransmits is the eviction threshold used when
@@ -304,6 +313,21 @@ func (n *Node) declareCrash(team int) {
 		}
 		_ = n.countSend(n.cfg.App, n.svcID(t), m)
 	}
+}
+
+// reannounceCrash repeats the KindCrash declaration for an already-buried
+// team to one manager service. The original broadcast is sent exactly once
+// (declareCrash drops repeat declarations), so a manager whose copy was
+// lost would keep serving the dead team's locks forever; the requester that
+// notices — its KindLockBusy replies name only holders it knows are dead —
+// replays the announcement to that manager alone.
+func (n *Node) reannounceCrash(dead, mgrTeam int) {
+	n.mu.Lock()
+	inc := n.inc[dead]
+	n.mu.Unlock()
+	n.tracef("app %d re-announces crash of %d (inc %d) to mgr %d", n.team, dead, inc, mgrTeam)
+	m := &wire.Msg{Kind: wire.KindCrash, Stamp: int64(dead), Ints: []int64{inc}}
+	_ = n.countSend(n.cfg.App, n.svcID(mgrTeam), m)
 }
 
 // liveManagerFor returns the team currently managing obj's lock: the static
@@ -601,6 +625,11 @@ func (n *Node) handleLockRelease(m *wire.Msg) error {
 	if dirty {
 		version = m.Ints[1]
 	}
+	var dirtyAux int64
+	if dirty {
+		dirtyAux = 1
+	}
+	n.cfg.SvcTrace.Record(trace.OpMgrRelease, proc, int64(m.Obj), version, 0, dirtyAux)
 	n.mu.Lock()
 	grants, err := n.mgr.Release(proc, store.ID(m.Obj), dirty, version)
 	n.mu.Unlock()
@@ -638,9 +667,12 @@ func (n *Node) forwardLock(m *wire.Msg, to int) error {
 func (n *Node) sendGrants(grants []lockmgr.Grant) error {
 	for _, g := range grants {
 		mode := wire.ModeRead
+		var modeAux int64
 		if g.Mode == lockmgr.Write {
 			mode = wire.ModeWrite
+			modeAux = 1
 		}
+		n.cfg.SvcTrace.Record(trace.OpMgrGrant, g.Proc, int64(g.Obj), g.Version, 0, modeAux)
 		m := &wire.Msg{
 			Kind: wire.KindLockGrant, Obj: uint32(g.Obj), Mode: mode,
 			Ints: []int64{int64(g.Owner), g.Version},
@@ -857,6 +889,7 @@ func (n *Node) RunApp() (game.TeamStats, error) {
 			}
 		}
 		n.tracef("app %d now=%v tick %d", n.team, app.Now(), tick)
+		n.cfg.AppTrace.Record(trace.OpTick, -1, 0, 0, int64(tick), 0)
 		locks := n.lockSet()
 		if err := n.acquireAll(locks); err != nil {
 			return n.stats, err
@@ -1131,6 +1164,11 @@ func (n *Node) acquireOne(lr lockReq) error {
 	if n.ft() {
 		mgrTeam = n.liveManagerFor(lr.obj)
 	}
+	var modeAux int64
+	if lr.write {
+		modeAux = 1
+	}
+	n.cfg.AppTrace.Record(trace.OpLockReq, mgrTeam, int64(lr.obj), 0, 0, modeAux)
 	req := &wire.Msg{Kind: wire.KindLockReq, Obj: uint32(lr.obj), Mode: mode}
 	t0 := app.Now()
 	if err := n.countSend(app, n.svcID(mgrTeam), req); err != nil {
@@ -1153,6 +1191,7 @@ func (n *Node) acquireOne(lr lockReq) error {
 	n.mc.AddTime(metrics.CatLockAcquire, app.Now()-t0)
 
 	owner, version := int(grant.Ints[0]), grant.Ints[1]
+	n.cfg.AppTrace.Record(trace.OpLockGranted, owner, int64(lr.obj), version, 0, modeAux)
 	n.mu.Lock()
 	local, _ := n.st.Version(lr.obj)
 	n.mu.Unlock()
@@ -1262,11 +1301,26 @@ func (n *Node) awaitGrantFT(obj store.ID, req *wire.Msg, mgrTeam int) (*wire.Msg
 			case m.Kind == wire.KindLockBusy && m.Obj == uint32(obj):
 				// The manager is alive but the lock is held elsewhere:
 				// blame the first live foreign holder instead.
+				blamed := false
 				for _, h := range m.Ints {
 					if int(h) != n.team && !n.isCrashed(int(h)) {
 						suspect = int(h)
 						suspectIsHolder = true
+						blamed = true
 						break
+					}
+				}
+				if !blamed {
+					// Every foreign holder named is already buried in our
+					// view, yet the manager still serves their locks: its
+					// copy of the KindCrash broadcast was lost, and
+					// declareCrash won't repeat old news. Re-announce the
+					// burials to this manager so it purges the phantom
+					// holders and grants the queued request.
+					for _, h := range m.Ints {
+						if int(h) != n.team && n.isCrashed(int(h)) {
+							n.reannounceCrash(int(h), mgrTeam)
+						}
 					}
 				}
 			case m.Kind == wire.KindDone:
@@ -1392,8 +1446,10 @@ func (n *Node) releaseAll(locks []lockReq, dirty map[store.ID]int64) {
 		rel := &wire.Msg{Kind: wire.KindLockRelease, Obj: uint32(lr.obj)}
 		if v, ok := dirty[lr.obj]; ok && lr.write {
 			rel.Ints = []int64{1, v}
+			n.cfg.AppTrace.Record(trace.OpLockRel, mgrTeam, int64(lr.obj), v, 0, 1)
 		} else {
 			rel.Ints = []int64{0, 0}
+			n.cfg.AppTrace.Record(trace.OpLockRel, mgrTeam, int64(lr.obj), 0, 0, 0)
 		}
 		// Releases are asynchronous; errors only surface via metrics
 		// divergence in tests.
@@ -1477,10 +1533,11 @@ func (n *Node) decideAndWrite() map[store.ID]int64 {
 		writes, reachedGoal := act.Writes(n.team, n.goal)
 		for _, cw := range writes {
 			id := cfg.ObjectOf(cw.Pos)
-			if _, err := n.st.Update(id, game.EncodeCell(cw.Cell)); err != nil {
+			if _, err := n.st.UpdateBy(id, game.EncodeCell(cw.Cell), n.team); err != nil {
 				continue
 			}
 			v, _ := n.st.Version(id)
+			n.cfg.AppTrace.Record(trace.OpWrite, n.team, int64(id), v, 0, 0)
 			dirty[id] = v
 			modified = true
 		}

@@ -34,6 +34,7 @@ import (
 	"sdso/internal/game"
 	"sdso/internal/metrics"
 	"sdso/internal/store"
+	"sdso/internal/trace"
 	"sdso/internal/transport"
 )
 
@@ -107,6 +108,14 @@ type PlayerConfig struct {
 	// joiners); they enter the membership only when their join request
 	// arrives. Their tanks sit idle on the board until then.
 	AbsentPeers []int
+
+	// Trace, when set, records this process's observation history (runtime
+	// events plus per-tick tank positions) for the consistency oracle in
+	// internal/check. Nil disables tracing.
+	Trace *trace.Recorder
+	// Snapshot, when set, receives the final store after a successful run
+	// (the oracle's convergence checks compare these across processes).
+	Snapshot func(*store.Store)
 
 	// afterExchange, when set, runs after each completed exchange;
 	// onActions, when set, observes each tick's decisions (test-only
@@ -196,6 +205,7 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		Metrics:           mc,
 		MergeDiffs:        merge,
 		PiggybackSync:     cfg.PiggybackSync,
+		Trace:             cfg.Trace,
 		Debug:             cfg.debug,
 		RendezvousTimeout: cfg.RendezvousTimeout,
 		MaxRetransmits:    cfg.MaxRetransmits,
@@ -230,6 +240,9 @@ func (p *player) run() (game.TeamStats, error) {
 		return game.TeamStats{}, err
 	}
 	p.mc.SetExecTime(p.cfg.Endpoint.Now())
+	if p.cfg.Snapshot != nil {
+		p.cfg.Snapshot(p.rt.Store())
+	}
 	return p.stats, nil
 }
 
@@ -361,6 +374,14 @@ func (p *player) play() error {
 			return p.rt.Done(true)
 		}
 
+		if p.cfg.Trace != nil {
+			// The positions the upcoming rendezvous's beacon advertises:
+			// this tick's moves have been applied. The oracle pairs these
+			// with the peers' same-tick withhold decisions.
+			for _, tank := range p.tanks {
+				p.cfg.Trace.Record(trace.OpTankAt, -1, int64(tank.Pos.X), int64(tank.Pos.Y), tick, 0)
+			}
+		}
 		if err := p.rt.Exchange(p.exchangeOpts()); err != nil {
 			return fmt.Errorf("tick %d: %w", tick, err)
 		}

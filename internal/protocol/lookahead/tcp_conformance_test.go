@@ -29,13 +29,13 @@ func reserveLoopbackAddrs(t *testing.T, n int) []string {
 	return addrs
 }
 
-// TestTCPConformanceBSYNC plays the same 4-process BSYNC game twice — once
-// over the in-memory transport, once over loopback TCP with deferred
-// flushing and SYNC piggybacking — and requires identical outcomes. This is
-// the conformance oracle for the encode-once/coalescing transport path: the
+// runTCPConformance plays the same 4-process game twice — once over the
+// in-memory transport, once over loopback TCP with deferred flushing and
+// SYNC piggybacking — and requires identical outcomes. This is the
+// conformance oracle for the encode-once/coalescing transport path: the
 // optimizations may change how many frames cross the wire, never what the
 // processes compute.
-func TestTCPConformanceBSYNC(t *testing.T) {
+func runTCPConformance(t *testing.T, proto Protocol) {
 	if testing.Short() {
 		t.Skip("real sockets")
 	}
@@ -43,7 +43,7 @@ func TestTCPConformanceBSYNC(t *testing.T) {
 	cfg := game.DefaultConfig(teams, 1)
 	cfg.MaxTicks = 80
 
-	memStats, _ := runGame(t, cfg, BSYNC)
+	memStats, _ := runGame(t, cfg, proto)
 
 	addrs := reserveLoopbackAddrs(t, teams)
 	tcpStats := make([]game.TeamStats, teams)
@@ -64,7 +64,7 @@ func TestTCPConformanceBSYNC(t *testing.T) {
 			defer ep.Close()
 			tcpStats[i], errs[i] = RunPlayer(PlayerConfig{
 				Game:          cfg,
-				Protocol:      BSYNC,
+				Protocol:      proto,
 				Endpoint:      ep,
 				PiggybackSync: true,
 			})
@@ -82,3 +82,7 @@ func TestTCPConformanceBSYNC(t *testing.T) {
 		}
 	}
 }
+
+func TestTCPConformanceBSYNC(t *testing.T)  { runTCPConformance(t, BSYNC) }
+func TestTCPConformanceMSYNC(t *testing.T)  { runTCPConformance(t, MSYNC) }
+func TestTCPConformanceMSYNC2(t *testing.T) { runTCPConformance(t, MSYNC2) }

@@ -102,7 +102,7 @@ func (s *Store) Merge(snap []byte) (adopted int, floor int64, err error) {
 		if !ok {
 			data := make([]byte, len(state))
 			copy(data, state)
-			s.objs[id] = &Object{id: id, data: data, version: version}
+			s.objs[id] = &Object{id: id, data: data, version: version, writer: -1}
 			s.ids = nil
 			adopted++
 			return
@@ -113,6 +113,7 @@ func (s *Store) Merge(snap []byte) (adopted int, floor int64, err error) {
 		o.data = make([]byte, len(state))
 		copy(o.data, state)
 		o.version = version
+		o.writer = -1
 		adopted++
 	})
 	if err != nil {
@@ -131,7 +132,7 @@ func (s *Store) Restore(snap []byte) (floor int64, err error) {
 	floor, err = decodeSnapshot(snap, func(id ID, version int64, state []byte) {
 		data := make([]byte, len(state))
 		copy(data, state)
-		objs[id] = &Object{id: id, data: data, version: version}
+		objs[id] = &Object{id: id, data: data, version: version, writer: -1}
 	})
 	if err != nil {
 		return 0, err

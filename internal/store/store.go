@@ -21,6 +21,10 @@ type Object struct {
 	id      ID
 	data    []byte
 	version int64
+	// writer is the process ID whose write produced this state, or -1
+	// when unknown (initial state, snapshot restore, direct SetState).
+	// Push protocols use it to arbitrate same-version data races by PID.
+	writer int
 }
 
 // ID returns the object's identifier.
@@ -58,7 +62,7 @@ func (s *Store) Register(id ID, initial []byte) error {
 	}
 	data := make([]byte, len(initial))
 	copy(data, initial)
-	s.objs[id] = &Object{id: id, data: data}
+	s.objs[id] = &Object{id: id, data: data, writer: -1}
 	s.ids = nil
 	return nil
 }
@@ -118,8 +122,16 @@ func (s *Store) Version(id ID) (int64, error) {
 
 // Update overwrites the object's state with data, increments its version,
 // and returns the diff from the previous state. An update that changes
-// nothing returns an empty diff and does not bump the version.
+// nothing returns an empty diff and does not bump the version. The writer
+// is recorded as unknown; use UpdateBy to attribute the write.
 func (s *Store) Update(id ID, data []byte) (diff.Diff, error) {
+	return s.UpdateBy(id, data, -1)
+}
+
+// UpdateBy is Update attributed to a writing process: on a state change the
+// object's writer is set to writer, so same-version data races can be
+// arbitrated by PID.
+func (s *Store) UpdateBy(id ID, data []byte, writer int) (diff.Diff, error) {
 	o, ok := s.objs[id]
 	if !ok {
 		return diff.Diff{}, fmt.Errorf("store: object %d not registered", id)
@@ -131,11 +143,23 @@ func (s *Store) Update(id ID, data []byte) (diff.Diff, error) {
 	o.data = make([]byte, len(data))
 	copy(o.data, data)
 	o.version++
+	o.writer = writer
 	return d, nil
 }
 
+// WriterOf returns the process ID recorded for the object's current state,
+// or -1 when the writer is unknown.
+func (s *Store) WriterOf(id ID) (int, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return -1, fmt.Errorf("store: object %d not registered", id)
+	}
+	return o.writer, nil
+}
+
 // ApplyDiff patches the object with a remotely produced diff and sets its
-// version to the given remote version if that is newer.
+// version to the given remote version if that is newer. The writer is
+// recorded as unknown; use ApplyDiffFrom to attribute the change.
 func (s *Store) ApplyDiff(id ID, d diff.Diff, version int64) error {
 	o, ok := s.objs[id]
 	if !ok {
@@ -152,6 +176,27 @@ func (s *Store) ApplyDiff(id ID, d diff.Diff, version int64) error {
 	return nil
 }
 
+// ApplyDiffFrom is ApplyDiff attributed to the originating writer. The
+// version and writer are adopted when version is at least the local one —
+// the >= (rather than >) lets the caller install a same-version state after
+// it has already decided the race by PID.
+func (s *Store) ApplyDiffFrom(id ID, d diff.Diff, version int64, writer int) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("store: object %d not registered", id)
+	}
+	next, err := diff.Apply(o.data, d)
+	if err != nil {
+		return fmt.Errorf("object %d: %w", id, err)
+	}
+	o.data = next
+	if version >= o.version {
+		o.version = version
+		o.writer = writer
+	}
+	return nil
+}
+
 // SetState replaces the object's state and version outright (used when a
 // pull-based protocol fetches a whole fresh copy).
 func (s *Store) SetState(id ID, data []byte, version int64) error {
@@ -162,6 +207,7 @@ func (s *Store) SetState(id ID, data []byte, version int64) error {
 	o.data = make([]byte, len(data))
 	copy(o.data, data)
 	o.version = version
+	o.writer = -1
 	return nil
 }
 
@@ -170,7 +216,7 @@ func (s *Store) SetState(id ID, data []byte, version int64) error {
 func (s *Store) Clone() *Store {
 	c := New()
 	for id, o := range s.objs {
-		c.objs[id] = &Object{id: id, data: o.Bytes(), version: o.version}
+		c.objs[id] = &Object{id: id, data: o.Bytes(), version: o.version, writer: o.writer}
 	}
 	return c
 }
