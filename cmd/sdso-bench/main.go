@@ -27,7 +27,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdso-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, blocking, datasize, or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, blocking, datasize, quorum, or all")
 	rng := fs.Int("range", 0, "tank visibility range (1 or 3); 0 means both")
 	seeds := fs.Int("seeds", 3, "number of game seeds to average over")
 	maxTicks := fs.Int("ticks", 200, "game horizon in logical ticks")
@@ -103,11 +103,18 @@ func run(args []string) error {
 		}
 		fmt.Println(harness.RenderDataSize(rows, 8))
 	}
+	if want("quorum") {
+		rows, err := harness.QuorumAnalysis(seedList, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderQuorum(rows))
+	}
 
 	switch *fig {
-	case "all", "5", "6", "7", "8", "blocking", "datasize":
+	case "all", "5", "6", "7", "8", "blocking", "datasize", "quorum":
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 5, 6, 7, 8, blocking, datasize, or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 5, 6, 7, 8, blocking, datasize, quorum, or all)", *fig)
 	}
 }

@@ -79,7 +79,7 @@ func BroadcastFanoutPerPeer16(b *testing.B) {
 }
 
 // benchFreeAddrs reserves n distinct loopback addresses.
-func benchFreeAddrs(b *testing.B, n int) []string {
+func benchFreeAddrs(b testing.TB, n int) []string {
 	b.Helper()
 	addrs := make([]string, n)
 	listeners := make([]net.Listener, n)
@@ -98,7 +98,7 @@ func benchFreeAddrs(b *testing.B, n int) []string {
 }
 
 // benchTCPMesh dials a full TCP mesh with one config per endpoint.
-func benchTCPMesh(b *testing.B, addrs []string, cfgs []transport.TCPConfig) []*transport.TCPEndpoint {
+func benchTCPMesh(b testing.TB, addrs []string, cfgs []transport.TCPConfig) []*transport.TCPEndpoint {
 	b.Helper()
 	n := len(addrs)
 	eps := make([]*transport.TCPEndpoint, n)
@@ -192,7 +192,7 @@ func TCPLoopbackExchange(b *testing.B) {
 
 // framesPerExchange runs a 2-process lockstep game over loopback TCP and
 // returns the per-process physical frames and wire bytes per exchange tick.
-func framesPerExchange(b *testing.B, piggyback bool) (frames, bytes float64) {
+func framesPerExchange(b testing.TB, piggyback bool) (frames, bytes float64) {
 	b.Helper()
 	const ticks = 100
 	addrs := benchFreeAddrs(b, 2)

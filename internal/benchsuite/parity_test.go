@@ -1,0 +1,58 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestFramesMatchPR4Baseline pins the replication machinery to strict
+// opt-in: a runtime with no checkpoint stream configured must put exactly
+// the same physical frames and wire bytes per exchange on the TCP
+// transport as the recorded PR4 baseline — the quorum PR may not add a
+// single byte to the non-replicated path. The expected numbers are read
+// from BENCH_PR4.json itself (the FramesPerExchange entry), so a drift in
+// either direction fails loudly.
+func TestFramesMatchPR4Baseline(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_PR4.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var baseline struct {
+		Results []struct {
+			Name  string             `json:"name"`
+			Extra map[string]float64 `json:"extra"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("decoding baseline: %v", err)
+	}
+	var want map[string]float64
+	for _, r := range baseline.Results {
+		if r.Name == "FramesPerExchange" {
+			want = r.Extra
+		}
+	}
+	if want == nil {
+		t.Fatal("BENCH_PR4.json has no FramesPerExchange entry")
+	}
+
+	plainF, plainB := framesPerExchange(t, false)
+	piggyF, piggyB := framesPerExchange(t, true)
+	got := map[string]float64{
+		"frames/exchange_plain":        plainF,
+		"wirebytes/exchange_plain":     plainB,
+		"frames/exchange_piggyback":    piggyF,
+		"wirebytes/exchange_piggyback": piggyB,
+	}
+	for key, g := range got {
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("baseline is missing %q", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: got %v, baseline %v — the non-replicated path changed", key, g, w)
+		}
+	}
+}

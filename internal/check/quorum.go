@@ -1,0 +1,384 @@
+// Quorum invariants for the ABD engine (internal/quorum): a deterministic,
+// single-threaded simulator drives reads and writes over a 2f+1 replica
+// group under seeded crash schedules — replicas killed before an op,
+// mid-phase-1, or mid-phase-2 (both before and after the commit point), and
+// revived through quorum catch-up reads — and checks after every committed
+// operation that
+//
+//   - no two majorities disagree on a committed (object, version): a
+//     committed read never returns a value older than an earlier committed
+//     one, and a committed write always supersedes the highest committed
+//     version ("quorum-regress");
+//   - replicas agreeing on a (version, writer) timestamp agree on the
+//     bytes, and nothing ever contradicts a committed timestamp
+//     ("quorum-divergence");
+//   - enough live replicas hold the committed value that every possible
+//     majority intersects them ("quorum-coverage");
+//   - a revived replica's caught-up state is version-dominated by some
+//     quorum, i.e. at least the committed value ("quorum-catchup").
+//
+// The simulator plugs into Explore via QuorumRunner, so violations shrink
+// to printed repros exactly like the protocol schedules.
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"sdso/internal/quorum"
+	"sdso/internal/store"
+)
+
+// quorumObjects is the register set the simulator exercises; a handful is
+// enough to interleave independent op streams.
+const quorumObjects = 3
+
+// QuorumRunner returns an Explore Runner that drives the ABD engine with
+// replication factor f (group size 2f+1) through one seeded schedule per
+// Scenario. Scenario.Ticks is the operation count, Scenario.Teams the
+// client count, and Scenario.Faults arms the crash schedule (up to f
+// replicas down at any moment, including kills mid-phase-2).
+func QuorumRunner(f int) Runner {
+	n := 2*f + 1
+	return quorumRunner(f, quorum.Majority(n))
+}
+
+// quorumRunner exists so tests can inject a wrong quorum size and prove the
+// invariants catch it.
+func quorumRunner(f, majority int) Runner {
+	return func(sc Scenario) (*Report, error) {
+		if f < 1 {
+			return nil, fmt.Errorf("check: quorum f must be >= 1, got %d", f)
+		}
+		sim := newQuorumSim(f, majority, sc)
+		return sim.run(), nil
+	}
+}
+
+type timestampKey struct {
+	obj     store.ID
+	version int64
+	writer  int
+}
+
+type quorumSim struct {
+	f        int
+	majority int
+	members  []int
+	replicas map[int]*quorum.Replica
+	dead     map[int]bool
+	clients  int
+	retired  map[int]bool
+	rng      *rand.Rand
+	faults   bool
+	ops      int
+
+	// committed[obj] is the highest committed value; committedData pins the
+	// bytes of every committed (obj, version, writer) timestamp.
+	committed     map[store.ID]quorum.Value
+	committedData map[timestampKey][]byte
+
+	rep *Report
+}
+
+func newQuorumSim(f, majority int, sc Scenario) *quorumSim {
+	n := 2*f + 1
+	s := &quorumSim{
+		f:             f,
+		majority:      majority,
+		members:       quorum.Group(0, n, f),
+		replicas:      make(map[int]*quorum.Replica, n),
+		dead:          make(map[int]bool),
+		clients:       sc.Teams,
+		retired:       make(map[int]bool),
+		rng:           rand.New(rand.NewSource(sc.Seed)),
+		faults:        sc.Faults,
+		ops:           sc.Ticks,
+		committed:     make(map[store.ID]quorum.Value),
+		committedData: make(map[timestampKey][]byte),
+		rep:           &Report{},
+	}
+	if s.clients < 1 {
+		s.clients = 1
+	}
+	for _, m := range s.members {
+		s.replicas[m] = quorum.NewReplica()
+	}
+	return s
+}
+
+func (s *quorumSim) violate(class string, proc int, format string, args ...any) {
+	s.rep.Violations = append(s.rep.Violations, Violation{
+		Class:  class,
+		Proc:   proc,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (s *quorumSim) live() []int {
+	var out []int
+	for _, m := range s.members {
+		if !s.dead[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (s *quorumSim) deadCount() int {
+	c := 0
+	for _, m := range s.members {
+		if s.dead[m] {
+			c++
+		}
+	}
+	return c
+}
+
+// shuffledLive returns the live members in a seeded random order: the
+// delivery schedule for one phase.
+func (s *quorumSim) shuffledLive() []int {
+	out := s.live()
+	s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// maybeCrash kills one live replica (never dropping below the f-crash
+// budget) and reports whether it did.
+func (s *quorumSim) maybeCrash() bool {
+	if !s.faults || s.deadCount() >= s.f {
+		return false
+	}
+	live := s.live()
+	victim := live[s.rng.Intn(len(live))]
+	s.dead[victim] = true
+	s.replicas[victim] = nil // fail-stop: state dies with the process
+	return true
+}
+
+// maybeRevive restarts one dead replica through quorum catch-up reads: a
+// fresh, empty replica reads every object through the engine and installs
+// the results before serving again. The caught-up state must be
+// version-dominated by some quorum — concretely, at least the committed
+// value per object.
+func (s *quorumSim) maybeRevive() {
+	if !s.faults || s.deadCount() == 0 || s.rng.Intn(4) != 0 {
+		return
+	}
+	var deadList []int
+	for _, m := range s.members {
+		if s.dead[m] {
+			deadList = append(deadList, m)
+		}
+	}
+	reborn := deadList[s.rng.Intn(len(deadList))]
+	fresh := quorum.NewReplica()
+	for obj := store.ID(0); obj < quorumObjects; obj++ {
+		v, ok := s.runOp(quorum.NewRead(obj, s.members, s.majority), -1, crashNone)
+		if !ok {
+			return // catch-up starved of a quorum; stay dead
+		}
+		fresh.Apply(obj, v)
+		if want, committed := s.committed[obj]; committed {
+			if got, _ := fresh.Read(obj); got.Less(want) {
+				s.violate("quorum-catchup", reborn,
+					"revived replica %d caught up obj %d to (v%d,w%d), below committed (v%d,w%d)",
+					reborn, obj, got.Version, got.Writer, want.Version, want.Writer)
+			}
+		}
+	}
+	s.dead[reborn] = false
+	s.replicas[reborn] = fresh
+}
+
+// Crash points within one operation.
+const (
+	crashNone = iota
+	crashBeforeOp
+	crashMidPhase1
+	crashMidPhase2  // kill a replica after a partial set of phase-2 acks
+	crashPostCommit // kill a replica that acked, right after the commit
+	crashClient     // abandon the op mid-phase-2; the client retires
+	crashPoints
+)
+
+// runOp drives one op to completion against the live replicas under a
+// seeded delivery order, injecting the given crash point. ok is false when
+// the op was abandoned (client crash) or starved of a quorum.
+func (s *quorumSim) runOp(op *quorum.Op, client, crashAt int) (quorum.Value, bool) {
+	if crashAt == crashBeforeOp {
+		s.maybeCrash()
+	}
+	var wb quorum.Value
+	var targets []int
+	started := false
+	p1 := s.shuffledLive()
+	for i, m := range p1 {
+		if crashAt == crashMidPhase1 && i == 1 {
+			s.maybeCrash()
+		}
+		if s.dead[m] {
+			continue
+		}
+		v, _ := s.replicas[m].Read(op.Obj())
+		if w, ts, ok := op.OnVersion(m, v); ok {
+			wb, targets, started = w, ts, true
+			break
+		}
+	}
+	if !started {
+		return quorum.Value{}, false
+	}
+	// Phase 2: deliver the write-back in a fresh seeded order. Replicas
+	// apply before acking; a replica killed "mid-phase-2" may have applied
+	// without its ack arriving, or acked and then died.
+	s.rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+	acked := 0
+	committed := false
+	for _, m := range targets {
+		if s.dead[m] {
+			continue
+		}
+		s.replicas[m].Apply(op.Obj(), wb)
+		if crashAt == crashMidPhase2 && acked == 1 && !committed {
+			// The apply landed but the ack is lost with the process.
+			if s.deadCount() < s.f {
+				s.dead[m] = true
+				s.replicas[m] = nil
+				continue
+			}
+		}
+		if crashAt == crashClient && acked == 1 && !committed {
+			return quorum.Value{}, false // client dies with a partial write
+		}
+		acked++
+		if op.OnAck(m) {
+			committed = true
+			if crashAt == crashPostCommit {
+				s.maybeCrash()
+			}
+			break
+		}
+	}
+	if !committed {
+		return quorum.Value{}, false
+	}
+	return op.Result(), true
+}
+
+// checkCommit applies the quorum invariants after a committed op.
+func (s *quorumSim) checkCommit(client int, op *quorum.Op, result quorum.Value) {
+	obj := op.Obj()
+	prev, has := s.committed[obj]
+	if has {
+		switch op.Kind() {
+		case quorum.OpWrite:
+			if result.Version <= prev.Version {
+				s.violate("quorum-regress", client,
+					"committed write of obj %d at v%d does not supersede committed v%d",
+					obj, result.Version, prev.Version)
+			}
+		default:
+			if result.Less(prev) {
+				s.violate("quorum-regress", client,
+					"committed read of obj %d returned (v%d,w%d), older than committed (v%d,w%d)",
+					obj, result.Version, result.Writer, prev.Version, prev.Writer)
+			}
+		}
+	}
+	key := timestampKey{obj: obj, version: result.Version, writer: result.Writer}
+	if want, ok := s.committedData[key]; ok {
+		if !bytes.Equal(want, result.Data) {
+			s.violate("quorum-divergence", client,
+				"obj %d (v%d,w%d) committed twice with different bytes", obj, result.Version, result.Writer)
+		}
+	} else {
+		s.committedData[key] = append([]byte(nil), result.Data...)
+	}
+	if !has || prev.Less(result) {
+		s.committed[obj] = result
+	}
+
+	// Coverage: enough live holders of >= the committed value that any
+	// f+1-subset of the live members intersects them.
+	holders := 0
+	liveCount := 0
+	for _, m := range s.members {
+		if s.dead[m] {
+			continue
+		}
+		liveCount++
+		if v, _ := s.replicas[m].Read(obj); !v.Less(s.committed[obj]) {
+			holders++
+		}
+	}
+	if holders < liveCount-s.f {
+		s.violate("quorum-coverage", client,
+			"obj %d committed (v%d,w%d) held by %d of %d live replicas; a majority could miss it",
+			obj, s.committed[obj].Version, s.committed[obj].Writer, holders, liveCount)
+	}
+
+	// Divergence: replicas that agree on a timestamp must agree on bytes,
+	// and no replica may contradict a committed timestamp.
+	seen := make(map[timestampKey][]byte)
+	for _, m := range s.members {
+		if s.dead[m] {
+			continue
+		}
+		v, ok := s.replicas[m].Read(obj)
+		if !ok {
+			continue
+		}
+		k := timestampKey{obj: obj, version: v.Version, writer: v.Writer}
+		if want, dup := seen[k]; dup && !bytes.Equal(want, v.Data) {
+			s.violate("quorum-divergence", m,
+				"replicas disagree on obj %d (v%d,w%d)", obj, v.Version, v.Writer)
+		}
+		seen[k] = v.Data
+		if want, committed := s.committedData[k]; committed && !bytes.Equal(want, v.Data) {
+			s.violate("quorum-divergence", m,
+				"replica %d contradicts committed obj %d (v%d,w%d)", m, obj, v.Version, v.Writer)
+		}
+	}
+}
+
+func (s *quorumSim) run() *Report {
+	for i := 0; i < s.ops; i++ {
+		s.maybeRevive()
+		client := i % s.clients
+		if s.retired[client] {
+			continue
+		}
+		obj := store.ID(s.rng.Intn(quorumObjects))
+		crashAt := crashNone
+		if s.faults {
+			crashAt = s.rng.Intn(crashPoints)
+			if crashAt == crashClient && len(s.retired) >= s.clients-1 {
+				// Out of client-crash budget: a fail-stop client never
+				// issues again, so letting this one "survive" its crash
+				// would reuse its (version, writer) timestamps.
+				crashAt = crashNone
+			}
+		}
+		var op *quorum.Op
+		if s.rng.Intn(5) < 3 {
+			payload := []byte(fmt.Sprintf("op%d-c%d", i, client))
+			op = quorum.NewWrite(obj, s.members, s.majority, payload, client)
+		} else {
+			op = quorum.NewRead(obj, s.members, s.majority)
+		}
+		result, ok := s.runOp(op, client, crashAt)
+		s.rep.Events++
+		if !ok {
+			if crashAt == crashClient {
+				// A fail-stop client never issues again, so its
+				// (version, writer) timestamps are never reused.
+				s.retired[client] = true
+			}
+			continue
+		}
+		s.checkCommit(client, op, result)
+	}
+	return s.rep
+}

@@ -1,0 +1,91 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// The real engine must survive the full schedule grid — crash-free and with
+// crash schedules that kill up to f replicas mid-protocol (including
+// mid-phase-2) — for both supported replication factors.
+func TestQuorumInvariantsHold(t *testing.T) {
+	for _, f := range []int{1, 2} {
+		runner := QuorumRunner(f)
+		for seed := int64(1); seed <= 64; seed++ {
+			for _, faults := range []bool{false, true} {
+				sc := Scenario{Seed: seed, Ticks: 48, Teams: 3, Faults: faults}
+				rep, err := runner(sc)
+				if err != nil {
+					t.Fatalf("f=%d seed=%d faults=%v: %v", f, seed, faults, err)
+				}
+				if !rep.Ok() {
+					t.Fatalf("f=%d seed=%d faults=%v: %s", f, seed, faults, rep)
+				}
+			}
+		}
+	}
+}
+
+// A deliberately undersized quorum (f instead of f+1) breaks majority
+// intersection; the invariants must notice, proving the oracle is not
+// vacuous.
+func TestQuorumCatchesUndersizedQuorum(t *testing.T) {
+	const f = 1
+	runner := quorumRunner(f, f) // majority should be f+1
+	found := false
+	for seed := int64(1); seed <= 64 && !found; seed++ {
+		rep, err := runner(Scenario{Seed: seed, Ticks: 64, Teams: 3, Faults: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Violations {
+			if strings.HasPrefix(v.Class, "quorum-") {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("undersized quorum produced no quorum-* violation over 64 seeds")
+	}
+}
+
+// Violations found by Explore shrink to a printed repro, same as the
+// protocol schedules.
+func TestQuorumExploreShrinks(t *testing.T) {
+	cfg := ExploreConfig{Schedules: 16, BaseSeed: 1, Ticks: 64, Teams: 3, FaultEvery: 1}
+	res := Explore(cfg, quorumRunner(1, 1))
+	if res.Ok() {
+		t.Skip("no violation surfaced to shrink at these seeds")
+	}
+	fail := res.Failures[0]
+	if fail.Shrunk.Ticks > fail.Scenario.Ticks {
+		t.Fatalf("shrunk scenario grew: %+v from %+v", fail.Shrunk, fail.Scenario)
+	}
+	if fail.Report == nil && fail.Err == nil {
+		t.Fatal("failure carries neither report nor error")
+	}
+}
+
+func TestQuorumRunnerDeterministic(t *testing.T) {
+	runner := QuorumRunner(1)
+	sc := Scenario{Seed: 7, Ticks: 40, Teams: 2, Faults: true}
+	a, err := runner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("same scenario diverged: %d/%d events, %d/%d violations",
+			a.Events, b.Events, len(a.Violations), len(b.Violations))
+	}
+}
+
+func TestQuorumRunnerRejectsBadF(t *testing.T) {
+	if _, err := quorumRunner(0, 1)(Scenario{Seed: 1, Ticks: 4, Teams: 1}); err == nil {
+		t.Fatal("f=0 accepted")
+	}
+}

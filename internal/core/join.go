@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"sdso/internal/trace"
 	"sdso/internal/transport"
@@ -203,6 +204,22 @@ func (r *Runtime) readmitPeer(peer int) {
 	delete(r.earlySync, peer)
 	delete(r.earlyData, peer)
 	delete(r.lastSync, peer)
+	// The readmitted peer's vaulted checkpoint is folded into the local
+	// store first — a peer that crashed silently (readmitted straight from
+	// a join request, never evicted) would otherwise take its last
+	// replicated writes to the grave, since the join snapshot is built
+	// from the store. The merge is version-gated, so it is a no-op when
+	// eviction-time relaying already did this. Then the entry is dropped;
+	// the peer's next epoch streams a fresh one.
+	if r.vault != nil {
+		if e, ok := r.vault[peer]; ok && !r.relayed[peer] {
+			if adopted, _, err := r.st.Merge(e.snap); err == nil && adopted > 0 {
+				r.mc.AddReplicaCatchup()
+			}
+		}
+		delete(r.vault, peer)
+		delete(r.relayed, peer)
+	}
 }
 
 // sendJoinReply ships the admission ack (tick, epoch, game-over flag,
@@ -228,6 +245,23 @@ func (r *Runtime) sendJoinReply(peer int, admit int64) {
 	snap := r.st.Snapshot(r.now)
 	r.mc.AddSnapshotBytes(len(snap))
 	_ = r.send(peer, &wire.Msg{Kind: wire.KindSnapshot, Stamp: r.now, Payload: snap})
+	if r.vault == nil {
+		return
+	}
+	// With checkpoint replication on, the reply also carries every vaulted
+	// blob — most importantly the joiner's own pre-crash checkpoint, which
+	// restores its committed writes even when every process it ever
+	// exchanged with is gone. Sorted for a deterministic wire order.
+	origins := make([]int, 0, len(r.vault))
+	for origin := range r.vault {
+		origins = append(origins, origin)
+	}
+	sort.Ints(origins)
+	for _, origin := range origins {
+		e := r.vault[origin]
+		r.mc.AddSnapshotBytes(len(e.snap))
+		_ = r.send(peer, &wire.Msg{Kind: wire.KindCkpt, Stamp: e.stamp, Obj: uint32(origin), Payload: e.snap})
+	}
 }
 
 // handleJoinAck is the joiner half: record the responder's admission tick,

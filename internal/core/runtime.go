@@ -148,6 +148,23 @@ type Config struct {
 	// then pay a single nil check and allocate nothing.
 	Trace *trace.Recorder
 
+	// CheckpointEvery enables replicated checkpoint streaming: at every
+	// epoch boundary (a tick divisible by CheckpointEvery) the process
+	// snapshots its store and streams the blob to CheckpointF+1 peers,
+	// which vault the freshest blob per origin. When the origin is later
+	// evicted, vault holders merge and relay its blob so its committed
+	// writes survive; when it rejoins, the blob comes back with the join
+	// reply — recovery no longer depends on any original holder being
+	// alive. Zero (the default) disables streaming entirely: no extra
+	// messages, frames, or bytes, keeping the non-replicated path
+	// byte-identical.
+	CheckpointEvery int64
+	// CheckpointF is the crash budget f the checkpoint stream tolerates:
+	// each checkpoint goes to f+1 distinct peers (ring order from the
+	// local ID), so at least one copy survives any f failures. Zero means
+	// DefaultCheckpointF when CheckpointEvery is set.
+	CheckpointF int
+
 	// RendezvousTimeout enables failure detection: a blocking wait
 	// (rendezvous or sync put/get reply) that stays silent this long marks
 	// the awaited peer suspected, retransmits the unacknowledged message,
@@ -171,6 +188,10 @@ const DefaultMaxRetransmits = 3
 // zero: a joiner is scheduled two ticks past the serving process's clock,
 // leaving one full tick for the acknowledgment and snapshot to land.
 const DefaultJoinSlack = 2
+
+// DefaultCheckpointF is the checkpoint-stream crash budget used when
+// Config.CheckpointEvery is set but Config.CheckpointF is zero.
+const DefaultCheckpointF = 1
 
 // Runtime is one process's S-DSO instance.
 type Runtime struct {
@@ -210,6 +231,19 @@ type Runtime struct {
 	joining    *joinState    // non-nil while Join is collecting admissions
 	joinGrant  map[int]int64 // peer → admission tick granted to it
 	joinInc    map[int]int64 // peer → incarnation of that grant
+
+	// Checkpoint replication state (active when CheckpointEvery > 0):
+	// the freshest vaulted blob per origin, and which origins' blobs
+	// were already merged-and-relayed after an eviction.
+	vault   map[int]vaultEntry
+	relayed map[int]bool
+}
+
+// vaultEntry is one replicated checkpoint: an origin's store snapshot at
+// its clock stamp.
+type vaultEntry struct {
+	stamp int64
+	snap  []byte
 }
 
 // Errors returned by the runtime.
@@ -267,6 +301,13 @@ func New(cfg Config) (*Runtime, error) {
 		peerAbsent: make(map[int]bool),
 		joinGrant:  make(map[int]int64),
 		joinInc:    make(map[int]int64),
+	}
+	if cfg.CheckpointEvery > 0 {
+		if r.cfg.CheckpointF <= 0 {
+			r.cfg.CheckpointF = DefaultCheckpointF
+		}
+		r.vault = make(map[int]vaultEntry)
+		r.relayed = make(map[int]bool)
 	}
 	for peer := 0; peer < ep.N(); peer++ {
 		if peer == ep.ID() {
@@ -587,8 +628,115 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 		}
 	}
 
+	if r.cfg.CheckpointEvery > 0 && r.now%r.cfg.CheckpointEvery == 0 {
+		r.streamCheckpoint()
+	}
+
 	r.mc.AddTime(metrics.CatExchange, r.ep.Now()-startWall)
 	return nil
+}
+
+// streamCheckpoint snapshots the local store and streams the blob to the
+// first CheckpointF+1 live peers in ring order: any f failures leave at
+// least one copy outside the crash set, so the local process's committed
+// writes survive even if every peer that exchanged with it is gone too.
+// Called only at epoch boundaries (CheckpointEvery > 0).
+func (r *Runtime) streamCheckpoint() {
+	snap := r.st.Snapshot(r.now)
+	if len(snap) == 0 {
+		return
+	}
+	self, n := r.ep.ID(), r.ep.N()
+	want := r.cfg.CheckpointF + 1
+	sent := 0
+	r.mc.AddQuorumRound()
+	for d := 1; d < n && sent < want; d++ {
+		peer := (self + d) % n
+		if r.peerDone[peer] || r.peerCrashed[peer] || r.peerAbsent[peer] {
+			continue
+		}
+		m := &wire.Msg{Kind: wire.KindCkpt, Stamp: r.now, Obj: uint32(self), Payload: snap}
+		if err := r.send(peer, m); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				r.evictPeer(peer)
+				continue
+			}
+			return // best-effort: a lost checkpoint only weakens this epoch's copy count
+		}
+		r.mc.AddSnapshotBytes(len(snap))
+		sent++
+	}
+	if sent > 0 {
+		r.flush()
+	}
+}
+
+// handleCkpt vaults a replicated checkpoint. Each origin keeps only its
+// freshest blob; a blob for an already-crashed origin (or, after a restart,
+// for the local process itself) is merged into the live store immediately —
+// that is the recovery path the stream exists for.
+func (r *Runtime) handleCkpt(peer int, m *wire.Msg) {
+	if r.vault == nil {
+		return // replication not enabled here; drop
+	}
+	origin := int(m.Obj)
+	if origin == r.ep.ID() {
+		// Our own pre-crash state coming back after a restart.
+		if adopted, _, err := r.st.Merge(m.Payload); err == nil && adopted > 0 {
+			r.mc.AddReplicaCatchup()
+		}
+		return
+	}
+	if cur, ok := r.vault[origin]; ok && cur.stamp >= m.Stamp {
+		return
+	}
+	r.vault[origin] = vaultEntry{stamp: m.Stamp, snap: m.Payload}
+	delete(r.relayed, origin)
+	r.debugf("now=%d vault ckpt origin=%d stamp=%d bytes=%d", r.now, origin, m.Stamp, len(m.Payload))
+	if r.peerCrashed[origin] {
+		// The origin is already gone: fold its writes in right away.
+		r.relayVault(origin)
+	}
+	_ = peer
+}
+
+// relayVault merges an evicted origin's vaulted checkpoint into the local
+// store and relays the blob to every live peer, so the crashed process's
+// committed writes propagate even to peers outside its checkpoint set (and
+// outside its exchange range, under spatial withholding). Idempotent per
+// (origin, blob); best-effort on the wire.
+func (r *Runtime) relayVault(origin int) {
+	if r.vault == nil || r.relayed[origin] {
+		return
+	}
+	e, ok := r.vault[origin]
+	if !ok {
+		return
+	}
+	r.relayed[origin] = true
+	if _, _, err := r.st.Merge(e.snap); err != nil {
+		return
+	}
+	r.mc.AddReplicaCatchup()
+	self, n := r.ep.ID(), r.ep.N()
+	sent := 0
+	for peer := 0; peer < n; peer++ {
+		if peer == self || r.peerDone[peer] || r.peerCrashed[peer] || r.peerAbsent[peer] {
+			continue
+		}
+		m := &wire.Msg{Kind: wire.KindCkpt, Stamp: e.stamp, Obj: uint32(origin), Payload: e.snap}
+		if err := r.send(peer, m); err != nil {
+			if errors.Is(err, transport.ErrPeerGone) {
+				r.evictPeer(peer)
+			}
+			continue
+		}
+		r.mc.AddSnapshotBytes(len(e.snap))
+		sent++
+	}
+	if sent > 0 {
+		r.flush()
+	}
 }
 
 // absorbEarly moves buffered early messages whose stamp is now current into
@@ -762,6 +910,10 @@ func (r *Runtime) evictPeer(peer int) {
 	r.xl.Remove(peer)
 	r.buf.Drop(peer)
 	delete(r.earlySync, peer)
+	// With checkpoint replication on, an eviction is the moment the vault
+	// pays off: fold the evictee's last replicated snapshot into the live
+	// store and relay it so its committed writes outlive the crash.
+	r.relayVault(peer)
 }
 
 // traceDataSend records a flushed DATA message and each object diff it
@@ -817,6 +969,13 @@ func (r *Runtime) consume(m *wire.Msg, onSync func(peer int, beacon []int64, sta
 		return false
 	case wire.KindSnapshot:
 		r.handleSnapshot(peer, m)
+		return false
+	case wire.KindCkpt:
+		// Replicated checkpoints also bypass the gate: a blob can arrive
+		// for (or even from) a peer already marked crashed — that is the
+		// recovery case the stream exists for. The payload is retained in
+		// the vault, so the message is not recycled.
+		r.handleCkpt(peer, m)
 		return false
 	}
 	if r.peerCrashed[peer] || r.peerAbsent[peer] {

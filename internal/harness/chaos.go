@@ -18,6 +18,8 @@ import (
 	"sdso/internal/netmodel"
 	"sdso/internal/protocol/ec"
 	"sdso/internal/protocol/lookahead"
+	"sdso/internal/store"
+	"sdso/internal/trace"
 	"sdso/internal/transport"
 	"sdso/internal/vtime"
 )
@@ -62,6 +64,40 @@ type ChaosConfig struct {
 	// MaxRetransmits bounds retransmissions before eviction; zero means
 	// the protocol default.
 	MaxRetransmits int
+	// QuorumF turns each EC lock-manager shard into a quorum group of
+	// 2f+1 teams: dirty releases commit the ownership record to a
+	// majority before grants escape, and failover reconstructs the
+	// records with a quorum read (see ec.NodeConfig.QuorumF). Zero (the
+	// default) keeps the unreplicated EC behavior. EC only.
+	QuorumF int
+	// CheckpointEvery enables the lookahead runtime's replicated
+	// checkpoint stream: every CheckpointEvery ticks each player sends
+	// its store snapshot to CheckpointF+1 peers, so a restarted crash
+	// victim recovers its committed writes even when every process that
+	// held them crashed too (see core.Config.CheckpointEvery). Zero
+	// disables it. Lookahead protocols only.
+	CheckpointEvery int64
+	// CheckpointF is the checkpoint stream's crash budget; zero means
+	// core.DefaultCheckpointF when CheckpointEvery is set.
+	CheckpointF int
+	// ExtraCrashes adds permanent crash-stops for additional processes,
+	// merged into the fault plan by process index (team number for the
+	// lookahead protocols; app i / service n+i for EC, and a node's two
+	// processes should crash together). Unlike CrashTeam there is no
+	// rejoin machinery for extras — they stay dead — and a CrashTeam
+	// entry overrides an extra for the same process. Use them to kill a
+	// crashed team's entire original holder set and exercise quorum
+	// recovery.
+	ExtraCrashes map[int]faultnet.Crash
+	// Traces, when non-nil, must hold one recorder per team; recorder i
+	// receives team i's observation history. A crashed-then-restarted
+	// team keeps appending to its recorder across both lives (post-rejoin
+	// events carry the resumed ticks). Lookahead protocols only.
+	Traces []*trace.Recorder
+	// Snapshot, when set, receives each team's final store after its
+	// process finishes successfully (a permanently crashed team never
+	// reports one). Lookahead protocols only.
+	Snapshot func(team int, st *store.Store)
 }
 
 func (c ChaosConfig) withChaosDefaults() ChaosConfig {
@@ -113,6 +149,14 @@ type ChaosResult struct {
 // among the surviving teams: any error from a non-crashed process fails the
 // run.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	// Validate before normalization: withChaosDefaults zeroes LateJoinAt
+	// when LateJoinTeam is out of range, which used to silently run an
+	// EC config that asked for an unsupported late join instead of
+	// reporting the combination — and a supported-protocol error should
+	// never wait until after endpoints spin up.
+	if cfg.Protocol == EC && cfg.LateJoinAt > 0 {
+		return nil, errors.New("harness: late join is a lookahead scenario; EC supports crash-then-restart (RestartAt)")
+	}
 	cfg = cfg.withChaosDefaults()
 	switch cfg.Protocol {
 	case BSYNC, MSYNC, MSYNC2:
@@ -172,7 +216,16 @@ func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
 		Links:   netmodel.NewCluster(cfg.Net),
 		Horizon: cfg.Horizon,
 	})
+	if cfg.Traces != nil && len(cfg.Traces) != n {
+		return nil, fmt.Errorf("harness: %d trace recorders for %d teams", len(cfg.Traces), n)
+	}
 	crashes := make(map[int]faultnet.Crash)
+	for p, c := range cfg.ExtraCrashes {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("harness: extra crash for process %d outside the %d teams", p, n)
+		}
+		crashes[p] = c
+	}
 	if cfg.CrashTeam >= 0 {
 		crashes[cfg.CrashTeam] = faultnet.Crash{AtTick: cfg.CrashTick, RestartAt: cfg.RestartAt}
 	}
@@ -197,6 +250,14 @@ func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
 				ComputePerTick:    cfg.ComputePerTick,
 				RendezvousTimeout: cfg.SuspectTimeout,
 				MaxRetransmits:    cfg.MaxRetransmits,
+				CheckpointEvery:   cfg.CheckpointEvery,
+				CheckpointF:       cfg.CheckpointF,
+			}
+			if cfg.Traces != nil {
+				pcfg.Trace = cfg.Traces[i]
+			}
+			if cfg.Snapshot != nil {
+				pcfg.Snapshot = func(st *store.Store) { cfg.Snapshot(i, st) }
 			}
 			if lateJoin {
 				if i == cfg.LateJoinTeam {
@@ -246,6 +307,10 @@ func runChaosLookahead(cfg ChaosConfig) (*ChaosResult, error) {
 			crashed = true
 			continue
 		}
+		if _, extra := cfg.ExtraCrashes[i]; extra && i != cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) {
+			crashed = true // an extra crash fired; it stays dead by design
+			continue
+		}
 		role := "survivor"
 		switch {
 		case crashFired[i]:
@@ -280,6 +345,12 @@ func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 		Horizon: cfg.Horizon,
 	})
 	crashes := make(map[int]faultnet.Crash)
+	for p, c := range cfg.ExtraCrashes {
+		if p < 0 || p >= 2*n {
+			return nil, fmt.Errorf("harness: extra crash for process %d outside the %d EC processes", p, 2*n)
+		}
+		crashes[p] = c
+	}
 	if cfg.CrashTeam >= 0 {
 		// The node fail-stops as a unit: application and service die at
 		// the same virtual instant (and revive together on restart).
@@ -341,6 +412,7 @@ func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 			ComputePerTick: cfg.ComputePerTick,
 			SuspectTimeout: cfg.SuspectTimeout,
 			MaxRetransmits: cfg.MaxRetransmits,
+			QuorumF:        cfg.QuorumF,
 		})
 		if err != nil {
 			return nil, err
@@ -356,6 +428,7 @@ func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 			ComputePerTick: cfg.ComputePerTick,
 			SuspectTimeout: cfg.SuspectTimeout,
 			MaxRetransmits: cfg.MaxRetransmits,
+			QuorumF:        cfg.QuorumF,
 			Rejoin:         true,
 			Incarnation:    1,
 		})
@@ -371,12 +444,17 @@ func runChaosEC(cfg ChaosConfig) (*ChaosResult, error) {
 	for i := 0; i < n; i++ {
 		rejoiner := crashFired[i] || crashFired[n+i]
 		crashed = crashed || rejoiner
-		for _, err := range []error{appErrs[i], svcErrs[i]} {
+		for j, err := range []error{appErrs[i], svcErrs[i]} {
 			if err == nil {
 				continue
 			}
 			if i == cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) && !rejoiner {
 				crashed = true
+				continue
+			}
+			proc := i + j*n // app proc is i, service proc is n+i
+			if _, extra := cfg.ExtraCrashes[proc]; extra && i != cfg.CrashTeam && errors.Is(err, faultnet.ErrCrashed) {
+				crashed = true // an extra crash fired; it stays dead by design
 				continue
 			}
 			role := "survivor"

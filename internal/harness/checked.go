@@ -286,10 +286,11 @@ func CheckedRunner(proto Protocol) check.Runner {
 	}
 }
 
-// ReproLine renders the sdso-check invocation that re-runs one scenario.
+// ReproLine renders the sdso-check invocation that re-runs one scenario
+// via the -repro flag: exactly that seed, nothing else.
 func ReproLine(proto Protocol, sc check.Scenario) string {
-	line := fmt.Sprintf("go run ./cmd/sdso-check -protocols %s -seed %d -schedules 1 -teams %d -ticks %d",
-		proto, sc.Seed, sc.Teams, sc.Ticks)
+	line := fmt.Sprintf("go run ./cmd/sdso-check -repro %d -protocols %s -teams %d -ticks %d",
+		sc.Seed, proto, sc.Teams, sc.Ticks)
 	if sc.Faults {
 		line += " -fault-every 1"
 	}

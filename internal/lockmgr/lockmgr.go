@@ -251,6 +251,23 @@ func (m *Manager) Adopt(objs []store.ID, owner int) {
 	}
 }
 
+// RestoreOwner installs a replicated ownership record on a managed object:
+// owner holds the freshest copy at version. Quorum failover uses it — the
+// adopter of a dead manager's shard reconstructs each object's (owner,
+// version) from the majority-replicated records instead of starting at
+// version 0. Version-gated (an older record never overwrites a newer one)
+// and a no-op for objects not managed here; reports whether it advanced the
+// record.
+func (m *Manager) RestoreOwner(obj store.ID, owner int, version int64) bool {
+	st, ok := m.locks[obj]
+	if !ok || version <= st.version {
+		return false
+	}
+	st.owner = owner
+	st.version = version
+	return true
+}
+
 // Reissue returns a fresh grant for a lock proc already holds — the
 // idempotent answer to a retransmitted request whose original grant may have
 // been lost. ok is false if proc does not hold the lock.

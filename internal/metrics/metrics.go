@@ -111,6 +111,12 @@ type Collector struct {
 	snapshotBytes padded
 	catchupDiffs  padded
 
+	// Quorum replication counters (majority-committed records and
+	// replica-served recovery).
+	quorumRounds    padded
+	readRepairs     padded
+	replicaCatchups padded
+
 	// Wire-level counters (encode-once fanout and frame coalescing).
 	// These count physical frames and bytes at the transport, as opposed to
 	// msgsSent/bytesSent which count logical protocol messages — with SYNC
@@ -178,6 +184,20 @@ func (c *Collector) AddSnapshotBytes(n int) { c.snapshotBytes.v.Add(int64(n)) }
 // while catching up after a join.
 func (c *Collector) AddCatchupDiffs(n int) { c.catchupDiffs.v.Add(int64(n)) }
 
+// AddQuorumRound records one completed quorum round trip: a record
+// committed to a majority of its replica group, or a checkpoint streamed to
+// its f+1 recipients.
+func (c *Collector) AddQuorumRound() { c.quorumRounds.v.Add(1) }
+
+// AddReadRepair records one read repair: a quorum read that overwrote a
+// stale replica with the highest value in its majority.
+func (c *Collector) AddReadRepair() { c.readRepairs.v.Add(1) }
+
+// AddReplicaCatchup records one replica-served recovery: a vaulted
+// checkpoint merged or handed to a rejoiner, or a lock shard rebuilt from
+// its quorum group after manager failover.
+func (c *Collector) AddReplicaCatchup() { c.replicaCatchups.v.Add(1) }
+
 // AddFrame records one physical frame of n bytes put on the wire (or
 // staged in a coalescing write buffer).
 func (c *Collector) AddFrame(n int) {
@@ -216,6 +236,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Joins:         int(c.joins.v.Load()),
 		SnapshotBytes: int(c.snapshotBytes.v.Load()),
 		CatchupDiffs:  int(c.catchupDiffs.v.Load()),
+
+		QuorumRounds:    int(c.quorumRounds.v.Load()),
+		ReadRepairs:     int(c.readRepairs.v.Load()),
+		ReplicaCatchups: int(c.replicaCatchups.v.Load()),
 
 		FramesSent:       int(c.framesSent.v.Load()),
 		Flushes:          int(c.flushes.v.Load()),
@@ -256,6 +280,12 @@ type Snapshot struct {
 	Joins         int
 	SnapshotBytes int
 	CatchupDiffs  int
+	// Quorum replication counters: majority round trips completed, stale
+	// replicas repaired by quorum reads, and recoveries served from
+	// replicas instead of original holders.
+	QuorumRounds    int
+	ReadRepairs     int
+	ReplicaCatchups int
 	// Wire-level counters: physical frames and bytes at the transport
 	// (only populated by transports that report them, currently TCP), the
 	// flush syscalls those frames coalesced into, and SYNC markers that
@@ -395,6 +425,33 @@ func (g Group) CatchupDiffs() int {
 	n := 0
 	for _, s := range g.Procs {
 		n += s.CatchupDiffs
+	}
+	return n
+}
+
+// QuorumRounds sums completed quorum round trips across processes.
+func (g Group) QuorumRounds() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.QuorumRounds
+	}
+	return n
+}
+
+// ReadRepairs sums quorum read repairs across processes.
+func (g Group) ReadRepairs() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.ReadRepairs
+	}
+	return n
+}
+
+// ReplicaCatchups sums replica-served recoveries across processes.
+func (g Group) ReplicaCatchups() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.ReplicaCatchups
 	}
 	return n
 }

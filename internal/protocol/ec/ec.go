@@ -75,6 +75,14 @@ type NodeConfig struct {
 	// the declarer's known incarnation so announcements that predate a
 	// rejoin are recognized as stale and ignored.
 	Incarnation int64
+	// QuorumF, when > 0, turns each lock-manager shard into a quorum group
+	// of 2f+1 services: every dirty release commits its ownership record
+	// to f+1 group members before the release's grants go out, and a
+	// crashed manager's successor reconstructs the shard's ownership from
+	// any f+1 members instead of restarting at version 0 (see quorum.go).
+	// Requires SuspectTimeout > 0; zero keeps the unreplicated behavior
+	// with no extra messages.
+	QuorumF int
 	// Debug, when set, receives trace lines (like core.Config.Debug).
 	Debug func(string)
 
@@ -131,6 +139,17 @@ type Node struct {
 	joinRecs      map[int][]lockmgr.Record
 	joinStalled   []*wire.Msg
 	handback      map[int][]byte
+
+	// Quorum replication state (guarded by mu; allocated when QuorumF > 0,
+	// see quorum.go). qseq numbers replication and reconstruction rounds;
+	// qrep is this service's backup copy of ownership records; qpend holds
+	// rounds awaiting backup acks; qAdopt in-progress reconstructions;
+	// qAdopted the dead teams whose shards were already reconstructed.
+	qseq     int64
+	qrep     map[store.ID]qOwnerRec
+	qpend    map[int64]*qPending
+	qAdopt   map[int]*qAdoptState
+	qAdopted map[int]bool
 }
 
 // New validates the configuration and builds a node. The caller runs
@@ -147,6 +166,9 @@ func New(cfg NodeConfig) (*Node, error) {
 	if cfg.Rejoin && cfg.SuspectTimeout <= 0 {
 		return nil, errors.New("ec: rejoin requires SuspectTimeout (failure detection)")
 	}
+	if cfg.QuorumF > 0 && cfg.SuspectTimeout <= 0 {
+		return nil, errors.New("ec: quorum replication requires SuspectTimeout (it exists for failover)")
+	}
 	mc := cfg.Metrics
 	if mc == nil {
 		mc = metrics.NewCollector()
@@ -157,6 +179,12 @@ func New(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Incarnation > 0 {
 		n.inc[n.team] = cfg.Incarnation
+	}
+	if cfg.QuorumF > 0 {
+		n.qrep = make(map[store.ID]qOwnerRec)
+		n.qpend = make(map[int64]*qPending)
+		n.qAdopt = make(map[int]*qAdoptState)
+		n.qAdopted = make(map[int]bool)
 	}
 
 	w, err := game.NewWorld(cfg.Game)
@@ -499,6 +527,15 @@ func (n *Node) RunService() error {
 					}
 					continue
 				}
+				// routeLock may have just chain-adopted a dead manager's
+				// shard: in quorum mode the ownership must be reconstructed
+				// from the group before any of its locks are served.
+				if err := n.startAdoptRecon(); err != nil {
+					return err
+				}
+				if n.stallForAdopt(m) {
+					continue
+				}
 			}
 			var err error
 			if m.Kind == wire.KindLockReq {
@@ -557,7 +594,29 @@ func (n *Node) RunService() error {
 				return err
 			}
 			n.adoptShards()
+			if err := n.qPurgeDead(dead); err != nil {
+				return err
+			}
+			if err := n.startAdoptRecon(); err != nil {
+				return err
+			}
 			if err := n.finishRejoin(); err != nil {
+				return err
+			}
+		case wire.KindQWrite:
+			if err := n.handleQWrite(m); err != nil {
+				return err
+			}
+		case wire.KindQWriteAck:
+			if err := n.handleQWriteAck(m); err != nil {
+				return err
+			}
+		case wire.KindQRead:
+			if err := n.handleQRead(m); err != nil {
+				return err
+			}
+		case wire.KindQReadAck:
+			if err := n.handleQReadAck(m); err != nil {
 				return err
 			}
 		case wire.KindJoinReq:
@@ -642,6 +701,11 @@ func (n *Node) handleLockRelease(m *wire.Msg) error {
 	if err != nil {
 		return fmt.Errorf("ec service %d: release obj %d by %d: %w", n.team, m.Obj, proc, err)
 	}
+	if n.qf() > 0 && dirty {
+		// The new ownership must survive this manager's crash: commit it
+		// to the quorum group before the unblocked grants go out.
+		return n.replicateOwner(store.ID(m.Obj), proc, version, grants)
+	}
 	return n.sendGrants(grants)
 }
 
@@ -705,6 +769,7 @@ func (n *Node) serveJoin(m *wire.Msg, handled map[int]bool, remaining *int) erro
 	fresh := inc > n.inc[t] || n.handback[t] == nil
 	n.inc[t] = inc
 	delete(n.crashed, t)
+	delete(n.qAdopted, t) // a future crash of the rejoined team reconstructs afresh
 	if fresh {
 		recs := n.mgr.Export(n.shardOf(t))
 		if n.handback == nil {
@@ -768,6 +833,7 @@ func (n *Node) acceptJoinAck(m *wire.Msg, handled map[int]bool, remaining *int) 
 	n.joinAcked[from] = true
 	n.joinRecs[from] = recs
 	delete(n.crashed, from) // the responder is demonstrably alive
+	delete(n.qAdopted, from)
 	if len(m.Ints) > 0 && m.Ints[0] == 1 {
 		n.over = true
 	}

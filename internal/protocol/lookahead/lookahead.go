@@ -109,6 +109,16 @@ type PlayerConfig struct {
 	// arrives. Their tanks sit idle on the board until then.
 	AbsentPeers []int
 
+	// CheckpointEvery enables the runtime's replicated checkpoint stream:
+	// every CheckpointEvery ticks the store snapshot goes to CheckpointF+1
+	// peers, so a rejoining crash victim recovers its committed writes
+	// even when every process it exchanged with is gone too (see
+	// core.Config.CheckpointEvery). Zero (the default) disables it.
+	CheckpointEvery int64
+	// CheckpointF is the checkpoint stream's crash budget; zero means
+	// core.DefaultCheckpointF when CheckpointEvery is set.
+	CheckpointF int
+
 	// Trace, when set, records this process's observation history (runtime
 	// events plus per-tick tank positions) for the consistency oracle in
 	// internal/check. Nil disables tracing.
@@ -209,6 +219,8 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		Debug:             cfg.debug,
 		RendezvousTimeout: cfg.RendezvousTimeout,
 		MaxRetransmits:    cfg.MaxRetransmits,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		CheckpointF:       cfg.CheckpointF,
 		InitialMembers:    members,
 		OnJoin: func(peer int) {
 			// Forget the joiner's pre-crash beacon: with no knowledge the

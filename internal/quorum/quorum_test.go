@@ -1,0 +1,223 @@
+package quorum
+
+import (
+	"bytes"
+	"testing"
+
+	"sdso/internal/store"
+)
+
+// drive runs op to completion against the given replicas, delivering
+// phase-1 replies and phase-2 acks in member order, skipping members marked
+// dead. It returns the committed value.
+func drive(t *testing.T, op *Op, replicas map[int]*Replica, dead map[int]bool) Value {
+	t.Helper()
+	var wb Value
+	var targets []int
+	advanced := false
+	for _, m := range op.Members() {
+		if dead[m] {
+			continue
+		}
+		v, _ := replicas[m].Read(op.Obj())
+		if w, ts, ok := op.OnVersion(m, v); ok {
+			wb, targets, advanced = w, ts, true
+			break
+		}
+	}
+	if !advanced {
+		t.Fatalf("op never reached phase 2 (phase %d)", op.Phase())
+	}
+	for _, m := range targets {
+		if dead[m] {
+			continue
+		}
+		replicas[m].Apply(op.Obj(), wb)
+		if op.OnAck(m) {
+			break
+		}
+	}
+	if !op.Committed() {
+		t.Fatalf("op never committed (phase %d)", op.Phase())
+	}
+	return op.Result()
+}
+
+func newGroup(n int) map[int]*Replica {
+	replicas := make(map[int]*Replica, n)
+	for i := 0; i < n; i++ {
+		replicas[i] = NewReplica()
+	}
+	return replicas
+}
+
+func TestWriteThenRead(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		members := Group(0, n, (n-1)/2)
+		replicas := newGroup(n)
+		const obj = store.ID(7)
+
+		w := NewWrite(obj, members, Majority(n), []byte("hello"), 2)
+		got := drive(t, w, replicas, nil)
+		if got.Version != 1 || got.Writer != 2 || !bytes.Equal(got.Data, []byte("hello")) {
+			t.Fatalf("n=%d: committed write = %+v", n, got)
+		}
+
+		r := NewRead(obj, members, Majority(n))
+		got = drive(t, r, replicas, nil)
+		if got.Version != 1 || !bytes.Equal(got.Data, []byte("hello")) {
+			t.Fatalf("n=%d: read after write = %+v", n, got)
+		}
+	}
+}
+
+func TestWriteVersionsIncrease(t *testing.T) {
+	members := Group(0, 3, 1)
+	replicas := newGroup(3)
+	const obj = store.ID(1)
+	for i := 1; i <= 5; i++ {
+		w := NewWrite(obj, members, 2, []byte{byte(i)}, 0)
+		got := drive(t, w, replicas, nil)
+		if got.Version != int64(i) {
+			t.Fatalf("write %d committed at version %d", i, got.Version)
+		}
+	}
+}
+
+// A read that observes a stale majority still returns the freshest value in
+// that majority and repairs the stale members.
+func TestReadRepair(t *testing.T) {
+	members := Group(0, 3, 1)
+	replicas := newGroup(3)
+	const obj = store.ID(3)
+	// Member 0 alone holds version 2; members 1, 2 hold version 1.
+	replicas[0].Apply(obj, Value{Version: 2, Writer: 0, Data: []byte("new")})
+	replicas[1].Apply(obj, Value{Version: 1, Writer: 1, Data: []byte("old")})
+	replicas[2].Apply(obj, Value{Version: 1, Writer: 1, Data: []byte("old")})
+
+	r := NewRead(obj, members, 2)
+	got := drive(t, r, replicas, nil)
+	if got.Version != 2 || !bytes.Equal(got.Data, []byte("new")) {
+		t.Fatalf("read = %+v, want version 2 %q", got, "new")
+	}
+	// The ack path wrote the repaired value back: member 1 (acked before
+	// commit) must now hold version 2.
+	if v, _ := replicas[1].Read(obj); v.Version != 2 {
+		t.Fatalf("replica 1 not repaired: %+v", v)
+	}
+}
+
+// With f members dead the remaining 2f+1-f >= f+1 still form a quorum and
+// ops complete; a later read through a different majority sees the write.
+func TestTolerateFCrashes(t *testing.T) {
+	const n, f = 5, 2
+	members := Group(0, n, f)
+	replicas := newGroup(n)
+	const obj = store.ID(9)
+	dead := map[int]bool{0: true, 3: true}
+
+	w := NewWrite(obj, members, Majority(n), []byte("survives"), 4)
+	got := drive(t, w, replicas, dead)
+	if got.Version != 1 {
+		t.Fatalf("write under crashes = %+v", got)
+	}
+	r := NewRead(obj, members, Majority(n))
+	got = drive(t, r, replicas, dead)
+	if !bytes.Equal(got.Data, []byte("survives")) {
+		t.Fatalf("read under crashes = %+v", got)
+	}
+}
+
+func TestSameVersionWriterTieBreak(t *testing.T) {
+	a := Value{Version: 3, Writer: 1, Data: []byte("a")}
+	b := Value{Version: 3, Writer: 2, Data: []byte("b")}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("writer tie-break broken: a.Less(b)=%v b.Less(a)=%v", a.Less(b), b.Less(a))
+	}
+	r := NewReplica()
+	r.Apply(5, b)
+	if r.Apply(5, a) {
+		t.Fatal("replica adopted an older same-version value")
+	}
+	if v, _ := r.Read(5); !bytes.Equal(v.Data, []byte("b")) {
+		t.Fatalf("replica regressed to %+v", v)
+	}
+}
+
+func TestDuplicateAndStragglerRepliesIgnored(t *testing.T) {
+	members := Group(0, 3, 1)
+	op := NewWrite(4, members, 2, []byte("x"), 0)
+
+	if _, _, ok := op.OnVersion(0, Value{}); ok {
+		t.Fatal("phase 2 after a single reply")
+	}
+	if _, _, ok := op.OnVersion(0, Value{}); ok {
+		t.Fatal("duplicate reply advanced the op")
+	}
+	if _, _, ok := op.OnVersion(7, Value{}); ok {
+		t.Fatal("non-member reply advanced the op")
+	}
+	wb, targets, ok := op.OnVersion(1, Value{Version: 4, Writer: 0})
+	if !ok || wb.Version != 5 || len(targets) != 3 {
+		t.Fatalf("phase 2 start = %+v %v %v", wb, targets, ok)
+	}
+	// Straggler phase-1 reply with a huge version must not disturb the
+	// already-chosen write version.
+	if _, _, ok := op.OnVersion(2, Value{Version: 99}); ok {
+		t.Fatal("straggler reply restarted phase 2")
+	}
+	if op.OnAck(0) {
+		t.Fatal("committed after one ack")
+	}
+	if op.OnAck(0) {
+		t.Fatal("duplicate ack committed the op")
+	}
+	if op.OnAck(9) {
+		t.Fatal("non-member ack committed the op")
+	}
+	if !op.OnAck(1) {
+		t.Fatal("second distinct ack did not commit")
+	}
+	if op.OnAck(2) {
+		t.Fatal("OnAck returned true twice")
+	}
+	if !op.Committed() {
+		t.Fatal("op not committed")
+	}
+}
+
+func TestApplyIdempotentCommutative(t *testing.T) {
+	vals := []Value{
+		{Version: 1, Writer: 0, Data: []byte("v1")},
+		{Version: 3, Writer: 1, Data: []byte("v3")},
+		{Version: 2, Writer: 2, Data: []byte("v2")},
+		{Version: 3, Writer: 1, Data: []byte("v3")}, // duplicate
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 0, 3, 2}, {2, 3, 0, 1}}
+	for _, p := range perms {
+		r := NewReplica()
+		for _, i := range p {
+			r.Apply(11, vals[i])
+		}
+		v, _ := r.Read(11)
+		if v.Version != 3 || !bytes.Equal(v.Data, []byte("v3")) {
+			t.Fatalf("order %v converged to %+v", p, v)
+		}
+	}
+}
+
+func TestGroupPlacement(t *testing.T) {
+	got := Group(3, 4, 1)
+	want := []int{3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Group(3,4,1) = %v, want %v", got, want)
+		}
+	}
+	if g := Group(0, 3, 2); len(g) != 3 {
+		t.Fatalf("Group clamps to n: got %v", g)
+	}
+	if m := Majority(5); m != 3 {
+		t.Fatalf("Majority(5) = %d", m)
+	}
+}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The quorum and checkpoint machinery (internal/quorum, the core vault)
+// rebuilds state by merging Snapshot blobs taken from an arbitrary
+// majority of replicas, in whatever order the network delivers them. That
+// is sound only if Merge is a join: order-independent over any subset of
+// a common write history, with the result dominating every input. These
+// properties are what the tests below check.
+//
+// The replica model matches the protocols' guarantee: each object has one
+// totally-ordered write history (version k has one canonical content —
+// the lock serializes writers; a checkpoint origin is a single process),
+// and a replica holds some lagging cut of it. Replicas never hold the
+// same version with different content, which is the one case where
+// Merge's first-wins tie-break would be order-sensitive.
+
+const propObjs = 8
+
+// propContent is the canonical state of obj at version v.
+func propContent(obj ID, v int64) []byte {
+	return []byte(fmt.Sprintf("obj%d@v%d", obj, v))
+}
+
+// propReplica builds a store holding, for every object, a cut of the
+// canonical history at the given versions.
+func propReplica(t *testing.T, versions []int64) *Store {
+	t.Helper()
+	s := New()
+	for obj := ID(0); obj < propObjs; obj++ {
+		if err := s.Register(obj, propContent(obj, 0)); err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(1); v <= versions[obj]; v++ {
+			if _, err := s.UpdateBy(obj, propContent(obj, v), int(obj)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// TestMergeQuorumSubsetOrderIndependent: merging the snapshots of any
+// quorum-sized subset of replicas produces the same store no matter the
+// delivery order, and that store carries, per object, the subset's
+// maximum version with its canonical content.
+func TestMergeQuorumSubsetOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const replicas = 5 // 2f+1 with f=2; quorum subsets have size 3
+	for trial := 0; trial < 20; trial++ {
+		vers := make([][]int64, replicas)
+		snaps := make([][]byte, replicas)
+		for r := range vers {
+			vers[r] = make([]int64, propObjs)
+			for o := range vers[r] {
+				vers[r][o] = int64(rng.Intn(6))
+			}
+			snaps[r] = propReplica(t, vers[r]).Snapshot(int64(trial))
+		}
+		// One random quorum subset per trial, every delivery order.
+		subset := rng.Perm(replicas)[:3]
+		var reference *Store
+		permute(subset, func(order []int) {
+			merged := New()
+			for _, r := range order {
+				if _, _, err := merged.Merge(snaps[r]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if reference == nil {
+				reference = merged
+				return
+			}
+			if !merged.Equal(reference) {
+				t.Fatalf("trial %d: merge order %v diverged from the first order over subset %v", trial, order, subset)
+			}
+		})
+		// Domination: the merged store is the subset's per-object join.
+		for obj := ID(0); obj < propObjs; obj++ {
+			want := int64(0)
+			for _, r := range subset {
+				if vers[r][obj] > want {
+					want = vers[r][obj]
+				}
+			}
+			got, err := reference.Version(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d obj %d: merged version %d, want max %d of subset %v", trial, obj, got, want, subset)
+			}
+			data, err := reference.Get(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != string(propContent(obj, want)) {
+				t.Fatalf("trial %d obj %d: merged content %q is not the canonical v%d state", trial, obj, data, want)
+			}
+		}
+	}
+}
+
+// TestMergeDominatesEveryInput: merging into a non-empty (lagging) store
+// never regresses it — for every object the result's version is at least
+// the maximum of the target's own version and every merged snapshot's,
+// i.e. the union dominates each contributor.
+func TestMergeDominatesEveryInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		mkVers := func() []int64 {
+			v := make([]int64, propObjs)
+			for o := range v {
+				v[o] = int64(rng.Intn(6))
+			}
+			return v
+		}
+		targetVers := mkVers()
+		target := propReplica(t, targetVers)
+		maxVers := append([]int64(nil), targetVers...)
+		for in := 0; in < 3; in++ {
+			inVers := mkVers()
+			snap := propReplica(t, inVers).Snapshot(0)
+			if _, _, err := target.Merge(snap); err != nil {
+				t.Fatal(err)
+			}
+			for o, v := range inVers {
+				if v > maxVers[o] {
+					maxVers[o] = v
+				}
+			}
+		}
+		for obj := ID(0); obj < propObjs; obj++ {
+			got, err := target.Version(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != maxVers[obj] {
+				t.Fatalf("trial %d obj %d: version %d after merges, want %d", trial, obj, got, maxVers[obj])
+			}
+		}
+	}
+}
+
+// permute calls f with every permutation of ids (Heap's algorithm on a
+// copy; len(ids) is small).
+func permute(ids []int, f func([]int)) {
+	order := append([]int(nil), ids...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			f(order)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				order[i], order[k-1] = order[k-1], order[i]
+			} else {
+				order[0], order[k-1] = order[k-1], order[0]
+			}
+		}
+	}
+	rec(len(order))
+}

@@ -92,6 +92,29 @@ const (
 	// and a logical-clock floor (see store.Snapshot) — answering a
 	// KindJoinReq alongside the KindJoinAck.
 	KindSnapshot
+	// KindQRead is a quorum phase-1 query: the client asks a replica
+	// group member for its highest committed value. In EC, Stamp names
+	// the shard's base manager whose ownership records are wanted.
+	KindQRead
+	// KindQReadAck answers a KindQRead with the member's current value:
+	// in EC, Payload carries the member's replicated ownership records
+	// for the queried shard (lockmgr.EncodeRecords).
+	KindQReadAck
+	// KindQWrite is a quorum phase-2 write-back: the client installs a
+	// value at a replica group member. In EC, Stamp is the commit
+	// sequence to ack, Obj the object, and Ints [owner, version] the
+	// ownership record being committed.
+	KindQWrite
+	// KindQWriteAck acknowledges a KindQWrite; Stamp echoes the commit
+	// sequence. The majority-th ack commits the write.
+	KindQWriteAck
+	// KindCkpt streams a store checkpoint to a replica peer at an epoch
+	// boundary: Obj names the origin process whose state the payload
+	// snapshots, Stamp the origin's clock at checkpoint time. Receivers
+	// vault the freshest blob per origin and serve it back at
+	// rejoin/late-join time, so recovery survives the loss of every
+	// original holder.
+	KindCkpt
 
 	kindMax
 )
@@ -119,6 +142,11 @@ var kindNames = map[Kind]string{
 	KindJoinReq:     "JOIN_REQ",
 	KindJoinAck:     "JOIN_ACK",
 	KindSnapshot:    "SNAPSHOT",
+	KindQRead:       "QREAD",
+	KindQReadAck:    "QREAD_ACK",
+	KindQWrite:      "QWRITE",
+	KindQWriteAck:   "QWRITE_ACK",
+	KindCkpt:        "CKPT",
 }
 
 // String implements fmt.Stringer.
@@ -167,7 +195,7 @@ type Msg struct {
 // "data message" class); everything else is a control message.
 func (m *Msg) IsData() bool {
 	switch m.Kind {
-	case KindData, KindObjReply, KindDiffReply, KindUpdate, KindSnapshot:
+	case KindData, KindObjReply, KindDiffReply, KindUpdate, KindSnapshot, KindCkpt:
 		return true
 	}
 	return false

@@ -170,7 +170,7 @@ func TestReadFrameRejectsHugeLength(t *testing.T) {
 func TestIsData(t *testing.T) {
 	dataKinds := map[Kind]bool{
 		KindData: true, KindObjReply: true, KindDiffReply: true, KindUpdate: true,
-		KindSnapshot: true,
+		KindSnapshot: true, KindCkpt: true,
 	}
 	for k := KindSync; k < kindMax; k++ {
 		m := &Msg{Kind: k}
@@ -186,6 +186,36 @@ func TestKindString(t *testing.T) {
 	}
 	if got := Kind(200).String(); !strings.Contains(got, "200") {
 		t.Errorf("unknown kind String = %q", got)
+	}
+	// Every defined kind must be named: an unnamed kind means a new enum
+	// entry skipped the kindNames table.
+	for k := KindSync; k < kindMax; k++ {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", uint8(k))
+		}
+	}
+}
+
+func TestQuorumKindsRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		{Kind: KindQRead, Src: 4, Dst: 5, Stamp: 2},
+		{Kind: KindQReadAck, Src: 5, Dst: 4, Stamp: 2, Payload: []byte{0, 0, 0, 0}},
+		{Kind: KindQWrite, Src: 1, Dst: 2, Stamp: 7, Obj: 12, Ints: []int64{3, 9}},
+		{Kind: KindQWriteAck, Src: 2, Dst: 1, Stamp: 7},
+		{Kind: KindCkpt, Src: 0, Dst: 3, Stamp: 16, Obj: 0, Payload: []byte("snap")},
+	}
+	for _, m := range msgs {
+		b, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", m.Kind, err)
+		}
+		var got Msg
+		if err := got.UnmarshalBinary(b); err != nil {
+			t.Fatalf("%s: UnmarshalBinary: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(&got, m) {
+			t.Errorf("%s round trip mismatch: got %+v want %+v", m.Kind, got, *m)
+		}
 	}
 }
 
