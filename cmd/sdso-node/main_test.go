@@ -15,4 +15,16 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-peers", "onlyone:1", "-id", "0"}); err == nil {
 		t.Error("single peer accepted")
 	}
+	if err := run([]string{"-peers", "a:1,b:2", "-id", "0", "-heartbeat", "-1s"}); err == nil {
+		t.Error("negative heartbeat interval accepted")
+	}
+	if err := run([]string{"-peers", "a:1,b:2", "-id", "0", "-sendq", "-1"}); err == nil {
+		t.Error("negative send queue cap accepted")
+	}
+	if err := run([]string{"-peers", "a:1,b:2", "-id", "0", "-incarnation", "-2"}); err == nil {
+		t.Error("negative incarnation accepted")
+	}
+	if err := run([]string{"-peers", "a:1,b:2", "-id", "0", "-join"}); err == nil {
+		t.Error("-join without the resilient transport accepted")
+	}
 }

@@ -285,6 +285,12 @@ func (a *analyzer) checkPIDLocal(p int) {
 	objs := make(map[int64]ow)
 	for _, e := range a.h.Procs[p] {
 		switch e.Op {
+		case trace.OpJoined:
+			// A mid-trace join is a crash-restart boundary: the process
+			// resumed from a peer's snapshot, and any suffix of its previous
+			// incarnation may have been rolled back. Tracked state from the
+			// old life is no longer a lower bound, so it restarts here.
+			objs = make(map[int64]ow)
 		case trace.OpWrite:
 			cur := objs[e.Obj]
 			if cur.ver != 0 && e.Ver <= cur.ver {

@@ -113,6 +113,12 @@ func (r *Runtime) Join(incarnation int64) error {
 			if resolved(peer) {
 				continue
 			}
+			if transport.PeerGone(r.ep, peer) {
+				// The transport knows this target's socket is dead past
+				// its reconnect grace — don't burn the budget on it.
+				r.evictPeer(peer)
+				continue
+			}
 			if err := r.send(peer, req.Clone()); err != nil {
 				if errors.Is(err, transport.ErrPeerGone) {
 					r.evictPeer(peer)

@@ -841,6 +841,17 @@ func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSy
 				r.mc.AddSuspect()
 			}
 		}
+		// A straggler the transport has positive evidence against — a
+		// socket broken past its reconnect grace — gets no retransmit
+		// budget: retransmitting into a dead link cannot help, so evict
+		// now. Merely slow peers (the transport reports nothing) keep
+		// the full budget.
+		for _, peer := range targets {
+			if outstanding[peer] && transport.PeerGone(r.ep, peer) {
+				r.evictPeer(peer)
+				delete(outstanding, peer)
+			}
+		}
 		retries++
 		if retries > r.maxRetransmits() {
 			// Iterate the targets slice (not the map) so evictions land
@@ -1414,7 +1425,10 @@ func (r *Runtime) waitReply(to int, req *wire.Msg, obj uint32, stamp int64, appl
 			r.mc.AddSuspect()
 		}
 		retries++
-		if retries > r.maxRetransmits() {
+		if retries > r.maxRetransmits() || transport.PeerGone(r.ep, to) {
+			// Budget exhausted — or the transport already knows the
+			// responder's socket is dead, in which case retransmitting
+			// into the broken link would only delay the eviction.
 			r.evictPeer(to)
 			return fmt.Errorf("core: no reply for obj %d from peer %d after %d retransmits: %w (%w)", obj, to, retries-1, ErrSyncTimeout, ErrEvicted)
 		}

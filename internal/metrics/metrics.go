@@ -85,6 +85,17 @@ func (c *PaddedCounter) Add(n int64) { c.v.Add(n) }
 // Load atomically reads the counter.
 func (c *PaddedCounter) Load() int64 { return c.v.Load() }
 
+// Max atomically raises the counter to n if n is larger — a lock-free
+// high-water mark.
+func (c *PaddedCounter) Max(n int64) {
+	for {
+		cur := c.v.Load()
+		if n <= cur || c.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // padded keeps the Collector's field declarations short.
 type padded = PaddedCounter
 
@@ -126,6 +137,16 @@ type Collector struct {
 	flushes    padded
 	wireBytes  padded
 	piggySyncs padded
+
+	// TCP session-layer resilience counters: sockets re-established after
+	// a loss, heartbeat intervals that passed without any traffic from a
+	// peer, frames shed from full bounded send queues, the deepest any
+	// send queue got, and pending bytes flushed by a graceful Drain.
+	reconnects       padded
+	heartbeatsMissed padded
+	sendqShed        padded
+	sendqDepthPeak   padded
+	drainFlushed     padded
 }
 
 // NewCollector returns an empty collector.
@@ -213,6 +234,27 @@ func (c *Collector) AddFlush() { c.flushes.v.Add(1) }
 // instead of occupying a frame of its own.
 func (c *Collector) AddPiggybackSync() { c.piggySyncs.v.Add(1) }
 
+// AddReconnect records one link re-established after a socket loss (the
+// TCP session layer's reconnect path, including a restarted peer's fresh
+// incarnation replacing a stale socket).
+func (c *Collector) AddReconnect() { c.reconnects.v.Add(1) }
+
+// AddHeartbeatsMissed records n heartbeat intervals that elapsed without
+// any traffic from an idle-probed peer.
+func (c *Collector) AddHeartbeatsMissed(n int) { c.heartbeatsMissed.v.Add(int64(n)) }
+
+// AddSendQShed records one SYNC-class frame shed from a full bounded send
+// queue under the shed-oldest policy.
+func (c *Collector) AddSendQShed() { c.sendqShed.v.Add(1) }
+
+// NoteSendQDepth raises the send-queue high-water mark to depth if it is
+// the deepest observed so far.
+func (c *Collector) NoteSendQDepth(depth int) { c.sendqDepthPeak.Max(int64(depth)) }
+
+// AddDrainFlushedBytes records n pending bytes that a graceful Drain put
+// on the wire before half-closing.
+func (c *Collector) AddDrainFlushedBytes(n int) { c.drainFlushed.v.Add(int64(n)) }
+
 // SetExecTime records the process's total execution time (its clock at
 // completion).
 func (c *Collector) SetExecTime(d time.Duration) { c.execTime.Store(int64(d)) }
@@ -245,6 +287,12 @@ func (c *Collector) Snapshot() Snapshot {
 		Flushes:          int(c.flushes.v.Load()),
 		WireBytes:        int(c.wireBytes.v.Load()),
 		PiggybackedSyncs: int(c.piggySyncs.v.Load()),
+
+		Reconnects:        int(c.reconnects.v.Load()),
+		HeartbeatsMissed:  int(c.heartbeatsMissed.v.Load()),
+		SendQShed:         int(c.sendqShed.v.Load()),
+		SendQDepthPeak:    int(c.sendqDepthPeak.v.Load()),
+		DrainFlushedBytes: int(c.drainFlushed.v.Load()),
 	}
 	for k := wire.KindSync; int(k) < wire.NumKinds; k++ {
 		if n := c.msgsSent[k].v.Load(); n != 0 {
@@ -295,6 +343,14 @@ type Snapshot struct {
 	Flushes          int
 	WireBytes        int
 	PiggybackedSyncs int
+	// TCP session-layer resilience counters: reconnects completed,
+	// heartbeat intervals missed, frames shed from full send queues, the
+	// send-queue depth high-water mark, and bytes flushed by Drain.
+	Reconnects        int
+	HeartbeatsMissed  int
+	SendQShed         int
+	SendQDepthPeak    int
+	DrainFlushedBytes int
 }
 
 // DataMsgs returns the number of data messages sent (paper Figure 7).
@@ -488,6 +544,53 @@ func (g Group) PiggybackedSyncs() int {
 	n := 0
 	for _, s := range g.Procs {
 		n += s.PiggybackedSyncs
+	}
+	return n
+}
+
+// Reconnects sums re-established links across processes.
+func (g Group) Reconnects() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.Reconnects
+	}
+	return n
+}
+
+// HeartbeatsMissed sums missed heartbeat intervals across processes.
+func (g Group) HeartbeatsMissed() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.HeartbeatsMissed
+	}
+	return n
+}
+
+// SendQShed sums frames shed from full send queues across processes.
+func (g Group) SendQShed() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.SendQShed
+	}
+	return n
+}
+
+// SendQDepthPeak returns the deepest send queue observed at any process.
+func (g Group) SendQDepthPeak() int {
+	n := 0
+	for _, s := range g.Procs {
+		if s.SendQDepthPeak > n {
+			n = s.SendQDepthPeak
+		}
+	}
+	return n
+}
+
+// DrainFlushedBytes sums gracefully drained bytes across processes.
+func (g Group) DrainFlushedBytes() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.DrainFlushedBytes
 	}
 	return n
 }

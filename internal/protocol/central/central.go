@@ -115,7 +115,11 @@ func RunServer(cfg ServerConfig) error {
 			}
 		case m.Kind == wire.KindData && m.Mode == modeIntent:
 			verdict := verdictRejected
-			if applyIntent(cfg.Game, st, goal, m) {
+			// First-to-goal races crown exactly one winner: once somebody
+			// has won, later intents are rejected outright so a second
+			// goal claim in flight cannot also be accepted.
+			raceDone := cfg.Game.EndOnFirstGoal && gameOver
+			if !raceDone && applyIntent(cfg.Game, st, goal, m) {
 				verdict = verdictAccepted
 			}
 			if intentReachesGoal(cfg.Game, st, goal, m) && verdict == verdictAccepted {

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdso/internal/metrics"
@@ -19,6 +21,33 @@ const (
 	// tcpCloseGrace bounds how long Close waits for peers to finish
 	// sending.
 	tcpCloseGrace = 2 * time.Second
+	// tcpReconnectGrace is how long a broken resilient link keeps queueing
+	// sends while the reconnect machinery works, before the peer is
+	// declared gone.
+	tcpReconnectGrace = 5 * time.Second
+	// tcpHeartbeatMisses is the default miss budget: a link idle for more
+	// than (misses+1) heartbeat intervals is torn down.
+	tcpHeartbeatMisses = 3
+	// tcpSendQueueFrames / tcpSendQueueBytes bound a resilient peer's send
+	// queue when the config leaves the caps zero.
+	tcpSendQueueFrames = 1024
+	tcpSendQueueBytes  = 8 << 20
+)
+
+// QueuePolicy selects what a resilient endpoint does when a peer's send
+// queue is full.
+type QueuePolicy int
+
+const (
+	// QueueBlock makes Send wait for queue space — natural backpressure at
+	// the protocols' exchange barriers.
+	QueueBlock QueuePolicy = iota
+	// QueueShedOldest drops the oldest sheddable frame (SYNC-class
+	// control traffic: SYNC rendezvous markers and PING/PONG probes,
+	// which the runtime retransmits or regenerates) to make room, and
+	// blocks only when the queue holds nothing sheddable. Data frames are
+	// never shed.
+	QueueShedOldest
 )
 
 // TCPConfig tunes the TCP transport's timing and write batching. The zero
@@ -41,8 +70,67 @@ type TCPConfig struct {
 	FlushThreshold int
 	// Metrics, when non-nil, counts physical frames, wire bytes, and
 	// flushes at this endpoint (metrics.Snapshot's FramesSent /
-	// WireBytes / Flushes).
+	// WireBytes / Flushes), plus the resilience counters (Reconnects,
+	// HeartbeatsMissed, SendQShed, SendQDepthPeak, DrainFlushedBytes).
 	Metrics *metrics.Collector
+
+	// --- Resilience (the session layer) -------------------------------
+	//
+	// Setting any of the fields below switches the endpoint from the
+	// legacy fixed mesh (dial once, a broken socket is a permanent
+	// ErrPeerGone) to the resilient session layer: a symmetric
+	// incarnation-stamped handshake, background reconnect with jittered
+	// exponential backoff, per-peer bounded send queues drained by writer
+	// goroutines, and optional liveness heartbeats. All zero keeps the
+	// legacy behavior byte-for-byte (the bench parity baseline).
+
+	// Reconnect enables the session layer. On connection loss the
+	// higher-id side of the link redials with jittered backoff while the
+	// lower-id side re-accepts; sends queue for ReconnectGrace before the
+	// peer is declared gone, and a later connection bearing an equal or
+	// higher incarnation resurrects the link (the rejoin path).
+	Reconnect bool
+	// ReconnectGrace is how long a broken link keeps queueing sends while
+	// reconnecting before Send starts returning ErrPeerGone (and
+	// PeerGone reports true to the failure detector). Zero selects 5s.
+	ReconnectGrace time.Duration
+	// BackoffBase/BackoffMax bound the jittered exponential redial
+	// schedule (zero: 10ms/500ms); BackoffSeed decorrelates the jitter.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	BackoffSeed uint64
+	// HeartbeatInterval enables liveness probing: a link idle for the
+	// interval gets a PING, and a link idle past HeartbeatMisses+1
+	// intervals is torn down (feeding the reconnect machinery, and
+	// ultimately the runtime's suspicion/eviction). Zero disables
+	// heartbeats. Implies the session layer.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the miss budget before teardown (zero: 3).
+	HeartbeatMisses int
+	// SendQueueFrames/SendQueueBytes cap each peer's send queue in the
+	// session layer (zero: 1024 frames / 8 MiB). A full queue applies
+	// SendQueuePolicy. Setting either implies the session layer.
+	SendQueueFrames int
+	SendQueueBytes  int
+	// SendQueuePolicy picks between blocking (default) and shedding
+	// SYNC-class frames when a peer's queue is full.
+	SendQueuePolicy QueuePolicy
+	// Incarnation is this process's life number, presented in the
+	// handshake; a restarted process presents a higher incarnation so
+	// peers close stale sockets in its favor. Zero selects 1.
+	Incarnation int64
+	// ListenAddr, when non-empty, overrides addrs[id] as the local listen
+	// address while peers are still dialed at addrs[peer]. This lets a
+	// chaos proxy front every node: addrs carries proxy addresses, and
+	// each node listens on its real backend address.
+	ListenAddr string
+}
+
+// resilient reports whether any session-layer feature is configured; the
+// session layer is all-or-nothing (every node of a mesh must agree).
+func (c TCPConfig) resilient() bool {
+	return c.Reconnect || c.HeartbeatInterval > 0 ||
+		c.SendQueueFrames > 0 || c.SendQueueBytes > 0
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -51,6 +139,24 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.CloseGrace <= 0 {
 		c.CloseGrace = tcpCloseGrace
+	}
+	if c.resilient() {
+		c.Reconnect = true
+		if c.ReconnectGrace <= 0 {
+			c.ReconnectGrace = tcpReconnectGrace
+		}
+		if c.HeartbeatMisses <= 0 {
+			c.HeartbeatMisses = tcpHeartbeatMisses
+		}
+		if c.SendQueueFrames <= 0 {
+			c.SendQueueFrames = tcpSendQueueFrames
+		}
+		if c.SendQueueBytes <= 0 {
+			c.SendQueueBytes = tcpSendQueueBytes
+		}
+		if c.Incarnation <= 0 {
+			c.Incarnation = 1
+		}
 	}
 	return c
 }
@@ -63,6 +169,7 @@ type TCPEndpoint struct {
 	id    int
 	n     int
 	cfg   TCPConfig
+	addrs []string // peer listen addresses, for the reconnect dialer
 	start time.Time
 	ln    net.Listener
 
@@ -71,16 +178,70 @@ type TCPEndpoint struct {
 	queue  []*wire.Msg
 	closed bool
 
+	// closing and done mirror `closed` for paths that cannot take e.mu:
+	// per-peer writer/redial loops observe closing via the atomic and
+	// interrupt their sleeps on the channel.
+	closing atomic.Bool
+	done    chan struct{}
+
 	peers []*tcpPeer // index by peer id; nil at own index
 	wg    sync.WaitGroup
 }
 
 type tcpPeer struct {
-	mu       sync.Mutex // serializes frame writes
+	id   int
+	mu   sync.Mutex // guards every field below
+	cond *sync.Cond // link/queue state changes (session layer)
+
 	conn     net.Conn
 	bw       *bufio.Writer
-	dead     bool // peer hung up; subsequent sends are dropped
+	dead     bool // peer hung up; subsequent sends are dropped (legacy mesh)
 	departed bool // peer announced DONE before hanging up (legitimate exit)
+
+	// Session-layer state (TCPConfig.resilient() only).
+	gen       int   // connection generation; bumped by every adopt
+	inc       int64 // highest incarnation seen from this peer
+	gone      bool  // reconnect grace expired; sends fail with ErrPeerGone
+	redialing bool  // a redial loop for this link is running
+	draining  bool  // Drain began; new sends are rejected
+	q         []sendEntry
+	qBytes    int
+	inflight  bool // the writer popped a frame and is writing/flushing it
+	hbMiss    int
+	pingSeq   int64
+	lastRecv  atomic.Int64 // UnixNano of the last frame read from this peer
+
+	// Session resumption state: the link is a reliable FIFO channel across
+	// socket generations within one (local, remote) incarnation pair. Data
+	// frames are counted on both ends; written-but-unacknowledged frames are
+	// retained and replayed after a reconnect from the count the peer
+	// advertises in its hello. A fresh incarnation starts a new session with
+	// all counters at zero (the old incarnation's frames died with it — the
+	// Join path resynchronizes state wholesale instead).
+	sentSeq     int64       // data frames written to any socket this session
+	ackedSeq    int64       // frames the peer has confirmed receiving
+	retain      []sendEntry // frames sentSeq covers beyond ackedSeq, oldest first
+	retainBytes int
+	recvSeq     int64 // data frames received from the peer this session
+	ackSent     int64 // recvSeq as last advertised to the peer
+}
+
+// sendEntry is one queued, fully encoded (length-prefixed) frame. Control
+// frames (PING/PONG, hellos) are link-local: they are neither counted nor
+// retained by the resumption machinery and die with the socket.
+type sendEntry struct {
+	buf  []byte
+	kind wire.Kind
+	ctrl bool
+}
+
+// sheddable reports whether a queued frame may be dropped under
+// QueueShedOldest: SYNC rendezvous markers are retransmitted by the
+// runtime's failure detector and PING/PONG probes are regenerated every
+// interval, so losing one costs latency, never correctness. Everything
+// else (data, lock traffic, join/checkpoint frames) blocks instead.
+func sheddable(k wire.Kind) bool {
+	return k == wire.KindSync || k == wire.KindPing || k == wire.KindPong
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
@@ -101,19 +262,32 @@ func DialTCPConfig(id int, addrs []string, cfg TCPConfig) (*TCPEndpoint, error) 
 		return nil, fmt.Errorf("transport: node id %d out of range for %d addrs", id, n)
 	}
 	cfg = cfg.withDefaults()
-	ln, err := net.Listen("tcp", addrs[id])
+	listen := addrs[id]
+	if cfg.ListenAddr != "" {
+		listen = cfg.ListenAddr
+	}
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
-		return nil, fmt.Errorf("listen %s: %w", addrs[id], err)
+		return nil, fmt.Errorf("listen %s: %w", listen, err)
 	}
 	e := &TCPEndpoint{
 		id:    id,
 		n:     n,
 		cfg:   cfg,
+		addrs: append([]string(nil), addrs...),
 		start: time.Now(),
 		ln:    ln,
+		done:  make(chan struct{}),
 		peers: make([]*tcpPeer, n),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if cfg.resilient() {
+		if err := e.startSession(); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
 
 	errc := make(chan error, 2)
 	var setup sync.WaitGroup
@@ -149,7 +323,7 @@ func DialTCPConfig(id int, addrs []string, cfg TCPConfig) (*TCPEndpoint, error) 
 	go func() {
 		defer setup.Done()
 		for peer := 0; peer < id; peer++ {
-			conn, err := dialRetry(addrs[peer], cfg.DialTimeout)
+			conn, err := dialRetry(addrs[peer], cfg.DialTimeout, cfg.BackoffSeed^uint64(id))
 			if err != nil {
 				errc <- fmt.Errorf("dial peer %d (%s): %w", peer, addrs[peer], err)
 				return
@@ -174,8 +348,12 @@ func DialTCPConfig(id int, addrs []string, cfg TCPConfig) (*TCPEndpoint, error) 
 	return e, nil
 }
 
-func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+// dialRetry dials addr until it answers or the timeout expires, pacing
+// attempts with the same jittered exponential backoff the reconnect path
+// uses — one retry policy for startup and recovery.
+func dialRetry(addr string, timeout time.Duration, seed uint64) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
+	bo := Backoff{Seed: seed ^ hashString(addr)}
 	var lastErr error
 	for time.Now().Before(deadline) {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
@@ -183,7 +361,7 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(bo.Next())
 	}
 	return nil, lastErr
 }
@@ -192,7 +370,8 @@ func (e *TCPEndpoint) addPeer(peer int, conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
-	p := &tcpPeer{conn: conn, bw: bufio.NewWriter(conn)}
+	p := &tcpPeer{id: peer, conn: conn, bw: bufio.NewWriter(conn)}
+	p.cond = sync.NewCond(&p.mu)
 	e.mu.Lock()
 	e.peers[peer] = p
 	e.mu.Unlock()
@@ -210,7 +389,20 @@ func (e *TCPEndpoint) readLoop(p *tcpPeer) {
 		m := wire.GetMsg()
 		if err := wire.ReadFrame(br, m); err != nil {
 			wire.PutMsg(m)
-			return // peer closed or endpoint shutting down
+			if !errors.Is(err, io.EOF) {
+				// Anything but a clean end-of-stream — a truncated,
+				// oversized, or garbage frame, or a reset — leaves the
+				// stream unparseable: close the link so the peer is
+				// suspected (ErrPeerGone on the next send) instead of
+				// lingering half-alive behind a silently stopped reader.
+				p.mu.Lock()
+				if !p.dead {
+					p.dead = true
+					_ = p.conn.Close()
+				}
+				p.mu.Unlock()
+			}
+			return // peer closed, sent garbage, or endpoint shutting down
 		}
 		if m.Kind == wire.KindDone {
 			// The peer announced completion: a subsequent hang-up is a
@@ -295,8 +487,20 @@ func (e *TCPEndpoint) Send(to int, m *wire.Msg) error {
 		return err
 	}
 	m.Src, m.Dst = int32(e.id), int32(to)
+	if e.cfg.Reconnect {
+		enc, err := wire.EncodeFrame(m)
+		if err != nil {
+			return err
+		}
+		buf := append([]byte(nil), enc.Frame()...)
+		enc.Release()
+		return e.enqueue(p, buf, m.Kind)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.draining {
+		return ErrClosed
+	}
 	if p.dead {
 		return p.brokenLocked()
 	}
@@ -324,8 +528,18 @@ func (e *TCPEndpoint) SendEncoded(to int, enc *wire.Encoded, m *wire.Msg) error 
 	m.Src, m.Dst = int32(e.id), int32(to)
 	enc.SetSrc(int32(e.id))
 	enc.SetDst(int32(to))
+	if e.cfg.Reconnect {
+		// The caller serializes destinations, so patch-then-copy on the
+		// shared bytes is safe; the queue needs its own copy because the
+		// caller releases enc when the fanout returns.
+		buf := append([]byte(nil), enc.Frame()...)
+		return e.enqueue(p, buf, m.Kind)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.draining {
+		return ErrClosed
+	}
 	if p.dead {
 		return p.brokenLocked()
 	}
@@ -351,6 +565,12 @@ func (e *TCPEndpoint) SendMany(dsts []int, m *wire.Msg) error {
 // the wire. The runtime calls it as a barrier at the end of each exchange
 // round and before blocking in a receive loop.
 func (e *TCPEndpoint) Flush() error {
+	if e.cfg.Reconnect {
+		// The session layer's per-peer writers flush whenever their queue
+		// drains (flush-on-idle), so the barrier has nothing to do — and
+		// must not touch the bufio writers the writer goroutines own.
+		return nil
+	}
 	e.mu.Lock()
 	peers := make([]*tcpPeer, len(e.peers))
 	copy(peers, e.peers)
@@ -438,9 +658,14 @@ func (e *TCPEndpoint) TryRecv() (*wire.Msg, bool, error) {
 // Now implements Endpoint; it reports wall time since the endpoint started.
 func (e *TCPEndpoint) Now() time.Duration { return time.Since(e.start) }
 
-// Compute implements Endpoint; real computation takes real time, so this is
-// a no-op.
-func (e *TCPEndpoint) Compute(time.Duration) {}
+// Compute implements Endpoint. The simulator advances its virtual clock by
+// d; on real sockets the faithful equivalent is to actually spend the time,
+// so modeled per-tick application work paces real-time runs too.
+func (e *TCPEndpoint) Compute(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
 
 // Close implements Endpoint: it tears down every link and unblocks Recv.
 //
@@ -460,6 +685,11 @@ func (e *TCPEndpoint) Close() error {
 	peers := make([]*tcpPeer, len(e.peers))
 	copy(peers, e.peers)
 	e.mu.Unlock()
+
+	if e.cfg.Reconnect {
+		e.closeSession(peers)
+		return nil
+	}
 
 	for _, p := range peers {
 		if p == nil {
@@ -492,4 +722,144 @@ func (e *TCPEndpoint) Close() error {
 	}
 	e.wg.Wait()
 	return nil
+}
+
+// Drain gracefully quiesces the endpoint ahead of Close: new sends are
+// rejected with ErrClosed, every queued and buffered frame is given
+// CloseGrace to reach the wire, and each link's write side is then
+// half-closed (FIN) so peers see a clean end-of-stream instead of a
+// connection cut mid-write. It returns the number of payload bytes that
+// were still pending when Drain began and made it out (also recorded in
+// the DrainFlushedBytes metric). The read side stays open — late inbound
+// frames still deliver — until Close.
+//
+// cmd/sdso-node wires Drain to SIGINT/SIGTERM.
+func (e *TCPEndpoint) Drain() (int, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	peers := make([]*tcpPeer, len(e.peers))
+	copy(peers, e.peers)
+	e.mu.Unlock()
+
+	pending := 0
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.draining = true
+		pending += p.qBytes
+		if !e.cfg.Reconnect && !p.dead {
+			pending += p.bw.Buffered()
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+
+	var errs []error
+	flushed := pending
+	if e.cfg.Reconnect {
+		e.awaitQuiescent(peers, time.Now().Add(e.cfg.CloseGrace))
+	}
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if e.cfg.Reconnect {
+			flushed -= p.qBytes // still queued: the link never came back
+		} else if !p.dead {
+			before := p.bw.Buffered()
+			if err := p.bw.Flush(); err != nil {
+				flushed -= before
+				if err := p.brokenLocked(); err != nil {
+					errs = append(errs, fmt.Errorf("drain to %d: %w", p.id, err))
+				}
+			} else if e.cfg.Metrics != nil && before > 0 {
+				e.cfg.Metrics.AddFlush()
+			}
+		}
+		if p.conn != nil && !p.dead {
+			if tc, ok := p.conn.(*net.TCPConn); ok {
+				_ = tc.CloseWrite()
+			}
+		}
+		p.mu.Unlock()
+	}
+	if flushed < 0 {
+		flushed = 0
+	}
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.AddDrainFlushedBytes(flushed)
+	}
+	return flushed, errors.Join(errs...)
+}
+
+// Abort tears the endpoint down instantly: no queue drain, no flush, no
+// FIN handshake — pending frames are discarded and every socket is cut
+// with an RST where the platform honors SO_LINGER(0). It is the in-process
+// stand-in for SIGKILL, letting crash tests over real sockets model a
+// process that died mid-write.
+func (e *TCPEndpoint) Abort() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	peers := make([]*tcpPeer, len(e.peers))
+	copy(peers, e.peers)
+	e.mu.Unlock()
+
+	e.closing.Store(true)
+	close(e.done)
+	_ = e.ln.Close()
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if p.conn != nil {
+			if tc, ok := p.conn.(*net.TCPConn); ok {
+				_ = tc.SetLinger(0)
+			}
+			_ = p.conn.Close()
+		}
+		p.dead = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	e.wg.Wait()
+}
+
+// PeerGone implements LivenessReporter: it reports whether the transport
+// has positive evidence that peer's process is unreachable — a broken
+// socket in the legacy mesh, or a link down past the reconnect grace in
+// the session layer. A peer that announced DONE departed legitimately and
+// is never reported gone. The runtime uses this to distinguish a dead
+// socket (evict now) from a merely slow peer (spend the full retransmit
+// budget).
+func (e *TCPEndpoint) PeerGone(peer int) bool {
+	if peer < 0 || peer >= e.n || peer == e.id {
+		return false
+	}
+	e.mu.Lock()
+	p := e.peers[peer]
+	e.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.departed {
+		return false
+	}
+	if e.cfg.Reconnect {
+		return p.gone
+	}
+	return p.dead
 }

@@ -126,6 +126,18 @@ type Flusher interface {
 	Flush() error
 }
 
+// LivenessReporter is an optional Endpoint capability: transports with
+// their own connectivity signal (broken sockets, expired reconnect grace)
+// report positive evidence that a peer's process is unreachable. False
+// means "no evidence", not "alive" — in-memory and simulated transports
+// never report anyone gone. Failure detectors use it to short-circuit
+// their timeout budget for peers the transport already knows are dead,
+// which is what separates a dead socket from a merely slow peer on real
+// TCP.
+type LivenessReporter interface {
+	PeerGone(peer int) bool
+}
+
 // Recycler is an optional Endpoint capability: receivers hand fully
 // consumed messages back to the transport's free-list so steady-state
 // receive paths stop allocating. Only endpoints whose delivered messages
@@ -170,6 +182,16 @@ func Recycle(ep Endpoint, m *wire.Msg) {
 	if r, ok := ep.(Recycler); ok {
 		r.Recycle(m)
 	}
+}
+
+// PeerGone reports whether the endpoint has positive evidence that peer's
+// process is unreachable; endpoints without a liveness signal report
+// false for everyone.
+func PeerGone(ep Endpoint, peer int) bool {
+	if lr, ok := ep.(LivenessReporter); ok {
+		return lr.PeerGone(peer)
+	}
+	return false
 }
 
 // Broadcast sends m to every process in the group except the sender. It is

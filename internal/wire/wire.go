@@ -64,7 +64,11 @@ const (
 	// KindShutdown tells service processes to exit.
 	KindShutdown
 	// KindHello is the TCP transport handshake announcing the sender's
-	// node ID (Stamp).
+	// node ID (Stamp). Resilient endpoints (TCPConfig.Reconnect) extend
+	// it with Ints = [incarnation, connection generation]: a rejoining
+	// process presents a higher incarnation, which evicts any stale
+	// socket still installed for its ID, and both sides exchange hellos
+	// instead of the legacy dialer-only announcement.
 	KindHello
 	// KindCrash announces that the node named by Stamp is presumed
 	// crashed (fail-stop). Receivers purge its locks, fail its shard of
@@ -115,6 +119,15 @@ const (
 	// rejoin/late-join time, so recovery survives the loss of every
 	// original holder.
 	KindCkpt
+	// KindPing is a transport-level liveness probe sent on an idle TCP
+	// link; Stamp carries the sender's probe sequence. It is answered by
+	// KindPong and consumed inside the transport — protocols never see
+	// either kind.
+	KindPing
+	// KindPong answers a KindPing, echoing its Stamp. Any traffic counts
+	// as liveness evidence; PONG merely guarantees an idle-but-healthy
+	// link produces some.
+	KindPong
 
 	kindMax
 )
@@ -147,6 +160,8 @@ var kindNames = map[Kind]string{
 	KindQWrite:      "QWRITE",
 	KindQWriteAck:   "QWRITE_ACK",
 	KindCkpt:        "CKPT",
+	KindPing:        "PING",
+	KindPong:        "PONG",
 }
 
 // String implements fmt.Stringer.
