@@ -66,3 +66,9 @@ func BenchmarkBroadcastFanoutPerPeer16(b *testing.B) { benchsuite.BroadcastFanou
 func BenchmarkTCPLoopbackExchange(b *testing.B) { benchsuite.TCPLoopbackExchange(b) }
 
 func BenchmarkFramesPerExchange(b *testing.B) { benchsuite.FramesPerExchange(b) }
+
+func BenchmarkDeltaBytesPerExchange(b *testing.B) { benchsuite.DeltaBytesPerExchange(b) }
+
+func BenchmarkDeltaGamesPerSec64(b *testing.B) { benchsuite.DeltaGamesPerSec64(b) }
+
+func BenchmarkDeltaGamesPerSec128(b *testing.B) { benchsuite.DeltaGamesPerSec128(b) }

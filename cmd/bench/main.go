@@ -8,12 +8,19 @@
 //
 //	go run ./cmd/bench
 //
+// The delta-exchange suite writes its own trajectory file so the PR4
+// baseline stays byte-stable; regenerate BENCH_PR8.json with:
+//
+//	go run ./cmd/bench -suite delta
+//
 // Flags:
 //
-//	-o file     output path (default BENCH_PR4.json)
+//	-suite name which suite to run: "all" (default; BENCH_PR4.json) or
+//	            "delta" (BENCH_PR8.json)
+//	-o file     output path (default depends on -suite)
 //	-run substr only benchmarks whose name contains substr
 //	-q          quiet: no per-benchmark progress on stderr
-//	-check      verify the trajectory file covers the current suite
+//	-check      verify the trajectory file covers the selected suite
 //	            (exists and has a result for every benchmark) without
 //	            running anything; CI fails the build on a stale file
 package main
@@ -62,15 +69,23 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("o", "BENCH_PR4.json", "output path for the trajectory JSON")
+	suiteName := fs.String("suite", "all", `which suite to run: "all" or "delta"`)
+	out := fs.String("o", "", "output path for the trajectory JSON (default depends on -suite)")
 	match := fs.String("run", "", "only benchmarks whose name contains this substring")
 	quiet := fs.Bool("q", false, "suppress per-benchmark progress on stderr")
-	check := fs.Bool("check", false, "verify the trajectory file covers the current suite; run nothing")
+	check := fs.Bool("check", false, "verify the trajectory file covers the selected suite; run nothing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	suite, defaultOut, err := selectSuite(*suiteName)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		*out = defaultOut
+	}
 	if *check {
-		return checkTrajectory(*out)
+		return checkTrajectory(*out, suite)
 	}
 
 	traj := trajectory{
@@ -80,7 +95,7 @@ func run(args []string) error {
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
 	}
-	for _, bench := range benchsuite.All() {
+	for _, bench := range suite {
 		if *match != "" && !strings.Contains(bench.Name, *match) {
 			continue
 		}
@@ -124,11 +139,24 @@ func run(args []string) error {
 	return nil
 }
 
+// selectSuite resolves a -suite name to its benchmark list and default
+// trajectory file.
+func selectSuite(name string) ([]benchsuite.Bench, string, error) {
+	switch name {
+	case "all":
+		return benchsuite.All(), "BENCH_PR4.json", nil
+	case "delta":
+		return benchsuite.Delta(), "BENCH_PR8.json", nil
+	default:
+		return nil, "", fmt.Errorf("unknown suite %q (want \"all\" or \"delta\")", name)
+	}
+}
+
 // checkTrajectory verifies that the checked-in trajectory file is not stale
-// relative to the suite: it must exist, parse, and hold a result for every
-// benchmark benchsuite.All() currently lists. A new or renamed benchmark
+// relative to the selected suite: it must exist, parse, and hold a result
+// for every benchmark the suite currently lists. A new or renamed benchmark
 // without a regenerated file fails the check (and CI with it).
-func checkTrajectory(path string) error {
+func checkTrajectory(path string, suite []benchsuite.Bench) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("trajectory file missing (regenerate with `go run ./cmd/bench`): %w", err)
@@ -142,7 +170,7 @@ func checkTrajectory(path string) error {
 		have[r.Name] = true
 	}
 	var missing []string
-	for _, bench := range benchsuite.All() {
+	for _, bench := range suite {
 		if !have[bench.Name] {
 			missing = append(missing, bench.Name)
 		}
@@ -151,6 +179,6 @@ func checkTrajectory(path string) error {
 		return fmt.Errorf("%s is stale: missing benchmarks %s (regenerate with `go run ./cmd/bench`)",
 			path, strings.Join(missing, ", "))
 	}
-	fmt.Printf("%s covers all %d suite benchmarks\n", path, len(benchsuite.All()))
+	fmt.Printf("%s covers all %d suite benchmarks\n", path, len(suite))
 	return nil
 }

@@ -27,7 +27,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdso-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, blocking, datasize, quorum, resilience, or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, blocking, datasize, quorum, delta, resilience, or all")
 	rng := fs.Int("range", 0, "tank visibility range (1 or 3); 0 means both")
 	seeds := fs.Int("seeds", 3, "number of game seeds to average over")
 	maxTicks := fs.Int("ticks", 200, "game horizon in logical ticks")
@@ -110,6 +110,16 @@ func run(args []string) error {
 		}
 		fmt.Println(harness.RenderQuorum(rows))
 	}
+	// The delta panel sweeps the delta-encoded exchange path (plain vs
+	// delta + tick batching) across n up to 128 on the same simulated
+	// cluster as Figures 5-8.
+	if want("delta") {
+		rows, err := harness.DeltaAnalysis(nil, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderDelta(rows))
+	}
 	// The resilience panel runs over real loopback sockets (not the
 	// simulator) with chaos proxies killing every connection, so it is
 	// opt-in rather than part of -fig all.
@@ -122,9 +132,9 @@ func run(args []string) error {
 	}
 
 	switch *fig {
-	case "all", "5", "6", "7", "8", "blocking", "datasize", "quorum", "resilience":
+	case "all", "5", "6", "7", "8", "blocking", "datasize", "quorum", "delta", "resilience":
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 5, 6, 7, 8, blocking, datasize, quorum, resilience, or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 5, 6, 7, 8, blocking, datasize, quorum, delta, resilience, or all)", *fig)
 	}
 }

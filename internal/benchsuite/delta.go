@@ -1,0 +1,135 @@
+// Delta-exchange benchmarks (delta-encoded records plus tick batching):
+// wire bytes per exchange slot with the encoding off and on, and
+// end-to-end throughput at cluster scale. The checked-in BENCH_PR8.json
+// records their trajectory; regenerate it with
+// `go run ./cmd/bench -suite delta`. The suite is deliberately separate
+// from All() so the PR4 baseline file stays byte-stable.
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"sdso/internal/game"
+	"sdso/internal/harness"
+	"sdso/internal/metrics"
+	"sdso/internal/protocol/lookahead"
+	"sdso/internal/transport"
+)
+
+// Delta lists the delta-exchange suite in report order.
+func Delta() []Bench {
+	return []Bench{
+		{"DeltaBytesPerExchange", DeltaBytesPerExchange},
+		{"DeltaGamesPerSec64", DeltaGamesPerSec64},
+		{"DeltaGamesPerSec128", DeltaGamesPerSec128},
+	}
+}
+
+// deltaBatchTicks is the batching factor the delta cells run with; it
+// matches the EXPERIMENTS.md panel and the checked-oracle matrix.
+const deltaBatchTicks = 4
+
+// deltaTicks keeps the sweep cells comparable: every cell plays the same
+// fixed number of ticks, so bytes divide by an identical slot count on
+// the off and on sides.
+const deltaTicks = 60
+
+// deltaCell runs one BSYNC game on the simulated cluster at n processes
+// and returns the wire bytes per exchange slot (one slot = one
+// process-tick) and the Figure-5 normalized time in ms per modification.
+func deltaCell(b testing.TB, n int, on bool) (bytesPerX, msPerMod float64) {
+	b.Helper()
+	g := game.DefaultConfig(n, 1)
+	g.MaxTicks = deltaTicks
+	cfg := harness.Config{Game: g, Protocol: harness.BSYNC}
+	if on {
+		cfg.DeltaEncode = true
+		cfg.MaxBatchTicks = deltaBatchTicks
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bytes, ticks := 0, 0
+	for _, s := range res.Metrics.Procs {
+		bytes += s.BytesSent
+		ticks += s.Ticks
+	}
+	if ticks == 0 {
+		b.Fatal("delta cell played no ticks")
+	}
+	return float64(bytes) / float64(ticks), harness.MetricNormalizedTime(res)
+}
+
+// DeltaBytesPerExchange sweeps the delta-off/delta-on comparison across
+// n ∈ {16, 64, 128}: wire bytes per exchange slot, the Figure-5
+// normalized time, and the percentage reduction delta encoding plus
+// batching buys at each scale.
+func DeltaBytesPerExchange(b *testing.B) {
+	b.ReportAllocs()
+	ns := []int{16, 64, 128}
+	type cell struct{ offB, onB, offMs, onMs float64 }
+	cells := make([]cell, len(ns))
+	for i := 0; i < b.N; i++ {
+		for k, n := range ns {
+			offB, offMs := deltaCell(b, n, false)
+			onB, onMs := deltaCell(b, n, true)
+			cells[k] = cell{offB, onB, offMs, onMs}
+		}
+	}
+	for k, n := range ns {
+		c := cells[k]
+		b.ReportMetric(c.offB, fmt.Sprintf("n%d_wirebytes/exchange_plain", n))
+		b.ReportMetric(c.onB, fmt.Sprintf("n%d_wirebytes/exchange_delta", n))
+		b.ReportMetric(c.offMs, fmt.Sprintf("n%d_msmod_plain", n))
+		b.ReportMetric(c.onMs, fmt.Sprintf("n%d_msmod_delta", n))
+		if c.offB > 0 {
+			b.ReportMetric((1-c.onB/c.offB)*100, fmt.Sprintf("n%d_bytes_reduction_pct", n))
+		}
+	}
+}
+
+// deltaGamesPerSec plays full BSYNC games with delta encoding and tick
+// batching on over the in-memory transport — real goroutine concurrency
+// end to end through the runtime, protocol, and transport layers — and
+// reports wall-clock games per second at cluster scale.
+func deltaGamesPerSec(b *testing.B, n, ticks int) {
+	cfg := game.DefaultConfig(n, 1)
+	cfg.MaxTicks = ticks
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := transport.NewMemNetwork(n)
+		errc := make(chan error, n)
+		for t := 0; t < n; t++ {
+			t := t
+			go func() {
+				_, err := lookahead.RunPlayer(lookahead.PlayerConfig{
+					Game:          cfg,
+					Protocol:      lookahead.BSYNC,
+					Endpoint:      net.Endpoint(t),
+					Metrics:       metrics.NewCollector(),
+					DeltaEncode:   true,
+					MaxBatchTicks: deltaBatchTicks,
+				})
+				errc <- err
+			}()
+		}
+		for t := 0; t < n; t++ {
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.Close()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "games/sec")
+	}
+}
+
+// DeltaGamesPerSec64 measures end-to-end throughput at 64 processes.
+func DeltaGamesPerSec64(b *testing.B) { deltaGamesPerSec(b, 64, 30) }
+
+// DeltaGamesPerSec128 measures end-to-end throughput at 128 processes.
+func DeltaGamesPerSec128(b *testing.B) { deltaGamesPerSec(b, 128, 20) }

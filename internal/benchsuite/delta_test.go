@@ -1,0 +1,23 @@
+package benchsuite
+
+import "testing"
+
+// TestDeltaBytesReductionAtLeast30Pct pins the delta PR's headline
+// acceptance number: with delta encoding and tick batching on, a BSYNC
+// game at 16 processes must put at least 30% fewer wire bytes per
+// exchange slot on the network than the identical game with the
+// encoding off. The full sweep (n=64, n=128) lives in BENCH_PR8.json;
+// this test keeps the smallest cell's guarantee from regressing
+// silently.
+func TestDeltaBytesReductionAtLeast30Pct(t *testing.T) {
+	off, _ := deltaCell(t, 16, false)
+	on, _ := deltaCell(t, 16, true)
+	if off <= 0 {
+		t.Fatalf("plain run reported %v bytes/exchange", off)
+	}
+	reduction := (1 - on/off) * 100
+	t.Logf("n=16 bytes/exchange: plain %.1f, delta %.1f (%.1f%% reduction)", off, on, reduction)
+	if reduction < 30 {
+		t.Fatalf("delta encoding + batching saved only %.1f%% of wire bytes/exchange at n=16, want >= 30%%", reduction)
+	}
+}

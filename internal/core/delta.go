@@ -1,0 +1,348 @@
+// Delta-encoded exchanges: when Config.DeltaEncode is on, DATA payloads use
+// the delta-capable record encoding (xlist.EncodeDeltaRecords) and each
+// record may be an XOR delta against the last state of that object the
+// destination provably consumed, instead of a full replacement diff.
+//
+// The machinery is a per-peer acked-version table fed by the existing SYNC
+// traffic. For every peer the sender tracks, per object:
+//
+//   - tip: the state after the last record flushed to that peer (nil means
+//     the registered initial state — both sides share it, so even a first
+//     record can be a delta);
+//   - pending: a FIFO of (stamp, object) pairs for records sent but not yet
+//     proven consumed. A consumed SYNC from the peer stamped s proves the
+//     peer completed every mutual rendezvous before s, and therefore (FIFO
+//     channels) consumed every record stamped below s; those entries are
+//     promoted out of the FIFO.
+//
+// A record for an object is delta-encoded only when the object has no
+// pending record (the ack table is current — on any ack gap the sender
+// falls back to a full record) and the delta is actually smaller. Each
+// delta carries the base's version and 32-bit fingerprint; the receiver
+// keeps a per-sender shadow of the sender's last-sent states and verifies
+// both before applying, so a diverged base — a dropped frame on a shed
+// send queue, a session reset — is detected, counted, and recovered from
+// (an AsyncGet refetches the full state and realigns both tables) rather
+// than silently patched into garbage.
+package core
+
+import (
+	"sdso/internal/diff"
+	"sdso/internal/store"
+	"sdso/internal/trace"
+	"sdso/internal/wire"
+	"sdso/internal/xlist"
+)
+
+// deltaPending is one record sent but not yet proven consumed.
+type deltaPending struct {
+	stamp int64
+	obj   store.ID
+}
+
+// deltaSendState is the sender half of the acked-version table for one peer.
+type deltaSendState struct {
+	tip     map[store.ID][]byte // state after the last flushed record; missing = initial
+	tipVer  map[store.ID]int64
+	pending []deltaPending
+	npend   map[store.ID]int // pending records per object
+}
+
+// deltaRecvState is the receiver's shadow of one sender's last-sent states.
+type deltaRecvState struct {
+	state map[store.ID][]byte // missing = registered initial state
+	ver   map[store.ID]int64
+	// bad marks objects whose shadow is unknown (a rejected delta, a diff
+	// that would not apply); deltas are refused until a full replacement
+	// record or a recovery reply restores it.
+	bad map[store.ID]bool
+}
+
+func newDeltaSendState() *deltaSendState {
+	return &deltaSendState{
+		tip:    make(map[store.ID][]byte),
+		tipVer: make(map[store.ID]int64),
+		npend:  make(map[store.ID]int),
+	}
+}
+
+func newDeltaRecvState() *deltaRecvState {
+	return &deltaRecvState{
+		state: make(map[store.ID][]byte),
+		ver:   make(map[store.ID]int64),
+		bad:   make(map[store.ID]bool),
+	}
+}
+
+// deltaBaseline returns the object's registered initial state — the
+// universal base both sides share before any record flows.
+func (r *Runtime) deltaBaseline(id store.ID) []byte { return r.deltaInit[id] }
+
+// deltaSendFor returns (allocating on first use) the send table for peer.
+func (r *Runtime) deltaSendFor(peer int) *deltaSendState {
+	ds, ok := r.deltaSend[peer]
+	if !ok {
+		ds = newDeltaSendState()
+		r.deltaSend[peer] = ds
+	}
+	return ds
+}
+
+// deltaRecvFor returns (allocating on first use) the shadow table for peer.
+func (r *Runtime) deltaRecvFor(peer int) *deltaRecvState {
+	dr, ok := r.deltaRecv[peer]
+	if !ok {
+		dr = newDeltaRecvState()
+		r.deltaRecv[peer] = dr
+	}
+	return dr
+}
+
+// encodeDataPayload builds the payload for a DATA frame carrying diffs to
+// peer, stamped stamp. With DeltaEncode off it is exactly the PR4 encoding
+// (and returns mode 0, leaving frames byte-identical); with it on, each
+// record is delta-encoded when the table permits and the result is smaller,
+// and the returned mode bit marks the payload for the receiver.
+func (r *Runtime) encodeDataPayload(peer int, diffs []xlist.ObjDiff, stamp int64) ([]byte, uint8) {
+	if !r.cfg.DeltaEncode {
+		return xlist.EncodeDiffs(diffs), 0
+	}
+	ds := r.deltaSendFor(peer)
+	recs := make([]xlist.DeltaRecord, 0, len(diffs))
+	for _, od := range diffs {
+		rec := xlist.DeltaRecord{Obj: od.Obj, Version: od.Version, D: od.D}
+		base, haveTip := ds.tip[od.Obj]
+		baseVer := ds.tipVer[od.Obj]
+		if !haveTip {
+			base = r.deltaBaseline(od.Obj)
+		}
+		next, err := diff.Apply(base, od.D)
+		if err != nil {
+			// The diff does not apply over our record of the peer's state
+			// (it should: Write buffers whole-state replacements). Ship the
+			// full record and resynchronize the tip from the local store.
+			if cur, gerr := r.st.Get(od.Obj); gerr == nil {
+				next = cur
+			} else {
+				next = base
+			}
+		}
+		if ds.npend[od.Obj] == 0 && len(base) == len(next) {
+			if x, xerr := diff.EncodeXOR(base, next); xerr == nil {
+				full := len(diff.Encode(od.D))
+				if len(x) < full {
+					rec.Delta = true
+					rec.D = diff.Diff{}
+					rec.BaseVer = baseVer
+					rec.BaseHash = diff.Fingerprint(base)
+					rec.X = x
+					r.mc.AddDeltaRecord(full - len(x))
+				}
+			}
+		}
+		ds.tip[od.Obj] = next
+		ds.tipVer[od.Obj] = od.Version
+		ds.pending = append(ds.pending, deltaPending{stamp: stamp, obj: od.Obj})
+		ds.npend[od.Obj]++
+		recs = append(recs, rec)
+	}
+	return xlist.EncodeDeltaRecords(recs), wire.ModeDeltaPayload
+}
+
+// deltaAck feeds a consumed SYNC from peer stamped stamp into the ack
+// table: every record stamped strictly below stamp is promoted (the peer
+// cannot emit a SYNC for tick s before completing the rendezvous that
+// consumed them).
+func (r *Runtime) deltaAck(peer int, stamp int64) {
+	if !r.cfg.DeltaEncode {
+		return
+	}
+	ds, ok := r.deltaSend[peer]
+	if !ok {
+		return
+	}
+	i := 0
+	for ; i < len(ds.pending) && ds.pending[i].stamp < stamp; i++ {
+		ds.npend[ds.pending[i].obj]--
+	}
+	if i > 0 {
+		ds.pending = append(ds.pending[:0], ds.pending[i:]...)
+	}
+}
+
+// applyDeltaData decodes and applies a DATA payload in the delta-capable
+// record encoding. Every consumed record — whatever the main store decides
+// — advances the per-sender shadow, because the shadow mirrors what the
+// sender sent, not what the receiver kept. Store application then goes
+// through exactly the version/PID gate applyData uses.
+func (r *Runtime) applyDeltaData(m *wire.Msg) {
+	recs, err := xlist.DecodeDeltaRecords(m.Payload)
+	if err != nil {
+		return // corrupt payloads are dropped, like plain diff batches
+	}
+	src := int(m.Src)
+	dr := r.deltaRecvFor(src)
+	for _, rec := range recs {
+		base, haveShadow := dr.state[rec.Obj]
+		if !haveShadow {
+			base = r.deltaBaseline(rec.Obj)
+		}
+		var next []byte
+		if rec.Delta {
+			if dr.bad[rec.Obj] || dr.ver[rec.Obj] != rec.BaseVer || diff.Fingerprint(base) != rec.BaseHash {
+				// Stale or diverged base: refuse the delta and refetch the
+				// full state from the sender (the reply realigns both
+				// sides' tables). FIFO ordering makes this converge even if
+				// more stale-base records are already in flight.
+				r.mc.AddDeltaMismatch()
+				dr.bad[rec.Obj] = true
+				r.deltaRequestRecovery(src, rec.Obj)
+				continue
+			}
+			next, err = diff.ApplyXOR(base, rec.X)
+			if err != nil {
+				r.mc.AddDeltaMismatch()
+				dr.bad[rec.Obj] = true
+				r.deltaRequestRecovery(src, rec.Obj)
+				continue
+			}
+		} else {
+			next, err = diff.Apply(base, rec.D)
+			if err != nil {
+				if rec.D.Replace {
+					// Unreachable (a replacement applies over anything),
+					// but keep the shadow honest.
+					dr.bad[rec.Obj] = true
+					continue
+				}
+				// A run diff over an unknown shadow: apply to the store as
+				// plain data would, but the shadow stays unknown.
+				dr.bad[rec.Obj] = true
+				r.applyDeltaToStore(src, rec.Obj, rec.Version, rec.D, nil, m.Stamp)
+				continue
+			}
+			if rec.D.Replace {
+				delete(dr.bad, rec.Obj)
+			}
+		}
+		if !dr.bad[rec.Obj] {
+			dr.state[rec.Obj] = next
+			dr.ver[rec.Obj] = rec.Version
+		}
+		if rec.Delta {
+			r.applyDeltaToStore(src, rec.Obj, rec.Version, diff.Diff{}, next, m.Stamp)
+		} else {
+			r.applyDeltaToStore(src, rec.Obj, rec.Version, rec.D, nil, m.Stamp)
+		}
+	}
+	if m.Stamp > r.seen[src] {
+		r.seen[src] = m.Stamp
+	}
+}
+
+// applyDeltaToStore pushes one decoded record into the main store through
+// the same version/PID gate as applyData: older versions are stale, equal
+// versions are a data race arbitrated by PID, newer versions win. A delta
+// record supplies the reconstructed full state (state non-nil); a full
+// record supplies the diff.
+func (r *Runtime) applyDeltaToStore(src int, obj store.ID, ver int64, d diff.Diff, state []byte, stamp int64) {
+	cur, err := r.st.Version(obj)
+	if err != nil {
+		return
+	}
+	if ver < cur {
+		r.tr.Record(trace.OpStale, src, int64(obj), ver, r.now, 0)
+		return
+	}
+	if ver == cur {
+		w, _ := r.st.WriterOf(obj)
+		if w < 0 || src >= w {
+			r.tr.Record(trace.OpStale, src, int64(obj), ver, r.now, 1)
+			return
+		}
+	}
+	if state != nil {
+		_ = r.st.SetStateFrom(obj, state, ver, src)
+	} else {
+		_ = r.st.ApplyDiffFrom(obj, d, ver, src)
+	}
+	r.tr.Record(trace.OpApply, src, int64(obj), ver, r.now, stamp)
+}
+
+// deltaRequestRecovery refetches obj's full state from peer after a base
+// mismatch, at most one outstanding request per (peer, object).
+func (r *Runtime) deltaRequestRecovery(peer int, obj store.ID) {
+	if r.deltaFetch[peer] == nil {
+		r.deltaFetch[peer] = make(map[store.ID]bool)
+	}
+	if r.deltaFetch[peer][obj] {
+		return
+	}
+	r.deltaFetch[peer][obj] = true
+	_ = r.AsyncGet(obj, peer)
+}
+
+// deltaServe resets the sender half of the table after serving obj's full
+// state to peer (an ObjReply): the requester will adopt exactly this state
+// as its shadow, so the tip realigns to it and every pending record for the
+// object is dropped (the reply supersedes them; any still in flight will be
+// refused by the requester's fingerprint gate and recovered again if needed,
+// but FIFO ordering means the reply lands after them).
+func (r *Runtime) deltaServe(peer int, obj store.ID, state []byte, ver int64) {
+	if !r.cfg.DeltaEncode {
+		return
+	}
+	ds := r.deltaSendFor(peer)
+	ds.tip[obj] = append([]byte(nil), state...)
+	ds.tipVer[obj] = ver
+	if ds.npend[obj] > 0 {
+		kept := ds.pending[:0]
+		for _, p := range ds.pending {
+			if p.obj != obj {
+				kept = append(kept, p)
+			}
+		}
+		ds.pending = kept
+		ds.npend[obj] = 0
+	}
+}
+
+// deltaAdoptReply realigns the receiver's shadow with a full-state ObjReply
+// from peer (the recovery path's delivery): whatever the main store decided,
+// the sender's table now assumes we hold exactly this state.
+func (r *Runtime) deltaAdoptReply(peer int, obj store.ID, state []byte, ver int64) {
+	if r.deltaRecv == nil {
+		return
+	}
+	dr := r.deltaRecvFor(peer)
+	dr.state[obj] = append([]byte(nil), state...)
+	dr.ver[obj] = ver
+	delete(dr.bad, obj)
+	if r.deltaFetch[peer] != nil {
+		delete(r.deltaFetch[peer], obj)
+	}
+}
+
+// deltaResetPeer drops every delta table for peer, forcing full records on
+// the next exchange in both directions. Called on eviction and readmission:
+// a session reset or a rejoin invalidates any assumption about what the
+// other side holds.
+func (r *Runtime) deltaResetPeer(peer int) {
+	if r.deltaSend == nil {
+		return
+	}
+	delete(r.deltaSend, peer)
+	delete(r.deltaRecv, peer)
+	delete(r.deltaFetch, peer)
+}
+
+// deltaResetAll drops every peer's delta tables (a joiner's state predates
+// the snapshot it is about to restore).
+func (r *Runtime) deltaResetAll() {
+	if r.deltaSend == nil {
+		return
+	}
+	clear(r.deltaSend)
+	clear(r.deltaRecv)
+	clear(r.deltaFetch)
+}

@@ -58,6 +58,9 @@ func (r *Runtime) Join(incarnation int64) error {
 	js := &joinState{admit: make(map[int]int64), snapped: make(map[int]bool)}
 	r.joining = js
 	defer func() { r.joining = nil }()
+	// Whatever the delta tables assumed predates the snapshot about to be
+	// restored: force full records in both directions with every peer.
+	r.deltaResetAll()
 
 	req := &wire.Msg{Kind: wire.KindJoinReq, Stamp: incarnation}
 	for _, peer := range targets {
@@ -210,6 +213,10 @@ func (r *Runtime) readmitPeer(peer int) {
 	delete(r.earlySync, peer)
 	delete(r.earlyData, peer)
 	delete(r.lastSync, peer)
+	// The peer's new life starts from the join snapshot, not from whatever
+	// the delta tables remember of its old one: force full records until
+	// fresh acks rebuild the table.
+	r.deltaResetPeer(peer)
 	// The readmitted peer's vaulted checkpoint is folded into the local
 	// store first — a peer that crashed silently (readmitted straight from
 	// a join request, never evicted) would otherwise take its last

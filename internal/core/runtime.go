@@ -51,6 +51,19 @@ type SFunc func(peer int, now int64, peerBeacon []int64) int64
 // EveryTick is the BSYNC s-function: exchange with everyone at every tick.
 func EveryTick(peer int, now int64, _ []int64) int64 { return now + 1 }
 
+// EveryKTicks returns the tick-batching s-function: exchange with everyone
+// every k ticks. Between rendezvous, writes buffer (and merge) in the
+// slotted buffer, so one DATA frame carries k logical ticks' modifications
+// — the batching legality comes from the exchange list itself: a tick with
+// no peer due performs no blocking receive, so folding it is safe for any
+// protocol whose s-function all processes share. k of 1 is EveryTick.
+func EveryKTicks(k int64) SFunc {
+	if k <= 1 {
+		return EveryTick
+	}
+	return func(peer int, now int64, _ []int64) int64 { return now + k }
+}
+
 // SendMode selects multicast (exchange-list driven) or broadcast delivery,
 // mirroring the paper's send_t.
 type SendMode int
@@ -110,6 +123,19 @@ type Config struct {
 	// bare SYNC, and retransmissions are always bare SYNCs. Off by default
 	// so existing traces (and the harness sweeps) stay byte-identical.
 	PiggybackSync bool
+	// DeltaEncode switches DATA payloads to the delta-capable record
+	// encoding: each object record may be an XOR delta against the last
+	// state of that object the destination provably consumed (see
+	// delta.go). Off by default: the disabled path's frames are
+	// byte-identical to the plain encoding.
+	DeltaEncode bool
+	// MaxBatchTicks documents the tick-batching factor the driving
+	// protocol applies through its s-function (core.EveryKTicks): the
+	// runtime itself needs no behavioral change — ticks between scheduled
+	// rendezvous simply buffer (and merge) their writes — but a value
+	// above 1 enables the ticks_batched counter so the batching actually
+	// achieved is observable.
+	MaxBatchTicks int64
 	// FirstExchange is the tick of the initial rendezvous with every
 	// peer; zero means tick 1 (everyone synchronizes once at the start,
 	// which seeds the beacons).
@@ -237,6 +263,17 @@ type Runtime struct {
 	// were already merged-and-relayed after an eviction.
 	vault   map[int]vaultEntry
 	relayed map[int]bool
+
+	// Delta-encoding state (see delta.go): the registered initial state
+	// per object (the universal delta baseline), the per-peer sender and
+	// receiver halves of the acked-version table, and outstanding
+	// mismatch-recovery fetches. The receiver maps are maintained even
+	// when DeltaEncode is off locally, so a runtime can always decode a
+	// delta-encoding peer.
+	deltaInit  map[store.ID][]byte
+	deltaSend  map[int]*deltaSendState
+	deltaRecv  map[int]*deltaRecvState
+	deltaFetch map[int]map[store.ID]bool
 }
 
 // vaultEntry is one replicated checkpoint: an origin's store snapshot at
@@ -301,6 +338,11 @@ func New(cfg Config) (*Runtime, error) {
 		peerAbsent: make(map[int]bool),
 		joinGrant:  make(map[int]int64),
 		joinInc:    make(map[int]int64),
+
+		deltaInit:  make(map[store.ID][]byte),
+		deltaSend:  make(map[int]*deltaSendState),
+		deltaRecv:  make(map[int]*deltaRecvState),
+		deltaFetch: make(map[int]map[store.ID]bool),
 	}
 	if cfg.CheckpointEvery > 0 {
 		if r.cfg.CheckpointF <= 0 {
@@ -417,7 +459,15 @@ func (r *Runtime) LivePeers() []int {
 // Share registers a shared object with its initial state — the paper's
 // share() call, used once per object at initialization.
 func (r *Runtime) Share(id store.ID, initial []byte) error {
-	return r.st.Register(id, initial)
+	if err := r.st.Register(id, initial); err != nil {
+		return err
+	}
+	// The registered initial state is the universal delta baseline: every
+	// process Shares the same objects with the same initial bytes, so a
+	// missing entry in either half of the acked-version table means "the
+	// initial state" and even a first record can be delta-encoded.
+	r.deltaInit[id] = append([]byte(nil), initial...)
+	return nil
 }
 
 // Write applies a local modification to a shared object and buffers the
@@ -509,6 +559,12 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 		}
 	}
 
+	if r.cfg.MaxBatchTicks > 1 && opts.How == Multicast && len(targets) == 0 {
+		// A tick folded into the next rendezvous's frame by the batching
+		// s-function: its writes stay buffered (and merge).
+		r.mc.AddTickBatched()
+	}
+
 	// Apply any buffered early traffic that has become current; collect
 	// beacons of partners whose SYNC already arrived.
 	gotSync := make(map[int][]int64)
@@ -545,12 +601,13 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 				if opts.Beacon != nil {
 					beacon = opts.Beacon(peer)
 				}
+				payload, dmode := r.encodeDataPayload(peer, diffs, r.now)
 				data := &wire.Msg{
 					Kind:    wire.KindData,
-					Mode:    wire.ModeSyncPiggyback,
+					Mode:    wire.ModeSyncPiggyback | dmode,
 					Stamp:   r.now,
 					Ints:    beacon,
-					Payload: xlist.EncodeDiffs(diffs),
+					Payload: payload,
 				}
 				if err := r.send(peer, data); err != nil {
 					if errors.Is(err, transport.ErrPeerGone) {
@@ -568,10 +625,12 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 				r.lastSync[peer] = sync
 				continue
 			}
+			payload, dmode := r.encodeDataPayload(peer, diffs, r.now)
 			data := &wire.Msg{
 				Kind:    wire.KindData,
+				Mode:    dmode,
 				Stamp:   r.now,
-				Payload: xlist.EncodeDiffs(diffs),
+				Payload: payload,
 			}
 			if err := r.send(peer, data); err != nil {
 				if errors.Is(err, transport.ErrPeerGone) {
@@ -773,6 +832,7 @@ func (r *Runtime) absorbEarly(gotSync map[int][]int64, haveSync map[int]bool) {
 		haveSync[peer] = true
 		if best > r.syncSeen[peer] {
 			r.syncSeen[peer] = best
+			r.deltaAck(peer, best)
 		}
 		for stamp := range stamps {
 			if stamp <= r.now {
@@ -804,6 +864,7 @@ func (r *Runtime) awaitRendezvous(targets []int, gotSync map[int][]int64, haveSy
 			delete(outstanding, peer)
 			if stamp > r.syncSeen[peer] {
 				r.syncSeen[peer] = stamp
+				r.deltaAck(peer, stamp)
 			}
 		}
 	}
@@ -921,6 +982,9 @@ func (r *Runtime) evictPeer(peer int) {
 	r.xl.Remove(peer)
 	r.buf.Drop(peer)
 	delete(r.earlySync, peer)
+	// Anything the delta tables assumed about the peer died with it; a
+	// future readmission must start from full records.
+	r.deltaResetPeer(peer)
 	// With checkpoint replication on, an eviction is the moment the vault
 	// pays off: fold the evictee's last replicated snapshot into the live
 	// store and relay it so its committed writes outlive the crash.
@@ -1037,6 +1101,9 @@ func (r *Runtime) consume(m *wire.Msg, onSync func(peer int, beacon []int64, sta
 			if cur, err := r.st.Version(store.ID(m.Obj)); err == nil && ver >= cur {
 				_ = r.st.SetState(store.ID(m.Obj), m.Payload, ver)
 			}
+			// Whatever the store decided, the serving peer now assumes we
+			// hold exactly this state: realign the shadow (see delta.go).
+			r.deltaAdoptReply(peer, store.ID(m.Obj), m.Payload, ver)
 			return true
 		}
 		if m.Stamp != 0 && m.Stamp <= r.corrDone {
@@ -1122,6 +1189,10 @@ func (r *Runtime) debugf(format string, args ...any) {
 
 // applyData decodes and applies a DATA message's diff batch.
 func (r *Runtime) applyData(m *wire.Msg) {
+	if m.Mode&wire.ModeDeltaPayload != 0 {
+		r.applyDeltaData(m)
+		return
+	}
 	if r.cfg.Debug != nil {
 		if dd, err := xlist.DecodeDiffs(m.Payload); err == nil {
 			objs := ""
@@ -1186,7 +1257,12 @@ func (r *Runtime) serveObj(peer int, m *wire.Msg) {
 		Ints:    []int64{ver},
 		Payload: state,
 	}
-	_ = r.send(peer, reply)
+	if err := r.send(peer, reply); err != nil {
+		return
+	}
+	// The requester adopts exactly this state as its shadow of us: realign
+	// the sender half of the delta table to it (see delta.go).
+	r.deltaServe(peer, id, state, ver)
 }
 
 // doneWon marks a DONE from a process that reached the application's goal;
@@ -1235,10 +1311,12 @@ func (r *Runtime) Done(won bool) error {
 	for _, peer := range r.LivePeers() {
 		if r.buf.Pending(peer) > 0 {
 			diffs := r.buf.Flush(peer)
+			payload, dmode := r.encodeDataPayload(peer, diffs, r.now+1)
 			data := &wire.Msg{
 				Kind:    wire.KindData,
+				Mode:    dmode,
 				Stamp:   r.now + 1,
-				Payload: xlist.EncodeDiffs(diffs),
+				Payload: payload,
 			}
 			if err := r.send(peer, data); err != nil {
 				if errors.Is(err, transport.ErrPeerGone) {

@@ -1,0 +1,125 @@
+// XOR delta encoding: a second, denser wire form for object updates used
+// by the core runtime's delta-encoded exchanges. Where Encode ships the new
+// bytes of each changed run, an XOR delta ships base^next for the changed
+// positions — decodable only against the exact base it was computed from,
+// so senders pair every delta with the base's version and fingerprint and
+// receivers verify both before applying (a mismatched base must be detected
+// and rejected, never silently patched).
+package diff
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// fnvOffset and fnvPrime are the 32-bit FNV-1a constants.
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
+// Fingerprint hashes an object state (32-bit FNV-1a). Delta records carry
+// the base state's fingerprint so a receiver whose replica diverged from
+// the sender's base — same version, different content, after a PID-
+// arbitrated race — rejects the delta instead of decoding garbage.
+func Fingerprint(b []byte) uint32 {
+	h := fnvOffset
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// EncodeXOR returns the XOR delta transforming base into next. Both states
+// must have the same length (object sizes never change in place; senders
+// fall back to full records otherwise). The encoding is a uvarint state
+// length followed by (skip, runLen, runLen bytes of base^next) triples over
+// the differing positions, with equal gaps shorter than the coalesce
+// threshold absorbed into one run — the same trade Compute makes.
+func EncodeXOR(base, next []byte) ([]byte, error) {
+	if len(base) != len(next) {
+		return nil, fmt.Errorf("%w: base %d, next %d", ErrLengthMismatch, len(base), len(next))
+	}
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(next)/4+8)
+	buf = binary.AppendUvarint(buf, uint64(len(next)))
+	cursor := 0
+	i := 0
+	for i < len(next) {
+		if base[i] == next[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i
+		for i < len(next) {
+			if base[i] != next[i] {
+				last = i
+				i++
+				continue
+			}
+			j := i
+			for j < len(next) && j-i < coalesceGap && base[j] == next[j] {
+				j++
+			}
+			if j < len(next) && j-i < coalesceGap {
+				i = j
+				continue
+			}
+			break
+		}
+		buf = binary.AppendUvarint(buf, uint64(start-cursor))
+		buf = binary.AppendUvarint(buf, uint64(last+1-start))
+		for k := start; k <= last; k++ {
+			buf = append(buf, base[k]^next[k])
+		}
+		cursor = last + 1
+	}
+	return buf, nil
+}
+
+// ApplyXOR decodes an XOR delta against base, returning the next state as a
+// fresh slice. It fails with ErrLengthMismatch when the delta was computed
+// against a state of a different length and ErrCorrupt on any malformed
+// input; base is never modified.
+func ApplyXOR(base, delta []byte) ([]byte, error) {
+	n, used := binary.Uvarint(delta)
+	if used <= 0 {
+		return nil, fmt.Errorf("%w: delta length header", ErrCorrupt)
+	}
+	delta = delta[used:]
+	if n != uint64(len(base)) {
+		return nil, fmt.Errorf("%w: base %d, delta expects %d", ErrLengthMismatch, len(base), n)
+	}
+	out := make([]byte, len(base))
+	copy(out, base)
+	cursor := 0
+	for len(delta) > 0 {
+		skip, used := binary.Uvarint(delta)
+		if used <= 0 {
+			return nil, fmt.Errorf("%w: run skip", ErrCorrupt)
+		}
+		delta = delta[used:]
+		runLen, used := binary.Uvarint(delta)
+		if used <= 0 {
+			return nil, fmt.Errorf("%w: run length", ErrCorrupt)
+		}
+		delta = delta[used:]
+		if runLen == 0 {
+			return nil, fmt.Errorf("%w: empty run", ErrCorrupt)
+		}
+		if skip > uint64(len(out)-cursor) || runLen > uint64(len(out)-cursor)-skip {
+			return nil, fmt.Errorf("%w: run exceeds state", ErrCorrupt)
+		}
+		if runLen > uint64(len(delta)) {
+			return nil, fmt.Errorf("%w: run data truncated", ErrCorrupt)
+		}
+		cursor += int(skip)
+		for k := 0; k < int(runLen); k++ {
+			out[cursor+k] ^= delta[k]
+		}
+		cursor += int(runLen)
+		delta = delta[runLen:]
+	}
+	return out, nil
+}

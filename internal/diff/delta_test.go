@@ -1,0 +1,133 @@
+package diff
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestXORRoundTrip(t *testing.T) {
+	cases := [][2][]byte{
+		{[]byte("aaaaaaaa"), []byte("aaaaaaaa")},
+		{[]byte("aaaaaaaa"), []byte("abaaacaa")},
+		{[]byte{}, []byte{}},
+		{[]byte("the quick brown fox"), []byte("the quack brown fix")},
+		{bytes.Repeat([]byte{0}, 512), append(bytes.Repeat([]byte{0}, 500), bytes.Repeat([]byte{7}, 12)...)},
+	}
+	for _, c := range cases {
+		delta, err := EncodeXOR(c[0], c[1])
+		if err != nil {
+			t.Fatalf("EncodeXOR: %v", err)
+		}
+		got, err := ApplyXOR(c[0], delta)
+		if err != nil {
+			t.Fatalf("ApplyXOR: %v", err)
+		}
+		if !bytes.Equal(got, c[1]) {
+			t.Fatalf("round trip: got %q want %q", got, c[1])
+		}
+	}
+}
+
+func TestXORLengthMismatch(t *testing.T) {
+	if _, err := EncodeXOR([]byte("short"), []byte("longer")); err == nil {
+		t.Fatal("EncodeXOR accepted mismatched lengths")
+	}
+	delta, err := EncodeXOR([]byte("aaaa"), []byte("abca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyXOR([]byte("aaaaaaaa"), delta); err == nil {
+		t.Fatal("ApplyXOR accepted a base of the wrong length")
+	}
+}
+
+func TestXORWrongBaseDetectedByFingerprint(t *testing.T) {
+	base := []byte("aaaaaaaa")
+	next := []byte("abaaacaa")
+	other := []byte("zzzzzzzz")
+	if Fingerprint(base) == Fingerprint(other) {
+		t.Fatal("test bases collide; pick different ones")
+	}
+	delta, err := EncodeXOR(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same length, wrong content: ApplyXOR succeeds mechanically but yields
+	// garbage — which is exactly why the protocol checks the fingerprint
+	// before applying.
+	got, err := ApplyXOR(other, delta)
+	if err != nil {
+		t.Fatalf("ApplyXOR: %v", err)
+	}
+	if bytes.Equal(got, next) {
+		t.Fatal("wrong base happened to decode correctly; fingerprint gate untestable")
+	}
+}
+
+func TestXORBaseUnmodified(t *testing.T) {
+	base := []byte("aaaaaaaa")
+	orig := append([]byte(nil), base...)
+	delta, err := EncodeXOR(base, []byte("abaaacaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyXOR(base, delta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base, orig) {
+		t.Fatal("ApplyXOR modified its base")
+	}
+}
+
+// FuzzDeltaRoundTrip: for any (base, next) of equal length the encode/apply
+// pair must reproduce next exactly; unequal lengths must be refused.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte("aaaaaaaa"), []byte("abaaacaa"))
+	f.Add([]byte{}, []byte{})
+	f.Add(bytes.Repeat([]byte{0}, 64), bytes.Repeat([]byte{1}, 64))
+	f.Fuzz(func(t *testing.T, base, next []byte) {
+		delta, err := EncodeXOR(base, next)
+		if len(base) != len(next) {
+			if err == nil {
+				t.Fatal("EncodeXOR accepted mismatched lengths")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("EncodeXOR: %v", err)
+		}
+		got, err := ApplyXOR(base, delta)
+		if err != nil {
+			t.Fatalf("ApplyXOR rejected its own encoding: %v", err)
+		}
+		if !bytes.Equal(got, next) {
+			t.Fatalf("round trip: got %x want %x", got, next)
+		}
+	})
+}
+
+// FuzzDeltaApplyAgainstWrongBase: decoding arbitrary bytes against an
+// arbitrary base must never panic or corrupt the base, and a wrong-length
+// base must be rejected outright. Content divergence at equal length is the
+// protocol layer's job to catch (it fingerprints the base before applying);
+// the codec's contract is only that rejection is clean and the base stays
+// untouched either way.
+func FuzzDeltaApplyAgainstWrongBase(f *testing.F) {
+	seed, _ := EncodeXOR([]byte("aaaaaaaa"), []byte("abaaacaa"))
+	f.Add(seed, []byte("aaaaaaaa"))
+	f.Add(seed, []byte("zzzz"))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, delta, base []byte) {
+		orig := append([]byte(nil), base...)
+		out, err := ApplyXOR(base, delta)
+		if !bytes.Equal(base, orig) {
+			t.Fatal("ApplyXOR modified its base")
+		}
+		if err != nil {
+			return
+		}
+		if len(out) != len(base) {
+			t.Fatalf("ApplyXOR produced %d bytes from a %d-byte base", len(out), len(base))
+		}
+	})
+}

@@ -43,6 +43,14 @@ type CheckedConfig struct {
 	// FaultRates overrides the ambient rates; nil with Faults set means
 	// 1% drop, 1% dup, 2% delay of 2 sends.
 	FaultRates *faultnet.LinkFaults
+	// DeltaEncode runs the lookahead protocols with delta-encoded
+	// exchanges (see core.Config.DeltaEncode), proving the oracle's
+	// invariants hold over the delta path too.
+	DeltaEncode bool
+	// MaxBatchTicks runs BSYNC with tick batching (see
+	// lookahead.PlayerConfig.MaxBatchTicks), proving the oracle's
+	// invariants hold over batched schedules.
+	MaxBatchTicks int64
 }
 
 func (c CheckedConfig) withCheckedDefaults() CheckedConfig {
@@ -140,6 +148,8 @@ func runCheckedLookahead(cfg CheckedConfig) (*check.Report, error) {
 				Endpoint:          eps[i],
 				ComputePerTick:    base.ComputePerTick,
 				RendezvousTimeout: timeout,
+				DeltaEncode:       cfg.DeltaEncode,
+				MaxBatchTicks:     cfg.MaxBatchTicks,
 				Trace:             recs[i],
 				Snapshot:          func(st *store.Store) { stores[i] = st.Clone() },
 			})

@@ -85,3 +85,42 @@ func TestExploreWithCheckedRunner(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCheckedDeltaBatched runs the lookahead protocols through the
+// oracle with delta-encoded exchanges on — and, for BSYNC, tick batching —
+// across a seed matrix, fault-free and faulted: the wire-level encoding
+// change and the coarser batched schedules must leave every checked
+// invariant intact.
+func TestRunCheckedDeltaBatched(t *testing.T) {
+	seeds := []int64{1, 2}
+	if !testing.Short() {
+		seeds = []int64{1, 2, 3, 5, 8}
+	}
+	for _, proto := range []Protocol{BSYNC, MSYNC, MSYNC2} {
+		for _, seed := range seeds {
+			for _, faults := range []bool{false, true} {
+				batch := int64(0)
+				if proto == BSYNC {
+					batch = 4
+				}
+				rep, err := RunChecked(CheckedConfig{
+					Protocol:      proto,
+					Seed:          seed,
+					Ticks:         24,
+					Faults:        faults,
+					DeltaEncode:   true,
+					MaxBatchTicks: batch,
+				})
+				if err != nil {
+					t.Fatalf("%s seed=%d faults=%v delta: %v", proto, seed, faults, err)
+				}
+				if !rep.Ok() {
+					t.Errorf("%s seed=%d faults=%v delta:\n%s", proto, seed, faults, rep)
+				}
+				if rep.Events == 0 {
+					t.Errorf("%s seed=%d faults=%v delta: no events recorded", proto, seed, faults)
+				}
+			}
+		}
+	}
+}

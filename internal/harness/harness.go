@@ -68,6 +68,17 @@ type Config struct {
 	// dropped SYNC or lock message would otherwise deadlock the run.
 	// Zero leaves detection off, as in the paper's fault-free testbed.
 	SuspectTimeout time.Duration
+	// DeltaEncode switches the lookahead protocols' DATA payloads to the
+	// delta-capable record encoding (see core.Config.DeltaEncode). Off by
+	// default; only the lookahead protocols honor it.
+	DeltaEncode bool
+	// MaxBatchTicks folds up to this many ticks' modifications into one
+	// BSYNC exchange frame (see lookahead.PlayerConfig.MaxBatchTicks).
+	// Values below 2 mean no batching; only BSYNC honors it.
+	MaxBatchTicks int64
+	// PiggybackSync rides SYNC markers on data frames (see
+	// core.Config.PiggybackSync); only the lookahead protocols honor it.
+	PiggybackSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +159,9 @@ func runLookahead(cfg Config) (*Result, error) {
 				MergeDiffs:        cfg.MergeDiffs,
 				ComputePerTick:    cfg.ComputePerTick,
 				RendezvousTimeout: cfg.SuspectTimeout,
+				DeltaEncode:       cfg.DeltaEncode,
+				MaxBatchTicks:     cfg.MaxBatchTicks,
+				PiggybackSync:     cfg.PiggybackSync,
 			})
 		})
 	}

@@ -147,6 +147,17 @@ type Collector struct {
 	sendqShed        padded
 	sendqDepthPeak   padded
 	drainFlushed     padded
+
+	// Delta-exchange and tick-batching counters: records shipped as XOR
+	// deltas instead of full diffs, payload bytes those deltas saved,
+	// delta base mismatches detected (and recovered from), logical ticks
+	// folded into a later rendezvous's frame by the batching s-function,
+	// and the adaptive flush controller's current threshold (a gauge).
+	deltaRecords    padded
+	deltaBytesSaved padded
+	deltaMismatches padded
+	ticksBatched    padded
+	flushThreshold  padded
 }
 
 // NewCollector returns an empty collector.
@@ -255,6 +266,26 @@ func (c *Collector) NoteSendQDepth(depth int) { c.sendqDepthPeak.Max(int64(depth
 // on the wire before half-closing.
 func (c *Collector) AddDrainFlushedBytes(n int) { c.drainFlushed.v.Add(int64(n)) }
 
+// AddDeltaRecord records one object record shipped as an XOR delta instead
+// of a full diff, saving saved payload bytes.
+func (c *Collector) AddDeltaRecord(saved int) {
+	c.deltaRecords.v.Add(1)
+	c.deltaBytesSaved.v.Add(int64(saved))
+}
+
+// AddDeltaMismatch records one delta record refused because the receiver's
+// base (version or fingerprint) diverged from the sender's, triggering a
+// full-state recovery fetch.
+func (c *Collector) AddDeltaMismatch() { c.deltaMismatches.v.Add(1) }
+
+// AddTickBatched records one logical tick whose writes were folded into a
+// later rendezvous's frame by the tick-batching s-function.
+func (c *Collector) AddTickBatched() { c.ticksBatched.v.Add(1) }
+
+// NoteFlushThreshold records the adaptive flush controller's current
+// byte threshold (a gauge: the last written value wins).
+func (c *Collector) NoteFlushThreshold(threshold int) { c.flushThreshold.v.Store(int64(threshold)) }
+
 // SetExecTime records the process's total execution time (its clock at
 // completion).
 func (c *Collector) SetExecTime(d time.Duration) { c.execTime.Store(int64(d)) }
@@ -293,6 +324,12 @@ func (c *Collector) Snapshot() Snapshot {
 		SendQShed:         int(c.sendqShed.v.Load()),
 		SendQDepthPeak:    int(c.sendqDepthPeak.v.Load()),
 		DrainFlushedBytes: int(c.drainFlushed.v.Load()),
+
+		DeltaRecords:          int(c.deltaRecords.v.Load()),
+		DeltaBytesSaved:       int(c.deltaBytesSaved.v.Load()),
+		DeltaMismatches:       int(c.deltaMismatches.v.Load()),
+		TicksBatched:          int(c.ticksBatched.v.Load()),
+		FlushThresholdCurrent: int(c.flushThreshold.v.Load()),
 	}
 	for k := wire.KindSync; int(k) < wire.NumKinds; k++ {
 		if n := c.msgsSent[k].v.Load(); n != 0 {
@@ -351,6 +388,15 @@ type Snapshot struct {
 	SendQShed         int
 	SendQDepthPeak    int
 	DrainFlushedBytes int
+	// Delta-exchange and tick-batching counters: XOR-delta records sent,
+	// payload bytes those deltas saved over full diffs, delta base
+	// mismatches detected, ticks folded by the batching s-function, and
+	// the adaptive flush controller's final threshold.
+	DeltaRecords          int
+	DeltaBytesSaved       int
+	DeltaMismatches       int
+	TicksBatched          int
+	FlushThresholdCurrent int
 }
 
 // DataMsgs returns the number of data messages sent (paper Figure 7).
@@ -591,6 +637,55 @@ func (g Group) DrainFlushedBytes() int {
 	n := 0
 	for _, s := range g.Procs {
 		n += s.DrainFlushedBytes
+	}
+	return n
+}
+
+// DeltaRecords sums XOR-delta records sent across processes.
+func (g Group) DeltaRecords() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.DeltaRecords
+	}
+	return n
+}
+
+// DeltaBytesSaved sums payload bytes saved by delta records across
+// processes.
+func (g Group) DeltaBytesSaved() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.DeltaBytesSaved
+	}
+	return n
+}
+
+// DeltaMismatches sums refused delta records across processes.
+func (g Group) DeltaMismatches() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.DeltaMismatches
+	}
+	return n
+}
+
+// TicksBatched sums batching-folded ticks across processes.
+func (g Group) TicksBatched() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.TicksBatched
+	}
+	return n
+}
+
+// FlushThresholdPeak returns the highest adaptive flush threshold any
+// process ended with (zero when the controller never ran).
+func (g Group) FlushThresholdPeak() int {
+	n := 0
+	for _, s := range g.Procs {
+		if s.FlushThresholdCurrent > n {
+			n = s.FlushThresholdCurrent
+		}
 	}
 	return n
 }

@@ -83,6 +83,19 @@ type PlayerConfig struct {
 	// when one flows anyway (see core.Config.PiggybackSync). Off by
 	// default so existing traces stay byte-identical.
 	PiggybackSync bool
+	// DeltaEncode switches DATA payloads to the delta-capable record
+	// encoding (see core.Config.DeltaEncode). Off by default so the wire
+	// stays byte-identical to the plain encoding.
+	DeltaEncode bool
+	// MaxBatchTicks folds up to this many logical ticks' modifications
+	// into one exchange frame by stretching BSYNC's s-function to
+	// core.EveryKTicks(MaxBatchTicks): between rendezvous, writes buffer
+	// and merge, so the per-tick wire cost divides by the batch factor at
+	// the price of replicas trailing up to MaxBatchTicks-1 ticks. Only
+	// BSYNC batches — the MSYNC variants' s-functions already skip quiet
+	// ticks, and stretching them would break the spatial flush
+	// invariants. Values below 2 mean no batching.
+	MaxBatchTicks int64
 	// ComputePerTick models the application's per-tick local processing
 	// ("the application processes have only a minimal amount of local
 	// processor processing to perform", §4).
@@ -210,11 +223,17 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		}
 	}
 
+	batch := int64(0)
+	if cfg.Protocol == BSYNC && cfg.MaxBatchTicks > 1 {
+		batch = cfg.MaxBatchTicks
+	}
 	rt, err := core.New(core.Config{
 		Endpoint:          cfg.Endpoint,
 		Metrics:           mc,
 		MergeDiffs:        merge,
 		PiggybackSync:     cfg.PiggybackSync,
+		DeltaEncode:       cfg.DeltaEncode,
+		MaxBatchTicks:     batch,
 		Trace:             cfg.Trace,
 		Debug:             cfg.debug,
 		RendezvousTimeout: cfg.RendezvousTimeout,
@@ -513,6 +532,9 @@ func (p *player) exchangeOpts() core.ExchangeOpts {
 	switch p.cfg.Protocol {
 	case BSYNC:
 		opts.SFunc = core.EveryTick
+		if p.cfg.MaxBatchTicks > 1 {
+			opts.SFunc = core.EveryKTicks(p.cfg.MaxBatchTicks)
+		}
 		// SendData nil: broadcast all updates to everyone each tick.
 	default:
 		opts.SFunc = func(peer int, now int64, peerBeacon []int64) int64 {

@@ -211,6 +211,22 @@ func (s *Store) SetState(id ID, data []byte, version int64) error {
 	return nil
 }
 
+// SetStateFrom replaces the object's state and version outright and records
+// the originating writer. Delta-encoded exchanges use it to install a
+// reconstructed remote state while preserving the writer attribution that
+// same-version PID arbitration depends on.
+func (s *Store) SetStateFrom(id ID, data []byte, version int64, writer int) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("store: object %d not registered", id)
+	}
+	o.data = make([]byte, len(data))
+	copy(o.data, data)
+	o.version = version
+	o.writer = writer
+	return nil
+}
+
 // Clone returns a deep copy of the store (used to seed every process with
 // the same initial shared environment).
 func (s *Store) Clone() *Store {

@@ -280,7 +280,7 @@ func (e *TCPEndpoint) fenceLinkLocked(p *tcpPeer, inc int64) (gen int, recvd int
 		p.inc = inc
 		p.departed = false
 		p.sentSeq, p.ackedSeq = 0, 0
-		p.retain, p.retainBytes = nil, 0
+		p.dropRetainLocked()
 		p.recvSeq, p.ackSent = 0, 0
 	}
 	return p.gen, p.recvSeq
@@ -327,27 +327,34 @@ func (e *TCPEndpoint) installConn(p *tcpPeer, conn net.Conn, gen int, inc, remot
 		p.inc = inc
 		p.departed = false
 		p.sentSeq, p.ackedSeq = 0, 0
-		p.retain, p.retainBytes = nil, 0
+		p.dropRetainLocked()
 	}
 	if remoteRecv >= p.ackedSeq {
-		// Drop what the peer confirms, restage the unconfirmed tail ahead
-		// of everything not yet written.
+		// Release what the peer confirms, restage the unconfirmed tail
+		// ahead of everything not yet written (the queue inherits the
+		// restaged entries' references).
 		drop := int(remoteRecv - p.ackedSeq)
 		if drop > len(p.retain) {
 			drop = len(p.retain)
+		}
+		for _, ent := range p.retain[:drop] {
+			ent.enc.Release()
 		}
 		if rest := p.retain[drop:]; len(rest) > 0 {
 			q := make([]sendEntry, 0, len(rest)+len(p.q))
 			p.q = append(append(q, rest...), p.q...)
 			for _, ent := range rest {
-				p.qBytes += len(ent.buf)
+				p.qBytes += ent.size()
 			}
 		}
+		p.retain, p.retainBytes = nil, 0
+	} else {
+		// remoteRecv < ackedSeq means the peer has no memory of frames it
+		// once confirmed — a session this side never observed ending. The
+		// retained tail belongs to that dead session; realign to the
+		// peer's count.
+		p.dropRetainLocked()
 	}
-	// remoteRecv < ackedSeq means the peer has no memory of frames it once
-	// confirmed — a session this side never observed ending. The retained
-	// tail belongs to that dead session; realign to the peer's count.
-	p.retain, p.retainBytes = nil, 0
 	p.sentSeq, p.ackedSeq = remoteRecv, remoteRecv
 	reconnected := gen > 1
 	p.conn = conn
@@ -544,31 +551,38 @@ func (p *tcpPeer) ackRetainLocked(ack int64) {
 		n = len(p.retain)
 	}
 	for _, ent := range p.retain[:n] {
-		p.retainBytes -= len(ent.buf)
+		p.retainBytes -= ent.size()
+		ent.enc.Release()
 	}
 	p.retain = p.retain[n:]
 	p.ackedSeq += int64(n)
 }
 
 // enqueue stages one encoded frame on p's bounded queue, blocking or
-// shedding per the configured policy when the queue is full. It returns
-// nil for departed peers (legitimate exit, same contract as the legacy
-// mesh) and ErrPeerGone once the reconnect grace expired.
-func (e *TCPEndpoint) enqueue(p *tcpPeer, buf []byte, kind wire.Kind) error {
+// shedding per the configured policy when the queue is full. It takes
+// ownership of the caller's reference to enc: the frame is released by
+// whichever path dequeues it, or right here when the peer cannot accept
+// it. It returns nil for departed peers (legitimate exit, same contract as
+// the legacy mesh) and ErrPeerGone once the reconnect grace expired.
+func (e *TCPEndpoint) enqueue(p *tcpPeer, enc *wire.Encoded, kind wire.Kind) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		switch {
 		case e.closing.Load():
+			enc.Release()
 			return ErrClosed
 		case p.draining:
+			enc.Release()
 			return ErrClosed
 		case p.departed:
+			enc.Release()
 			return nil
 		case p.gone:
+			enc.Release()
 			return ErrPeerGone
 		}
-		if len(p.q) < e.cfg.SendQueueFrames && p.qBytes+len(buf) <= e.cfg.SendQueueBytes {
+		if len(p.q) < e.cfg.SendQueueFrames && p.qBytes+enc.Len() <= e.cfg.SendQueueBytes {
 			break
 		}
 		if e.cfg.SendQueuePolicy == QueueShedOldest && e.shedOldestLocked(p) {
@@ -576,8 +590,8 @@ func (e *TCPEndpoint) enqueue(p *tcpPeer, buf []byte, kind wire.Kind) error {
 		}
 		p.cond.Wait()
 	}
-	p.q = append(p.q, sendEntry{buf: buf, kind: kind})
-	p.qBytes += len(buf)
+	p.q = append(p.q, sendEntry{enc: enc, kind: kind})
+	p.qBytes += enc.Len()
 	if m := e.cfg.Metrics; m != nil {
 		m.NoteSendQDepth(len(p.q))
 	}
@@ -594,30 +608,34 @@ func (e *TCPEndpoint) sendControl(p *tcpPeer, m *wire.Msg) {
 	if err != nil {
 		return
 	}
-	buf := append([]byte(nil), enc.Frame()...)
-	enc.Release()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if e.closing.Load() || p.draining || p.departed || p.gone || p.conn == nil {
+		enc.Release()
 		return
 	}
-	if len(p.q) >= e.cfg.SendQueueFrames || p.qBytes+len(buf) > e.cfg.SendQueueBytes {
+	if len(p.q) >= e.cfg.SendQueueFrames || p.qBytes+enc.Len() > e.cfg.SendQueueBytes {
+		enc.Release()
 		return
 	}
-	p.q = append(p.q, sendEntry{buf: buf, kind: m.Kind, ctrl: true})
-	p.qBytes += len(buf)
+	p.q = append(p.q, sendEntry{enc: enc, kind: m.Kind, ctrl: true})
+	p.qBytes += enc.Len()
 	p.cond.Broadcast()
 }
 
 // shedOldestLocked drops the oldest sheddable frame from p's queue (p.mu
-// held), reporting whether anything was shed.
+// held), releasing it back to the pool, and reports whether anything was
+// shed. The Release matters: a shed storm that merely forgot the entries
+// would bleed the frame pool one buffer per shed (the refcount never
+// reaches zero), which TestSessionShedStormReleasesFrames pins.
 func (e *TCPEndpoint) shedOldestLocked(p *tcpPeer) bool {
 	for i, ent := range p.q {
 		if !sheddable(ent.kind) {
 			continue
 		}
-		p.qBytes -= len(ent.buf)
+		p.qBytes -= ent.size()
 		p.q = append(p.q[:i], p.q[i+1:]...)
+		ent.enc.Release()
 		if m := e.cfg.Metrics; m != nil {
 			m.AddSendQShed()
 		}
@@ -627,11 +645,25 @@ func (e *TCPEndpoint) shedOldestLocked(p *tcpPeer) bool {
 }
 
 // dropQueueLocked discards everything queued for a peer declared gone
-// (p.mu held): the runtime will evict and, if the peer returns, the Join
-// path re-synchronizes state wholesale.
+// (p.mu held), releasing each frame back to the pool: the runtime will
+// evict and, if the peer returns, the Join path re-synchronizes state
+// wholesale.
 func (p *tcpPeer) dropQueueLocked() {
+	for _, ent := range p.q {
+		ent.enc.Release()
+	}
 	p.q = nil
 	p.qBytes = 0
+}
+
+// dropRetainLocked releases and forgets the retained replay tail (p.mu
+// held) — used when a session ends (fresh incarnation, realignment, or
+// shutdown) and the frames can never be replayed.
+func (p *tcpPeer) dropRetainLocked() {
+	for _, ent := range p.retain {
+		ent.enc.Release()
+	}
+	p.retain, p.retainBytes = nil, 0
 }
 
 // writeLoop is peer p's writer: it drains the send queue onto whatever
@@ -659,17 +691,17 @@ func (e *TCPEndpoint) writeLoop(p *tcpPeer) {
 		}
 		ent := p.q[0]
 		p.q = p.q[1:]
-		p.qBytes -= len(ent.buf)
+		p.qBytes -= ent.size()
 		flush := len(p.q) == 0
 		bw, gen := p.bw, p.gen
 		p.inflight = true
 		p.cond.Broadcast()
 		p.mu.Unlock()
 
-		_, err := bw.Write(ent.buf)
+		_, err := bw.Write(ent.enc.Frame())
 		if err == nil {
 			if m := e.cfg.Metrics; m != nil {
-				m.AddFrame(len(ent.buf))
+				m.AddFrame(ent.size())
 			}
 			if flush {
 				if err = bw.Flush(); err == nil && e.cfg.Metrics != nil {
@@ -682,14 +714,20 @@ func (e *TCPEndpoint) writeLoop(p *tcpPeer) {
 		p.inflight = false
 		if err == nil {
 			if !ent.ctrl {
+				// The entry's reference moves to the retain buffer until
+				// the peer acks it (ackRetainLocked releases).
 				p.sentSeq++
 				p.retain = append(p.retain, ent)
-				p.retainBytes += len(ent.buf)
+				p.retainBytes += ent.size()
+			} else {
+				ent.enc.Release()
 			}
 		} else {
 			if !ent.ctrl {
 				p.q = append([]sendEntry{ent}, p.q...)
-				p.qBytes += len(ent.buf)
+				p.qBytes += ent.size()
+			} else {
+				ent.enc.Release()
 			}
 			if p.gen == gen {
 				e.linkDownLocked(p)
@@ -797,6 +835,17 @@ func (e *TCPEndpoint) closeSession(peers []*tcpPeer) {
 		p.mu.Unlock()
 	}
 	e.wg.Wait()
+	// Every loop is reaped; whatever frames never made it out (and the
+	// retained tails nobody will ever ack) go back to the pool.
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.dropQueueLocked()
+		p.dropRetainLocked()
+		p.mu.Unlock()
+	}
 }
 
 // awaitQuiescent polls until every peer's queue is drained and flushed (or

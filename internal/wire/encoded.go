@@ -39,6 +39,16 @@ var encodedPool = sync.Pool{New: func() any {
 	return &Encoded{buf: make([]byte, 0, 4+encodedHeaderSize+512)}
 }}
 
+// liveFrames counts Encoded frames checked out of the pool and not yet
+// fully released. It exists so tests can pin refcount balance: a path that
+// drops an Encoded without Release (a shed queue entry, say) leaves the
+// counter permanently elevated, which a before/after comparison catches.
+var liveFrames atomic.Int64
+
+// LiveFrames returns the number of Encoded frames currently held by at
+// least one reference (test instrumentation; see liveFrames).
+func LiveFrames() int64 { return liveFrames.Load() }
+
 // EncodeFrame marshals m once into a pooled, shareable frame. The returned
 // Encoded holds one reference; callers hand it to Release when done.
 func EncodeFrame(m *Msg) (*Encoded, error) {
@@ -53,7 +63,21 @@ func EncodeFrame(m *Msg) (*Encoded, error) {
 	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
 	e.buf = buf
 	e.refs.Store(1)
+	liveFrames.Add(1)
 	return e, nil
+}
+
+// Clone returns an independent pooled copy of the frame with one reference
+// of its own. A holder that must mutate the header (SetSrc/SetDst) or
+// outlive the original's Release — a bounded send queue staging a fanout
+// frame, say — clones instead of Retaining, because Retain shares the
+// underlying bytes.
+func (e *Encoded) Clone() *Encoded {
+	c := encodedPool.Get().(*Encoded)
+	c.buf = append(c.buf[:0], e.buf...)
+	c.refs.Store(1)
+	liveFrames.Add(1)
+	return c
 }
 
 // Retain adds one reference and returns e, for handing the same frame to an
@@ -67,6 +91,7 @@ func (e *Encoded) Retain() *Encoded {
 // released. Using e after the final Release is a use-after-free.
 func (e *Encoded) Release() {
 	if e.refs.Add(-1) == 0 {
+		liveFrames.Add(-1)
 		encodedPool.Put(e)
 	}
 }

@@ -192,6 +192,15 @@ const (
 // frames coexist on one wire.
 const ModeSyncPiggyback uint8 = 0x80
 
+// ModeDeltaPayload is a Mode flag bit on KindData frames marking that the
+// payload uses the delta-capable record encoding (xlist.EncodeDeltaRecords):
+// each record is either a full diff or an XOR delta against a base the
+// receiver is expected to hold, identified by version and fingerprint. The
+// bit composes with ModeSyncPiggyback and is disjoint from the small-integer
+// mode values; senders set it only when Config.DeltaEncode is on, so the
+// disabled path's frames stay byte-identical to the plain encoding.
+const ModeDeltaPayload uint8 = 0x40
+
 // Msg is a protocol message. The fixed header fields cover every protocol's
 // needs; Ints is a small variable-length header (owner/version pairs, vector
 // clocks) and Payload carries object state or encoded diffs.
