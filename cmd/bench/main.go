@@ -8,21 +8,24 @@
 //
 //	go run ./cmd/bench
 //
-// The delta-exchange suite writes its own trajectory file so the PR4
-// baseline stays byte-stable; regenerate BENCH_PR8.json with:
-//
-//	go run ./cmd/bench -suite delta
+// The delta-exchange and interest-management suites write their own
+// trajectory files so the PR4 baseline stays byte-stable; regenerate
+// BENCH_PR8.json with `go run ./cmd/bench -suite delta` and
+// BENCH_PR9.json with `go run ./cmd/bench -suite interest`.
 //
 // Flags:
 //
-//	-suite name which suite to run: "all" (default; BENCH_PR4.json) or
-//	            "delta" (BENCH_PR8.json)
+//	-suite name which suite to run: "all" (default; BENCH_PR4.json),
+//	            "delta" (BENCH_PR8.json), or "interest" (BENCH_PR9.json)
 //	-o file     output path (default depends on -suite)
 //	-run substr only benchmarks whose name contains substr
 //	-q          quiet: no per-benchmark progress on stderr
 //	-check      verify the trajectory file covers the selected suite
 //	            (exists and has a result for every benchmark) without
 //	            running anything; CI fails the build on a stale file
+//	-workers n  bound the figure sweeps' worker pool (sets GOMAXPROCS)
+//	-cpuprofile file / -memprofile file
+//	            write pprof profiles of the benchmark run
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -52,12 +56,19 @@ type result struct {
 
 // trajectory is the top-level shape of BENCH_PR4.json.
 type trajectory struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Results     []result `json:"results"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// GoMaxProcs and SweepWorkers record the actual parallelism the run
+	// had: NumCPU alone reads 1 in throttled CI containers and makes
+	// trajectories hard to compare across machines. SweepWorkers is the
+	// worker-pool bound the figure sweeps ran with (-workers, default
+	// GOMAXPROCS).
+	GoMaxProcs   int      `json:"gomaxprocs,omitempty"`
+	SweepWorkers int      `json:"sweep_workers,omitempty"`
+	Results      []result `json:"results"`
 }
 
 func main() {
@@ -74,8 +85,39 @@ func run(args []string) error {
 	match := fs.String("run", "", "only benchmarks whose name contains this substring")
 	quiet := fs.Bool("q", false, "suppress per-benchmark progress on stderr")
 	check := fs.Bool("check", false, "verify the trajectory file covers the selected suite; run nothing")
+	workers := fs.Int("workers", 0, "sweep worker-pool bound (sets GOMAXPROCS; 0 keeps the environment's)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+		}()
 	}
 	suite, defaultOut, err := selectSuite(*suiteName)
 	if err != nil {
@@ -89,11 +131,13 @@ func run(args []string) error {
 	}
 
 	traj := trajectory{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		SweepWorkers: runtime.GOMAXPROCS(0),
 	}
 	for _, bench := range suite {
 		if *match != "" && !strings.Contains(bench.Name, *match) {
@@ -147,8 +191,10 @@ func selectSuite(name string) ([]benchsuite.Bench, string, error) {
 		return benchsuite.All(), "BENCH_PR4.json", nil
 	case "delta":
 		return benchsuite.Delta(), "BENCH_PR8.json", nil
+	case "interest":
+		return benchsuite.Interest(), "BENCH_PR9.json", nil
 	default:
-		return nil, "", fmt.Errorf("unknown suite %q (want \"all\" or \"delta\")", name)
+		return nil, "", fmt.Errorf("unknown suite %q (want \"all\", \"delta\", or \"interest\")", name)
 	}
 }
 

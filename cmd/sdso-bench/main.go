@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sdso/internal/harness"
 )
@@ -27,14 +29,41 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdso-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, blocking, datasize, quorum, delta, resilience, or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, blocking, datasize, quorum, delta, interest, resilience, or all")
 	rng := fs.Int("range", 0, "tank visibility range (1 or 3); 0 means both")
 	seeds := fs.Int("seeds", 3, "number of game seeds to average over")
 	maxTicks := fs.Int("ticks", 200, "game horizon in logical ticks")
 	extras := fs.Bool("extensions", false, "also run the LRC and causal-memory baselines")
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sdso-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sdso-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	ranges := []int{1, 3}
@@ -120,6 +149,16 @@ func run(args []string) error {
 		}
 		fmt.Println(harness.RenderDelta(rows))
 	}
+	// The interest panel sweeps the spatial interest filter (off vs on)
+	// across fixed-density worlds at n up to 256, both sides running the
+	// delta-encoded batched exchange.
+	if want("interest") {
+		rows, err := harness.InterestAnalysis(nil, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderInterest(rows))
+	}
 	// The resilience panel runs over real loopback sockets (not the
 	// simulator) with chaos proxies killing every connection, so it is
 	// opt-in rather than part of -fig all.
@@ -132,9 +171,9 @@ func run(args []string) error {
 	}
 
 	switch *fig {
-	case "all", "5", "6", "7", "8", "blocking", "datasize", "quorum", "delta", "resilience":
+	case "all", "5", "6", "7", "8", "blocking", "datasize", "quorum", "delta", "interest", "resilience":
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 5, 6, 7, 8, blocking, datasize, quorum, delta, resilience, or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 5, 6, 7, 8, blocking, datasize, quorum, delta, interest, resilience, or all)", *fig)
 	}
 }

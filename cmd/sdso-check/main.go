@@ -17,6 +17,8 @@
 //	sdso-check -protocols QUORUM -quorum-f 2    # ABD grid, f=2 only
 //	sdso-check -repro 23 -protocols EC -fault-every 1
 //	                                            # replay one shrunk schedule
+//	sdso-check -protocols BSYNC,MSYNC,MSYNC2 -interest
+//	                                            # spatial interest filter on
 package main
 
 import (
@@ -46,6 +48,7 @@ func run(args []string) error {
 	ticks := fs.Int("ticks", 48, "game horizon in logical ticks")
 	faultEvery := fs.Int("fault-every", 4, "run every Nth schedule under ambient message faults (0 = never)")
 	quorumF := fs.String("quorum-f", "1,2", "replication factors swept by the QUORUM grid")
+	interest := fs.Bool("interest", false, "run the lookahead protocols with spatial interest management on (arms the interest-safety invariants)")
 	repro := fs.Int64("repro", 0, "replay exactly the one schedule with this seed (as printed in a repro line) and exit")
 	verbose := fs.Bool("v", false, "print per-protocol progress")
 	if err := fs.Parse(args); err != nil {
@@ -57,7 +60,12 @@ func run(args []string) error {
 	for _, p := range strings.Split(*protos, ",") {
 		name := harness.Protocol(strings.ToUpper(strings.TrimSpace(p)))
 		switch name {
-		case harness.BSYNC, harness.MSYNC, harness.MSYNC2, harness.EC:
+		case harness.BSYNC, harness.MSYNC, harness.MSYNC2:
+			list = append(list, name)
+		case harness.EC:
+			if *interest {
+				return fmt.Errorf("-interest applies to the lookahead protocols; drop EC from -protocols")
+			}
 			list = append(list, name)
 		case "QUORUM":
 			quorum = true
@@ -111,9 +119,17 @@ func run(args []string) error {
 
 	for _, proto := range list {
 		proto := proto
-		res := check.Explore(cfg, harness.CheckedRunner(proto))
+		runner := harness.CheckedRunner(proto)
+		if *interest {
+			runner = harness.InterestCheckedRunner(proto)
+		}
+		res := check.Explore(cfg, runner)
 		report(string(proto), res, func(sc check.Scenario) string {
-			return harness.ReproLine(proto, sc)
+			line := harness.ReproLine(proto, sc)
+			if *interest {
+				line += " -interest"
+			}
+			return line
 		})
 	}
 	for _, f := range factors {

@@ -64,14 +64,31 @@ type Options struct {
 	// lookahead protocol, even under loss (replicas merely end up at
 	// different versions, which the delivery check covers separately).
 	Convergence bool
+	// InterestSafety enables the interest-management visibility check: no
+	// process may miss an update for an object inside its sensing radius
+	// once the object has been visible for InterestSlack ticks — the
+	// interest machinery's budget for the flush-triggering rendezvous and
+	// the enter-radius fetch round trip. Runs only on loss-free histories
+	// without joins (loss and snapshots legitimately suppress or bypass
+	// the per-apply evidence the check rests on).
+	InterestSafety bool
+	// InterestSlack is the delivery budget, in ticks, granted by
+	// InterestSafety before a visible-but-stale object is a violation.
+	// Zero means DefaultInterestSlack.
+	InterestSlack int64
 }
+
+// DefaultInterestSlack is the InterestSafety budget used when
+// Options.InterestSlack is zero: generous enough for an unbatched
+// interest-paced schedule (stretch cap 4) plus a fetch round trip.
+const DefaultInterestSlack = 16
 
 // Violation is one invariant breach.
 type Violation struct {
 	// Class names the invariant: "clock", "sync-buffering",
 	// "xlist-adherence", "pid-arbitration", "spatial-withhold",
-	// "spatial-delivery", "delivery", "convergence", "lock-order",
-	// "lock-serialize".
+	// "spatial-delivery", "delivery", "interest-safety", "convergence",
+	// "lock-order", "lock-serialize".
 	Class string
 	// Proc is the process whose history exhibits the breach.
 	Proc int
@@ -159,6 +176,9 @@ func Analyze(h History, opts Options) *Report {
 	if !opts.Lossy {
 		a.checkDelivery()
 		a.checkPIDGlobal()
+		if opts.InterestSafety {
+			a.checkInterestSafety()
+		}
 	}
 	if opts.Convergence {
 		a.checkConvergence()
@@ -307,6 +327,13 @@ func (a *analyzer) checkPIDLocal(p int) {
 				}
 			}
 			objs[e.Obj] = ow{ver: e.Ver, writer: e.Peer}
+		case trace.OpAdopt:
+			// A fetch reply adopted version-gated full state. The serving
+			// peer is not the writer, so the writer becomes unknown and
+			// later tie arbitration on this version is not checkable.
+			if cur, known := objs[e.Obj]; !known || e.Ver >= cur.ver {
+				objs[e.Obj] = ow{ver: e.Ver, writer: -1}
+			}
 		case trace.OpStale:
 			cur, known := objs[e.Obj]
 			if !known {
@@ -377,9 +404,10 @@ func (a *analyzer) checkWithholding(p int) {
 // or — the correctness backstop — when the peer could be walking into the
 // box of withheld writes. Believed positions drift at most one cell per
 // tick since the last rendezvous, so an actual delivery is only legitimate
-// when the peer's tanks are within radius + 3*sinceRendezvous + 8 of ours,
-// or within radius + 2*sinceRendezvous + 8 of the bounding box of the
-// objects the message carries.
+// when the peer's tanks are within radius + 3*sinceRendezvous + pad of ours,
+// or within radius + 2*sinceRendezvous + pad of the bounding box of the
+// objects the message carries (pad 8, doubled on lossy runs where delayed
+// SYNCs widen the believed-position staleness).
 func (a *analyzer) checkDeliveryBound(p int) {
 	lastRend := make(map[int32]int64)
 	fresh := make(map[int32]bool) // peer admitted since last rendezvous
@@ -403,12 +431,20 @@ func (a *analyzer) checkDeliveryBound(p int) {
 			if since < 0 {
 				since = 0
 			}
-			tankBound := int64(a.opts.Radius) + 3*since + 8
+			pad := int64(8)
+			if a.opts.Lossy {
+				// Ambient delays can hold a SYNC in flight past the
+				// rendezvous the trace records, so the believed position
+				// the filter acted on can be staler than sinceRendezvous
+				// by the fault plan's delay budget.
+				pad = 16
+			}
+			tankBound := int64(a.opts.Radius) + 3*since + pad
 			d, ok := a.pairDist(p, int(e.Peer), e.Time)
 			if !ok || int64(d) <= tankBound {
 				continue
 			}
-			boxBound := int64(a.opts.Radius) + 2*since + 8
+			boxBound := int64(a.opts.Radius) + 2*since + pad
 			bd, bok := a.boxDist(objs, int(e.Peer), e.Time)
 			if bok && int64(bd) <= boxBound {
 				continue
@@ -518,6 +554,102 @@ func (a *analyzer) checkDelivery() {
 			}
 			if ver < e.Ver {
 				a.fail("delivery", q, e, "proc %d flushed object %d at version %d (stamp %d) but replica holds version %d", p, e.Obj, e.Ver, e.Time, ver)
+			}
+		}
+	}
+}
+
+// checkInterestSafety verifies the interest-management visibility
+// invariant: a player never misses an update for an object inside its
+// sensing radius. For every write (p, obj, ver) and every other process
+// q, the check finds the first tick at or after the write at which obj
+// lies within q's radius; q's replica must then reflect a version at
+// least ver within InterestSlack ticks — the budget covering the
+// stretched rendezvous that flushes the withheld update plus the
+// enter-radius fetch round trip. Obligations that outlive either
+// process's history, or involve an eviction between the pair, are
+// excused; joins disable the check entirely (snapshot catch-up bypasses
+// the per-apply evidence, making the applied-version timeline a lower
+// bound that would yield false violations).
+func (a *analyzer) checkInterestSafety() {
+	if a.hasJoin {
+		return
+	}
+	slack := a.opts.InterestSlack
+	if slack <= 0 {
+		slack = DefaultInterestSlack
+	}
+	type verAt struct {
+		t   int64
+		ver int64
+	}
+	// verHist[q][obj] is the time-ordered prefix-max of versions q's
+	// replica held (own writes, applied remote writes, and adopted fetch
+	// replies).
+	n := len(a.h.Procs)
+	verHist := make([]map[int64][]verAt, n)
+	for q, evs := range a.h.Procs {
+		verHist[q] = make(map[int64][]verAt)
+		for _, e := range evs {
+			if e.Op != trace.OpWrite && e.Op != trace.OpApply && e.Op != trace.OpAdopt {
+				continue
+			}
+			hist := verHist[q][e.Obj]
+			if len(hist) > 0 && e.Ver <= hist[len(hist)-1].ver {
+				continue // prefix-max: only version raises matter
+			}
+			verHist[q][e.Obj] = append(hist, verAt{t: e.Time, ver: e.Ver})
+		}
+	}
+	// verBy returns the highest version q held of obj at any event time
+	// <= t (histories are time-ordered, so the slice is sorted).
+	verBy := func(q int, obj, t int64) int64 {
+		best := int64(0)
+		for _, va := range verHist[q][obj] {
+			if va.t > t {
+				break
+			}
+			best = va.ver
+		}
+		return best
+	}
+	for p, evs := range a.h.Procs {
+		for _, e := range evs {
+			if e.Op != trace.OpWrite {
+				continue
+			}
+			for q := 0; q < n; q++ {
+				if q == p {
+					continue
+				}
+				if len(a.h.Crashed) > q && a.h.Crashed[q] {
+					continue
+				}
+				if a.evicted(q, int32(p)) || a.evicted(p, int32(q)) {
+					continue
+				}
+				// First tick at or after the write where obj is visible
+				// to q.
+				visible := int64(-1)
+				for t := e.Time; t <= a.finalTick[q]; t++ {
+					d, ok := a.minDistToTanks(e.Obj, q, t)
+					if ok && d <= a.opts.Radius {
+						visible = t
+						break
+					}
+				}
+				if visible < 0 {
+					continue // never visible: no obligation
+				}
+				deadline := visible + slack
+				if deadline > a.finalTick[q] {
+					continue // the history ends inside the budget
+				}
+				if got := verBy(q, e.Obj, deadline); got < e.Ver {
+					a.fail("interest-safety", q, e,
+						"proc %d wrote object %d version %d at tick %d; visible to %d from tick %d but its replica held only version %d by tick %d (slack %d)",
+						p, e.Obj, e.Ver, e.Time, q, visible, got, deadline, slack)
+				}
 			}
 		}
 	}

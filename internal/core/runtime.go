@@ -167,6 +167,17 @@ type Config struct {
 	// resends a full picture.
 	OnJoin func(peer int)
 
+	// InterestFilter, when set, gates DATA flushes in multicast exchanges
+	// by spatial interest: a peer for which it returns false keeps its
+	// modifications buffered (merging, bounded) instead of receiving them
+	// this rendezvous, exactly like a SendData veto. SYNC beacons are
+	// never filtered — liveness must not depend on proximity — and
+	// Broadcast exchanges ignore the filter entirely (paper §3.1 forces a
+	// full flush). It composes with ExchangeOpts.SendData: data goes out
+	// only when both agree. Nil (the default) leaves every path
+	// byte-identical to the unfiltered runtime.
+	InterestFilter func(peer int) bool
+
 	// Trace, when set, records this process's observation history — clock
 	// ticks, schedule changes, data sends/applies, SYNC receipt,
 	// membership transitions — for the consistency oracle in
@@ -580,11 +591,15 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 	// without a DONE) is a crash observation: the peer is evicted and the
 	// exchange proceeds with the survivors.
 	sentSync := make(map[int]*wire.Msg, len(targets))
+	var deferredSync []int // filtered-out peers whose bare SYNC fans out grouped
 	for _, peer := range targets {
 		if r.peerCrashed[peer] {
 			continue
 		}
 		sendData := opts.How == Broadcast || opts.SendData == nil || opts.SendData(peer)
+		if sendData && opts.How != Broadcast && r.cfg.InterestFilter != nil && !r.cfg.InterestFilter(peer) {
+			sendData = false
+		}
 		if r.tr != nil && !sendData {
 			for _, obj := range r.buf.Objects(peer) {
 				r.tr.Record(trace.OpWithheld, peer, int64(obj), 0, r.now, 0)
@@ -641,6 +656,14 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 			}
 			r.traceDataSend(peer, diffs, r.now)
 		}
+		if r.cfg.InterestFilter != nil && !sendData {
+			// With the spatial filter active the uninterested peers are
+			// the common case at scale; their bare SYNCs usually share a
+			// beacon (same tanks, same buffered box), so they are fanned
+			// out after the loop with one encode per distinct beacon.
+			deferredSync = append(deferredSync, peer)
+			continue
+		}
 		var beacon []int64
 		if opts.Beacon != nil {
 			beacon = opts.Beacon(peer)
@@ -655,6 +678,9 @@ func (r *Runtime) Exchange(opts ExchangeOpts) error {
 		}
 		sentSync[peer] = sync
 		r.lastSync[peer] = sync
+	}
+	if err := r.sendSyncFanout(deferredSync, opts, sentSync); err != nil {
+		return err
 	}
 	// Barrier: release whatever the transport coalesced before blocking on
 	// (or returning control ahead of) the peers' answers.
@@ -1100,6 +1126,7 @@ func (r *Runtime) consume(m *wire.Msg, onSync func(peer int, beacon []int64, sta
 			}
 			if cur, err := r.st.Version(store.ID(m.Obj)); err == nil && ver >= cur {
 				_ = r.st.SetState(store.ID(m.Obj), m.Payload, ver)
+				r.tr.Record(trace.OpAdopt, peer, int64(m.Obj), ver, r.now, m.Stamp)
 			}
 			// Whatever the store decided, the serving peer now assumes we
 			// hold exactly this state: realign the shadow (see delta.go).

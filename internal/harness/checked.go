@@ -51,6 +51,13 @@ type CheckedConfig struct {
 	// lookahead.PlayerConfig.MaxBatchTicks), proving the oracle's
 	// invariants hold over batched schedules.
 	MaxBatchTicks int64
+	// Interest runs the lookahead protocols with spatial interest
+	// management on (see lookahead.PlayerConfig.Interest) and arms the
+	// oracle's spatial-safety invariants: withholds must stay outside the
+	// sensing radius, and no process may miss an update for an object
+	// inside its radius once the interest machinery has had time to
+	// deliver it.
+	Interest bool
 }
 
 func (c CheckedConfig) withCheckedDefaults() CheckedConfig {
@@ -96,6 +103,22 @@ func checkOptions(cfg CheckedConfig, g game.Config) check.Options {
 	case EC:
 		opts.EC = true
 	}
+	if cfg.Interest {
+		// The interest filter withholds under every lookahead protocol
+		// (BSYNC included), so each withhold must honor the sensing
+		// radius, and every process must see updates to objects inside
+		// its radius within the interest machinery's delivery budget:
+		// up to InterestMaxStretch stretched batch periods for the
+		// flush-triggering rendezvous, doubled for the fetch round trip
+		// and beacon staleness, plus a constant for delivery jitter.
+		base := cfg.MaxBatchTicks
+		if base < 1 {
+			base = 1
+		}
+		opts.Spatial = true
+		opts.InterestSafety = true
+		opts.InterestSlack = 2*lookahead.InterestMaxStretch*base + 8
+	}
 	return opts
 }
 
@@ -103,6 +126,9 @@ func checkOptions(cfg CheckedConfig, g game.Config) check.Options {
 // schedule and replays the history through the oracle.
 func RunChecked(cfg CheckedConfig) (*check.Report, error) {
 	cfg = cfg.withCheckedDefaults()
+	if cfg.Interest && cfg.Protocol == EC {
+		return nil, fmt.Errorf("harness: interest management applies to the lookahead protocols, not %q", cfg.Protocol)
+	}
 	switch cfg.Protocol {
 	case BSYNC, MSYNC, MSYNC2:
 		return runCheckedLookahead(cfg)
@@ -150,6 +176,7 @@ func runCheckedLookahead(cfg CheckedConfig) (*check.Report, error) {
 				RendezvousTimeout: timeout,
 				DeltaEncode:       cfg.DeltaEncode,
 				MaxBatchTicks:     cfg.MaxBatchTicks,
+				Interest:          cfg.Interest,
 				Trace:             recs[i],
 				Snapshot:          func(st *store.Store) { stores[i] = st.Clone() },
 			})
@@ -285,6 +312,17 @@ func runCheckedEC(cfg CheckedConfig) (*check.Report, error) {
 // CheckedRunner adapts RunChecked into the explorer's Runner for one
 // protocol, with faults using the default ambient rates.
 func CheckedRunner(proto Protocol) check.Runner {
+	return checkedRunner(proto, false)
+}
+
+// InterestCheckedRunner is CheckedRunner with spatial interest management
+// (and the interest-safety oracle invariants) armed for every schedule.
+// Only the lookahead protocols support it.
+func InterestCheckedRunner(proto Protocol) check.Runner {
+	return checkedRunner(proto, true)
+}
+
+func checkedRunner(proto Protocol, interest bool) check.Runner {
 	return func(sc check.Scenario) (*check.Report, error) {
 		return RunChecked(CheckedConfig{
 			Protocol: proto,
@@ -292,6 +330,7 @@ func CheckedRunner(proto Protocol) check.Runner {
 			Teams:    sc.Teams,
 			Ticks:    sc.Ticks,
 			Faults:   sc.Faults,
+			Interest: interest,
 		})
 	}
 }

@@ -79,6 +79,10 @@ type Config struct {
 	// PiggybackSync rides SYNC markers on data frames (see
 	// core.Config.PiggybackSync); only the lookahead protocols honor it.
 	PiggybackSync bool
+	// Interest turns on spatial interest management (see
+	// lookahead.PlayerConfig.Interest); only the lookahead protocols
+	// honor it.
+	Interest bool
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +166,7 @@ func runLookahead(cfg Config) (*Result, error) {
 				DeltaEncode:       cfg.DeltaEncode,
 				MaxBatchTicks:     cfg.MaxBatchTicks,
 				PiggybackSync:     cfg.PiggybackSync,
+				Interest:          cfg.Interest,
 			})
 		})
 	}

@@ -1,0 +1,70 @@
+package harness
+
+import "testing"
+
+// Interest-management oracle coverage: spatial interest filtering must
+// preserve every invariant the oracle knows how to check — delivery,
+// convergence, PID arbitration, spatial withholds — and additionally
+// satisfy the interest-safety bound (no process misses an update for an
+// object inside its sensing radius beyond the interest delivery budget).
+// The seed matrix matches the CI chaos jobs.
+
+var interestOracleSeeds = []int64{7, 13, 21, 33, 57}
+
+func runInterestOracle(t *testing.T, delta bool, batch int64) {
+	t.Helper()
+	for _, proto := range LookaheadProtocols {
+		for _, seed := range interestOracleSeeds {
+			rep, err := RunChecked(CheckedConfig{
+				Protocol:      proto,
+				Seed:          seed,
+				Teams:         8,
+				Ticks:         60,
+				Interest:      true,
+				DeltaEncode:   delta,
+				MaxBatchTicks: batch,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", proto, seed, err)
+			}
+			if !rep.Ok() {
+				t.Errorf("%s seed %d:\n%s", proto, seed, rep)
+			}
+		}
+	}
+}
+
+// TestInterestOracle runs the filter-on matrix fault-free: 8 players for
+// real spatial sparsity, every lookahead protocol, the CI seed set.
+func TestInterestOracle(t *testing.T) { runInterestOracle(t, false, 0) }
+
+// TestInterestOracleDeltaBatch proves interest composes with delta
+// encoding and tick batching: the withheld-then-flushed stretches must
+// not desynchronize the delta acked-version tables.
+func TestInterestOracleDeltaBatch(t *testing.T) { runInterestOracle(t, true, 4) }
+
+// TestInterestOracleChaos layers the ambient fault plan (drop/dup/delay)
+// over the filtered exchange path. Lossy runs skip the delivery-style
+// checks but still enforce spatial-withhold safety and the per-process
+// invariants.
+func TestInterestOracleChaos(t *testing.T) {
+	for _, proto := range LookaheadProtocols {
+		for _, seed := range interestOracleSeeds {
+			rep, err := RunChecked(CheckedConfig{
+				Protocol:    proto,
+				Seed:        seed,
+				Teams:       8,
+				Ticks:       60,
+				Interest:    true,
+				DeltaEncode: true,
+				Faults:      true,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", proto, seed, err)
+			}
+			if !rep.Ok() {
+				t.Errorf("%s seed %d:\n%s", proto, seed, rep)
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package interest maintains per-player interest sets over a
+// grid-bucketed spatial index of the world.
+//
+// The paper's spatial constraint says a player only needs updates for
+// objects within its sensing radius d. This package turns that bound
+// into an exchange-fanout filter: every peer's last advertised tank
+// positions are bucketed into grid cells of side d, and each tick the
+// player refreshes its interest set by querying only the cells its own
+// tanks can reach — O(neighbors) work instead of O(n) pairwise
+// distance tests.
+//
+// Membership is hysteretic: a peer enters the set when it comes within
+// d + EnterSlack and leaves only once it is farther than d + ExitSlack
+// (ExitSlack > EnterSlack), so sets churn on region crossings rather
+// than every step. Both thresholds are widened by the staleness of the
+// peer's advertised positions times MaxSpeed, bounding how far the peer
+// may have drifted since its last beacon. Peers with no observation yet
+// are unconditionally interesting — safety degrades to full fanout, not
+// to silence.
+package interest
+
+import (
+	"sort"
+
+	"sdso/internal/game"
+)
+
+// Config parameterizes an Index. Radius is the sensing radius d
+// (required, > 0); the rest default sensibly from it.
+type Config struct {
+	// Width and Height bound the world; positions outside are clamped
+	// into range when bucketed.
+	Width, Height int
+	// Radius is the sensing radius d in blocks (Manhattan metric, like
+	// the s-function machinery).
+	Radius int
+	// EnterSlack widens the radius at which a peer becomes interesting.
+	// Defaults to 2.
+	EnterSlack int
+	// ExitSlack widens the radius below which a peer must come back to
+	// stay interesting once it is in the set. Must exceed EnterSlack for
+	// hysteresis; defaults to EnterSlack + 4.
+	ExitSlack int
+	// MaxSpeed bounds how many blocks any tank moves per tick; it scales
+	// the staleness drift allowance. Defaults to 1.
+	MaxSpeed int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Radius <= 0 {
+		c.Radius = 1
+	}
+	if c.EnterSlack <= 0 {
+		c.EnterSlack = 2
+	}
+	if c.ExitSlack <= c.EnterSlack {
+		c.ExitSlack = c.EnterSlack + 4
+	}
+	if c.MaxSpeed <= 0 {
+		c.MaxSpeed = 1
+	}
+	return c
+}
+
+type cell struct{ cx, cy int }
+
+// obs is the last advertised state of one peer.
+type obs struct {
+	tanks []game.Pos
+	tick  int64
+	cells []cell
+}
+
+// Index maintains one player's interest set over the advertised
+// positions of its peers. It is not safe for concurrent use; each
+// player owns one.
+type Index struct {
+	cfg  Config
+	side int // grid cell side = max(Radius, 1)
+
+	peers   map[int]*obs
+	buckets map[cell][]int
+	members map[int]bool
+	blind   map[int]bool // observed never or with unknown positions
+}
+
+// New returns an empty index.
+func New(cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	side := cfg.Radius
+	if side < 1 {
+		side = 1
+	}
+	return &Index{
+		cfg:     cfg,
+		side:    side,
+		peers:   make(map[int]*obs),
+		buckets: make(map[cell][]int),
+		members: make(map[int]bool),
+		blind:   make(map[int]bool),
+	}
+}
+
+func (ix *Index) cellOf(p game.Pos) cell {
+	x, y := p.X, p.Y
+	if x < 0 {
+		x = 0
+	}
+	if ix.cfg.Width > 0 && x >= ix.cfg.Width {
+		x = ix.cfg.Width - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if ix.cfg.Height > 0 && y >= ix.cfg.Height {
+		y = ix.cfg.Height - 1
+	}
+	return cell{x / ix.side, y / ix.side}
+}
+
+func (ix *Index) unbucket(peer int, o *obs) {
+	for _, c := range o.cells {
+		ids := ix.buckets[c]
+		for i, id := range ids {
+			if id == peer {
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(ix.buckets, c)
+		} else {
+			ix.buckets[c] = ids
+		}
+	}
+	o.cells = o.cells[:0]
+}
+
+// Observe records peer's tank positions as advertised at tick. An empty
+// position list marks the peer blind (unconditionally interesting):
+// a peer whose whereabouts are unknown must keep receiving updates.
+func (ix *Index) Observe(peer int, tanks []game.Pos, tick int64) {
+	o := ix.peers[peer]
+	if o == nil {
+		o = &obs{}
+		ix.peers[peer] = o
+	} else {
+		ix.unbucket(peer, o)
+	}
+	o.tanks = append(o.tanks[:0], tanks...)
+	o.tick = tick
+	if len(tanks) == 0 {
+		ix.blind[peer] = true
+		return
+	}
+	delete(ix.blind, peer)
+	seen := make(map[cell]bool, len(tanks))
+	for _, p := range tanks {
+		c := ix.cellOf(p)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		o.cells = append(o.cells, c)
+		ix.buckets[c] = append(ix.buckets[c], peer)
+	}
+}
+
+// Forget drops everything known about peer: it becomes blind, i.e.
+// unconditionally interesting, until the next Observe. Use it when a
+// peer joins or rejoins with unknown state.
+func (ix *Index) Forget(peer int) {
+	if o := ix.peers[peer]; o != nil {
+		ix.unbucket(peer, o)
+		delete(ix.peers, peer)
+	}
+	ix.blind[peer] = true
+}
+
+// Drop removes peer entirely (evicted or departed): not a member, not
+// blind, never returned again.
+func (ix *Index) Drop(peer int) {
+	if o := ix.peers[peer]; o != nil {
+		ix.unbucket(peer, o)
+		delete(ix.peers, peer)
+	}
+	delete(ix.blind, peer)
+	delete(ix.members, peer)
+}
+
+// Contains reports whether peer is currently interesting: in the
+// hysteretic member set or blind.
+func (ix *Index) Contains(peer int) bool {
+	return ix.members[peer] || ix.blind[peer]
+}
+
+// Size returns the number of currently interesting peers.
+func (ix *Index) Size() int {
+	n := len(ix.members)
+	for p := range ix.blind {
+		if !ix.members[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// dist returns the minimum Manhattan distance between self's tanks and
+// o's advertised tanks.
+func dist(self []game.Pos, o *obs) int {
+	best := int(^uint(0) >> 1)
+	for _, a := range self {
+		for _, b := range o.tanks {
+			if d := a.Manhattan(b); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// drift bounds how far o's tanks may have moved since their beacon.
+func (ix *Index) drift(o *obs, now int64) int {
+	age := now - o.tick
+	if age < 0 {
+		age = 0
+	}
+	return int(age) * ix.cfg.MaxSpeed
+}
+
+// Refresh recomputes the interest set for a player whose own tanks sit
+// at self, as of tick now. It returns the peers that entered and left
+// the set this refresh. Blind peers are not members (they are covered
+// by Contains separately) and never appear in either list.
+func (ix *Index) Refresh(self []game.Pos, now int64) (entered, left []int) {
+	// Exit pass: existing members leave once provably farther than
+	// Radius + ExitSlack + drift.
+	for peer := range ix.members {
+		o := ix.peers[peer]
+		if o == nil || len(o.tanks) == 0 {
+			// Became blind or unknown; membership is moot.
+			delete(ix.members, peer)
+			continue
+		}
+		if len(self) == 0 {
+			continue
+		}
+		if dist(self, o) > ix.cfg.Radius+ix.cfg.ExitSlack+ix.drift(o, now) {
+			delete(ix.members, peer)
+			left = append(left, peer)
+		}
+	}
+	if len(self) == 0 {
+		return entered, left
+	}
+	// Enter pass: query the grid for candidate peers within
+	// Radius + EnterSlack + maxDrift of any of our tanks, then confirm
+	// with the exact per-peer drift-widened distance test. maxDrift uses
+	// the stalest bucketed observation so the cell sweep over-approximates
+	// every peer's own allowance.
+	maxDrift := 0
+	for peer, o := range ix.peers {
+		if ix.blind[peer] || len(o.tanks) == 0 {
+			continue
+		}
+		if d := ix.drift(o, now); d > maxDrift {
+			maxDrift = d
+		}
+	}
+	reach := ix.cfg.Radius + ix.cfg.EnterSlack + maxDrift
+	span := (reach + ix.side - 1) / ix.side // cells per axis, each side
+	seen := make(map[int]bool)
+	for _, p := range self {
+		c := ix.cellOf(p)
+		for dx := -span; dx <= span; dx++ {
+			for dy := -span; dy <= span; dy++ {
+				for _, peer := range ix.buckets[cell{c.cx + dx, c.cy + dy}] {
+					if seen[peer] || ix.members[peer] {
+						continue
+					}
+					seen[peer] = true
+					o := ix.peers[peer]
+					if dist(self, o) <= ix.cfg.Radius+ix.cfg.EnterSlack+ix.drift(o, now) {
+						ix.members[peer] = true
+						entered = append(entered, peer)
+					}
+				}
+			}
+		}
+	}
+	// Callers act on these lists (enter-radius fetches) in order; sort so
+	// the map iteration above never leaks nondeterminism downstream.
+	sort.Ints(entered)
+	sort.Ints(left)
+	return entered, left
+}

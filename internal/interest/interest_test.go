@@ -1,0 +1,192 @@
+package interest
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdso/internal/game"
+)
+
+func TestBlindPeerAlwaysInteresting(t *testing.T) {
+	ix := New(Config{Width: 32, Height: 24, Radius: 2})
+	ix.Forget(7)
+	if !ix.Contains(7) {
+		t.Fatal("forgotten peer must be interesting")
+	}
+	if ix.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", ix.Size())
+	}
+	ix.Observe(7, []game.Pos{{X: 30, Y: 20}}, 1)
+	ix.Refresh([]game.Pos{{X: 0, Y: 0}}, 1)
+	if ix.Contains(7) {
+		t.Fatal("far observed peer must not be interesting")
+	}
+	ix.Drop(7)
+	if ix.Contains(7) {
+		t.Fatal("dropped peer must not be interesting")
+	}
+}
+
+func TestEmptyObserveMarksBlind(t *testing.T) {
+	ix := New(Config{Width: 32, Height: 24, Radius: 2})
+	ix.Observe(3, nil, 1)
+	if !ix.Contains(3) {
+		t.Fatal("peer with unknown positions must be interesting")
+	}
+	ix.Observe(3, []game.Pos{{X: 1, Y: 1}}, 2)
+	ix.Refresh([]game.Pos{{X: 0, Y: 0}}, 2)
+	if !ix.Contains(3) {
+		t.Fatal("adjacent peer must be interesting")
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	ix := New(Config{Width: 64, Height: 64, Radius: 2, EnterSlack: 1, ExitSlack: 4})
+	self := []game.Pos{{X: 10, Y: 10}}
+	// Enter threshold is Radius+EnterSlack+drift = 2+1+0 = 3 at age 0.
+	ix.Observe(1, []game.Pos{{X: 14, Y: 10}}, 5) // dist 4 > 3: out
+	entered, _ := ix.Refresh(self, 5)
+	if len(entered) != 0 || ix.Contains(1) {
+		t.Fatalf("peer at dist 4 entered (entered=%v)", entered)
+	}
+	ix.Observe(1, []game.Pos{{X: 13, Y: 10}}, 6) // dist 3 <= 3: in
+	entered, _ = ix.Refresh(self, 6)
+	if len(entered) != 1 || !ix.Contains(1) {
+		t.Fatalf("peer at dist 3 did not enter (entered=%v)", entered)
+	}
+	// Exit threshold is Radius+ExitSlack+drift = 2+4+0 = 6: dist 5 stays.
+	ix.Observe(1, []game.Pos{{X: 15, Y: 10}}, 7)
+	_, left := ix.Refresh(self, 7)
+	if len(left) != 0 || !ix.Contains(1) {
+		t.Fatalf("peer at dist 5 left inside hysteresis band (left=%v)", left)
+	}
+	// dist 7 > 6: leaves.
+	ix.Observe(1, []game.Pos{{X: 17, Y: 10}}, 8)
+	_, left = ix.Refresh(self, 8)
+	if len(left) != 1 || ix.Contains(1) {
+		t.Fatalf("peer at dist 7 did not leave (left=%v)", left)
+	}
+}
+
+func TestStalenessWidensThresholds(t *testing.T) {
+	ix := New(Config{Width: 64, Height: 64, Radius: 2, EnterSlack: 1, ExitSlack: 4, MaxSpeed: 1})
+	self := []game.Pos{{X: 10, Y: 10}}
+	// dist 5 at age 2 → threshold 2+1+2 = 5: enters.
+	ix.Observe(1, []game.Pos{{X: 15, Y: 10}}, 3)
+	entered, _ := ix.Refresh(self, 5)
+	if len(entered) != 1 {
+		t.Fatalf("stale peer at dist 5 did not enter (entered=%v)", entered)
+	}
+}
+
+// TestRefreshMatchesBruteForce drives random walks through the grid and
+// checks membership against a direct hysteretic recomputation.
+func TestRefreshMatchesBruteForce(t *testing.T) {
+	const (
+		w, h   = 48, 36
+		nPeers = 24
+		ticks  = 80
+	)
+	rng := rand.New(rand.NewSource(42))
+	cfg := Config{Width: w, Height: h, Radius: 3, EnterSlack: 2, ExitSlack: 6, MaxSpeed: 1}
+	ix := New(cfg)
+
+	type ref struct {
+		tanks []game.Pos
+		tick  int64
+	}
+	peers := make(map[int]*ref)
+	want := make(map[int]bool)
+	step := func(p game.Pos) game.Pos {
+		p.X += rng.Intn(3) - 1
+		p.Y += rng.Intn(3) - 1
+		if p.X < 0 {
+			p.X = 0
+		}
+		if p.X >= w {
+			p.X = w - 1
+		}
+		if p.Y < 0 {
+			p.Y = 0
+		}
+		if p.Y >= h {
+			p.Y = h - 1
+		}
+		return p
+	}
+	self := []game.Pos{{X: w / 2, Y: h / 2}, {X: w / 4, Y: h / 4}}
+	for i := 0; i < nPeers; i++ {
+		peers[i] = &ref{tanks: []game.Pos{{X: rng.Intn(w), Y: rng.Intn(h)}}}
+		// Mirror real usage: every live peer starts blind until its
+		// first beacon is observed.
+		ix.Forget(i)
+	}
+
+	minDist := func(r *ref) int {
+		best := 1 << 30
+		for _, a := range self {
+			for _, b := range r.tanks {
+				if d := a.Manhattan(b); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+
+	for tick := int64(1); tick <= ticks; tick++ {
+		for i := range self {
+			self[i] = step(self[i])
+		}
+		for id, r := range peers {
+			// Peers beacon sporadically, so observations go stale.
+			if rng.Intn(3) == 0 {
+				for j := range r.tanks {
+					r.tanks[j] = step(r.tanks[j])
+				}
+				r.tick = tick
+				ix.Observe(id, r.tanks, tick)
+			}
+		}
+		ix.Refresh(self, tick)
+
+		// Brute-force hysteretic recomputation.
+		for id, r := range peers {
+			if r.tick == 0 {
+				continue // never observed: blind, checked below
+			}
+			drift := int(tick-r.tick) * cfg.MaxSpeed
+			d := minDist(r)
+			if want[id] {
+				if d > cfg.Radius+cfg.ExitSlack+drift {
+					want[id] = false
+				}
+			} else if d <= cfg.Radius+cfg.EnterSlack+drift {
+				want[id] = true
+			}
+		}
+		for id, r := range peers {
+			got := ix.Contains(id)
+			exp := want[id] || r.tick == 0
+			if got != exp {
+				t.Fatalf("tick %d peer %d: Contains=%v want %v (dist=%d)",
+					tick, id, got, exp, minDist(r))
+			}
+		}
+	}
+}
+
+func BenchmarkRefresh128(b *testing.B) {
+	const w, h = 96, 64
+	cfg := Config{Width: w, Height: h, Radius: 3}
+	ix := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 128; i++ {
+		ix.Observe(i, []game.Pos{{X: rng.Intn(w), Y: rng.Intn(h)}}, 1)
+	}
+	self := []game.Pos{{X: w / 2, Y: h / 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Refresh(self, int64(i%8)+1)
+	}
+}

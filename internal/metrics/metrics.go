@@ -158,6 +158,14 @@ type Collector struct {
 	deltaMismatches padded
 	ticksBatched    padded
 	flushThreshold  padded
+
+	// Interest-management counters: the largest interest set the process
+	// ever held (a gauge), peers that entered or left the interest set
+	// after the initial build (churn), and full-record fetches issued when
+	// a peer entered the sensing radius.
+	interestSetPeak padded
+	interestChurn   padded
+	interestFetches padded
 }
 
 // NewCollector returns an empty collector.
@@ -286,6 +294,18 @@ func (c *Collector) AddTickBatched() { c.ticksBatched.v.Add(1) }
 // byte threshold (a gauge: the last written value wins).
 func (c *Collector) NoteFlushThreshold(threshold int) { c.flushThreshold.v.Store(int64(threshold)) }
 
+// NoteInterestSetSize raises the interest-set high-water mark to n if it
+// is the largest set observed so far.
+func (c *Collector) NoteInterestSetSize(n int) { c.interestSetPeak.Max(int64(n)) }
+
+// AddInterestChurn records n peers entering or leaving the interest set
+// at one refresh.
+func (c *Collector) AddInterestChurn(n int) { c.interestChurn.v.Add(int64(n)) }
+
+// AddInterestFetch records one on-demand full-record fetch issued because
+// a peer entered the sensing radius.
+func (c *Collector) AddInterestFetch() { c.interestFetches.v.Add(1) }
+
 // SetExecTime records the process's total execution time (its clock at
 // completion).
 func (c *Collector) SetExecTime(d time.Duration) { c.execTime.Store(int64(d)) }
@@ -330,6 +350,10 @@ func (c *Collector) Snapshot() Snapshot {
 		DeltaMismatches:       int(c.deltaMismatches.v.Load()),
 		TicksBatched:          int(c.ticksBatched.v.Load()),
 		FlushThresholdCurrent: int(c.flushThreshold.v.Load()),
+
+		InterestSetPeak: int(c.interestSetPeak.v.Load()),
+		InterestChurn:   int(c.interestChurn.v.Load()),
+		InterestFetches: int(c.interestFetches.v.Load()),
 	}
 	for k := wire.KindSync; int(k) < wire.NumKinds; k++ {
 		if n := c.msgsSent[k].v.Load(); n != 0 {
@@ -397,6 +421,12 @@ type Snapshot struct {
 	DeltaMismatches       int
 	TicksBatched          int
 	FlushThresholdCurrent int
+	// Interest-management counters: the largest interest set held at any
+	// refresh, peers entering or leaving the set after the initial build,
+	// and on-demand full-record fetches triggered by enter-radius events.
+	InterestSetPeak int
+	InterestChurn   int
+	InterestFetches int
 }
 
 // DataMsgs returns the number of data messages sent (paper Figure 7).
@@ -686,6 +716,35 @@ func (g Group) FlushThresholdPeak() int {
 		if s.FlushThresholdCurrent > n {
 			n = s.FlushThresholdCurrent
 		}
+	}
+	return n
+}
+
+// InterestSetPeak returns the largest interest set any process held.
+func (g Group) InterestSetPeak() int {
+	n := 0
+	for _, s := range g.Procs {
+		if s.InterestSetPeak > n {
+			n = s.InterestSetPeak
+		}
+	}
+	return n
+}
+
+// InterestChurn sums interest-set membership changes across processes.
+func (g Group) InterestChurn() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.InterestChurn
+	}
+	return n
+}
+
+// InterestFetches sums enter-radius full-record fetches across processes.
+func (g Group) InterestFetches() int {
+	n := 0
+	for _, s := range g.Procs {
+		n += s.InterestFetches
 	}
 	return n
 }

@@ -1,0 +1,119 @@
+package lookahead
+
+// Spatial interest management for the lookahead protocols (PlayerConfig.
+// Interest): the per-tick interest-set refresh, the runtime DATA filter,
+// and the interest-paced BSYNC s-function. The grid-bucketed index
+// itself lives in internal/interest; this file wires it to the player
+// loop and the core runtime.
+
+import (
+	"sdso/internal/game"
+	"sdso/internal/store"
+)
+
+// InterestMaxStretch caps how many base periods the interest-paced BSYNC
+// s-function may skip for a far peer. It bounds SYNC staleness (and the
+// failure detector's silence window) regardless of world size: even the
+// farthest peer rendezvouses at least every InterestMaxStretch*batch
+// ticks.
+const InterestMaxStretch = 4
+
+// refreshInterest recomputes the interest set for the upcoming tick and
+// handles enter-radius events: peers that just became interesting get
+// their delta send-table reset (full records next flush) and an
+// on-demand fetch of the objects under their last-known tanks, so the
+// tick they become visible is backed by fresh state rather than by
+// whatever survived the filtered stretch.
+func (p *player) refreshInterest(tick int64) {
+	if p.ix == nil {
+		return
+	}
+	entered, left := p.ix.Refresh(game.Positions(p.tanks), tick)
+	p.mc.NoteInterestSetSize(p.ix.Size())
+	if tick > 1 {
+		// The first refresh builds the set; only later transitions are
+		// churn.
+		if n := len(entered) + len(left); n > 0 {
+			p.mc.AddInterestChurn(n)
+		}
+	}
+	for _, peer := range entered {
+		if p.rt.PeerGone(peer) {
+			continue
+		}
+		p.rt.InterestEnter(peer)
+		if tick <= 1 {
+			continue // the initial world is shared; nothing was withheld yet
+		}
+		kp := p.known[peer]
+		if kp == nil {
+			continue
+		}
+		objs := make([]store.ID, 0, len(kp.beacon.Tanks))
+		for _, pos := range kp.beacon.Tanks {
+			objs = append(objs, p.cfg.Game.ObjectOf(pos))
+		}
+		p.rt.InterestFetch(peer, objs)
+	}
+}
+
+// interestGate is the core.Config.InterestFilter: data flows to a peer
+// when it is in the hysteretic interest set, when nothing is known about
+// it (safety degrades to flushing, never to silence), or when one of the
+// MSYNC flush backstops fires — the peer's tanks approaching the box of
+// buffered modifications, or coming within interaction range of our
+// tanks. The backstop slacks match the MSYNC SendData filter exactly,
+// so composing the two never weakens the paper's invariants.
+func (p *player) interestGate(peer int) bool {
+	if p.ix.Contains(peer) {
+		return true
+	}
+	kp := p.known[peer]
+	if kp == nil || len(kp.beacon.Tanks) == 0 {
+		return true
+	}
+	h := p.cfg.Game.InteractionRadius()
+	staleness := int(p.rt.Now() - kp.tick)
+	myBox := game.BoxOfObjects(p.cfg.Game, p.rt.PendingObjects(peer))
+	if game.BoxApproach(kp.beacon.Tanks, myBox, h, staleness+3) {
+		return true
+	}
+	mine := game.Positions(p.tanks)
+	if myBox != nil && game.WithinRange(mine, kp.beacon.Tanks, h, staleness+4) {
+		return true
+	}
+	return false
+}
+
+// interestPacedSFunc is BSYNC's s-function under interest management:
+// the every-tick (or every-batch) period is stretched by the NextDelta
+// distance bound, quantized down to whole base periods and capped at
+// InterestMaxStretch. Both rendezvous partners evaluate NextDelta over
+// the same four inputs (each side's advertised tanks and pending-box),
+// so the stretched schedule stays symmetric — the same guarantee MSYNC's
+// s-function rests on — and the next rendezvous still lands before the
+// two neighborhoods can interact (the quantization only rounds the bound
+// down, never up, whenever the distance exceeds one base period).
+func (p *player) interestPacedSFunc() func(peer int, now int64, peerBeacon []int64) int64 {
+	h := p.cfg.Game.InteractionRadius()
+	base := int64(1)
+	if p.cfg.MaxBatchTicks > 1 {
+		base = p.cfg.MaxBatchTicks
+	}
+	return func(peer int, now int64, peerBeacon []int64) int64 {
+		kp := p.known[peer] // OnBeacon ran just before this
+		if kp == nil || len(kp.beacon.Tanks) == 0 {
+			return now + base // peer about to vanish; DONE will arrive
+		}
+		myBox := game.BoxOfObjects(p.cfg.Game, p.rt.PendingObjects(peer))
+		d := game.NextDelta(h, game.Positions(p.tanks), myBox, kp.beacon.Tanks, kp.beacon.Box)
+		stretch := d / base
+		if stretch < 1 {
+			stretch = 1
+		}
+		if stretch > InterestMaxStretch {
+			stretch = InterestMaxStretch
+		}
+		return now + stretch*base
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"sdso/internal/core"
 	"sdso/internal/game"
+	"sdso/internal/interest"
 	"sdso/internal/metrics"
 	"sdso/internal/store"
 	"sdso/internal/trace"
@@ -96,6 +97,19 @@ type PlayerConfig struct {
 	// ticks, and stretching them would break the spatial flush
 	// invariants. Values below 2 mean no batching.
 	MaxBatchTicks int64
+	// Interest turns on spatial interest management: a grid-bucketed
+	// index (internal/interest) tracks which peers' tanks are within the
+	// interaction radius (with hysteresis slack), and the runtime's
+	// InterestFilter withholds DATA from peers outside the set — their
+	// writes keep buffering and merging until they come near, enter-
+	// radius events trigger an on-demand full-record fetch, and under
+	// BSYNC the s-function additionally stretches rendezvous with far
+	// peers (bounded by the symmetric NextDelta guarantee) so SYNC
+	// traffic scales with neighborhood density too. The MSYNC flush
+	// backstops (box approach, within range) always override the filter,
+	// and Broadcast flushes ignore it entirely. Off by default: the
+	// exchange path stays byte-identical.
+	Interest bool
 	// ComputePerTick models the application's per-tick local processing
 	// ("the application processes have only a minimal amount of local
 	// processor processing to perform", §4).
@@ -164,6 +178,7 @@ type player struct {
 	known map[int]*knownPeer
 	stats game.TeamStats
 	mc    *metrics.Collector
+	ix    *interest.Index // nil unless cfg.Interest
 }
 
 // RunPlayer executes one team's process to completion and returns its
@@ -204,6 +219,13 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		mc:    mc,
 		stats: game.TeamStats{Team: cfg.Endpoint.ID()},
 	}
+	if cfg.Interest {
+		p.ix = interest.New(interest.Config{
+			Width:  cfg.Game.Width,
+			Height: cfg.Game.Height,
+			Radius: cfg.Game.InteractionRadius(),
+		})
+	}
 
 	// A joiner starts knowing only itself and readmits peers as their join
 	// acks arrive; a survivor expecting late joiners starts without them.
@@ -227,7 +249,15 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 	if cfg.Protocol == BSYNC && cfg.MaxBatchTicks > 1 {
 		batch = cfg.MaxBatchTicks
 	}
+	var filter func(peer int) bool
+	if cfg.Interest {
+		// The filter consults the hysteretic set plus the same flush
+		// backstops the MSYNC SendData filters use, so data is withheld
+		// only from peers that provably cannot be looking at it.
+		filter = p.interestGate
+	}
 	rt, err := core.New(core.Config{
+		InterestFilter:    filter,
 		Endpoint:          cfg.Endpoint,
 		Metrics:           mc,
 		MergeDiffs:        merge,
@@ -244,8 +274,13 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 		OnJoin: func(peer int) {
 			// Forget the joiner's pre-crash beacon: with no knowledge the
 			// MSYNC filters flush everything at the first rendezvous, so
-			// the rejoined peer cannot walk into withheld writes.
+			// the rejoined peer cannot walk into withheld writes. The
+			// interest index likewise marks it blind — unconditionally
+			// interesting — until its first beacon lands.
 			delete(p.known, peer)
+			if p.ix != nil {
+				p.ix.Forget(peer)
+			}
 		},
 		OnBeacon: func(peer int, ints []int64) {
 			b, err := game.DecodeBeacon(ints)
@@ -253,6 +288,9 @@ func newPlayer(cfg PlayerConfig) (*player, error) {
 				return // malformed beacons are ignored; stale info remains
 			}
 			p.known[peer] = &knownPeer{beacon: b, tick: p.rt.Now()}
+			if p.ix != nil {
+				p.ix.Observe(peer, b.Tanks, p.rt.Now())
+			}
 		},
 	})
 	if err != nil {
@@ -304,6 +342,9 @@ func (p *player) setup() error {
 		// Every process knows the initial placement, so peers start
 		// "known" as of tick 0.
 		p.known[team] = &knownPeer{beacon: game.Beacon{Tanks: positions}}
+		if p.ix != nil {
+			p.ix.Observe(team, positions, 0)
+		}
 	}
 	return nil
 }
@@ -333,6 +374,9 @@ func (p *player) joinSetup() error {
 			continue
 		}
 		p.known[team] = &knownPeer{beacon: game.Beacon{Tanks: positions}, tick: p.rt.Now()}
+		if p.ix != nil {
+			p.ix.Observe(team, positions, p.rt.Now())
+		}
 	}
 	return nil
 }
@@ -413,6 +457,7 @@ func (p *player) play() error {
 				p.cfg.Trace.Record(trace.OpTankAt, -1, int64(tank.Pos.X), int64(tank.Pos.Y), tick, 0)
 			}
 		}
+		p.refreshInterest(tick)
 		if err := p.rt.Exchange(p.exchangeOpts()); err != nil {
 			return fmt.Errorf("tick %d: %w", tick, err)
 		}
@@ -535,7 +580,14 @@ func (p *player) exchangeOpts() core.ExchangeOpts {
 		if p.cfg.MaxBatchTicks > 1 {
 			opts.SFunc = core.EveryKTicks(p.cfg.MaxBatchTicks)
 		}
-		// SendData nil: broadcast all updates to everyone each tick.
+		if p.cfg.Interest {
+			// Far peers rendezvous less often: the s-function stretches
+			// the tick (or batch) period by the symmetric NextDelta
+			// distance bound, so SYNC traffic also thins with distance.
+			opts.SFunc = p.interestPacedSFunc()
+		}
+		// SendData nil: broadcast all updates to everyone each tick
+		// (modulo the runtime's InterestFilter when Interest is on).
 	default:
 		opts.SFunc = func(peer int, now int64, peerBeacon []int64) int64 {
 			kp := p.known[peer] // OnBeacon ran just before this

@@ -41,6 +41,7 @@ const (
 	OpWithheld // s-function withheld pending Obj from Peer at tick Time
 	OpApply    // remote diff applied: Obj reached Ver written by Peer; Aux = msg stamp
 	OpStale    // remote diff discarded: Aux = 1 for a PID tie-loss, 0 for an old version
+	OpAdopt    // full-state fetch reply adopted: Obj raised to Ver served by Peer (writer unknown); Aux = msg stamp
 
 	// Liveness and membership events (internal/core).
 	OpDone     // local process finished; Aux = 1 if it won
@@ -65,7 +66,7 @@ var opNames = [...]string{
 	OpTick: "tick", OpSched: "sched", OpRendezvous: "rendezvous",
 	OpSyncRecv: "sync-recv", OpSyncEarly: "sync-early",
 	OpWrite: "write", OpSendObj: "send-obj", OpDataSend: "data-send",
-	OpWithheld: "withheld", OpApply: "apply", OpStale: "stale",
+	OpWithheld: "withheld", OpApply: "apply", OpStale: "stale", OpAdopt: "adopt",
 	OpDone: "done", OpPeerDone: "peer-done", OpEvict: "evict",
 	OpAdmit: "admit", OpJoined: "joined", OpTankAt: "tank-at",
 	OpLockReq: "lock-req", OpLockGranted: "lock-granted", OpLockRel: "lock-rel",

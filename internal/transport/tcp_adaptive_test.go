@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"bufio"
+	"io"
+	"testing"
+
+	"sdso/internal/metrics"
+)
+
+// Direct unit coverage of the adaptive flush controller's threshold
+// dynamics (TCPConfig.AdaptiveFlush): grow-on-threshold in
+// maybeFlushLocked, shrink-on-empty-barrier in Flush, and the clamp
+// bounds in setFlushThreshold. The end-to-end mesh test
+// (TestAdaptiveFlushThresholdTracksTraffic) exercises the same machinery
+// through real sockets; these pin the exact transition rules without
+// network timing in the way.
+
+// newAdaptiveTestEndpoint builds a socketless endpoint with the adaptive
+// controller seeded the way DialTCPConfig seeds it, plus one peer whose
+// writes land in a large discard buffer so Buffered() is fully
+// controlled by the test.
+func newAdaptiveTestEndpoint(mc *metrics.Collector) (*TCPEndpoint, *tcpPeer) {
+	e := &TCPEndpoint{
+		id:    0,
+		n:     2,
+		cfg:   TCPConfig{AdaptiveFlush: true, Metrics: mc},
+		peers: make([]*tcpPeer, 2),
+	}
+	e.flushThr.Store(adaptiveFlushInit)
+	p := &tcpPeer{id: 1, bw: bufio.NewWriterSize(io.Discard, 1<<20)}
+	e.peers[1] = p
+	return e, p
+}
+
+// stage buffers n bytes in the peer's writer without flushing.
+func stage(t *testing.T, p *tcpPeer, n int) {
+	t.Helper()
+	if _, err := p.bw.Write(make([]byte, n)); err != nil {
+		t.Fatalf("stage %d bytes: %v", n, err)
+	}
+}
+
+func TestAdaptiveFlushClampBounds(t *testing.T) {
+	mc := metrics.NewCollector()
+	e, _ := newAdaptiveTestEndpoint(mc)
+
+	e.setFlushThreshold(1)
+	if got := e.flushThreshold(); got != adaptiveFlushMin {
+		t.Fatalf("threshold after setting 1 = %d, want floor %d", got, adaptiveFlushMin)
+	}
+	e.setFlushThreshold(1 << 30)
+	if got := e.flushThreshold(); got != adaptiveFlushMax {
+		t.Fatalf("threshold after setting 1<<30 = %d, want cap %d", got, adaptiveFlushMax)
+	}
+	e.setFlushThreshold(adaptiveFlushInit * 3)
+	if got := e.flushThreshold(); got != adaptiveFlushInit*3 {
+		t.Fatalf("in-range threshold = %d, want %d", got, adaptiveFlushInit*3)
+	}
+	if got := mc.Snapshot().FlushThresholdCurrent; got != adaptiveFlushInit*3 {
+		t.Fatalf("FlushThresholdCurrent gauge = %d, want %d", got, adaptiveFlushInit*3)
+	}
+}
+
+func TestAdaptiveFlushGrowsOnThresholdCrossing(t *testing.T) {
+	e, p := newAdaptiveTestEndpoint(nil)
+
+	// Below the threshold nothing flushes and nothing grows.
+	stage(t, p, adaptiveFlushInit-1)
+	if err := e.maybeFlushLocked(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.bw.Buffered(); got != adaptiveFlushInit-1 {
+		t.Fatalf("buffered after sub-threshold send = %d, want %d (no flush)", got, adaptiveFlushInit-1)
+	}
+	if got := e.flushThreshold(); got != adaptiveFlushInit {
+		t.Fatalf("threshold after sub-threshold send = %d, want unchanged %d", got, adaptiveFlushInit)
+	}
+
+	// Each crossing doubles the threshold: exact sequence up to the cap.
+	want := int64(adaptiveFlushInit)
+	for want < adaptiveFlushMax {
+		stage(t, p, int(want)-p.bw.Buffered())
+		if err := e.maybeFlushLocked(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.bw.Buffered(); got != 0 {
+			t.Fatalf("buffered after threshold crossing = %d, want 0", got)
+		}
+		want *= 2
+		if got := int64(e.flushThreshold()); got != want {
+			t.Fatalf("threshold after crossing = %d, want doubled %d", got, want)
+		}
+	}
+
+	// At the cap a further crossing flushes but cannot grow past it.
+	stage(t, p, adaptiveFlushMax)
+	if err := e.maybeFlushLocked(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.flushThreshold(); got != adaptiveFlushMax {
+		t.Fatalf("threshold after crossing at cap = %d, want clamped %d", got, adaptiveFlushMax)
+	}
+}
+
+func TestAdaptiveFlushShrinksOnNearEmptyBarrier(t *testing.T) {
+	e, p := newAdaptiveTestEndpoint(nil)
+	e.setFlushThreshold(8192)
+
+	// A barrier that finds the busiest buffer at or above half the
+	// threshold keeps it: the deferral is still earning its keep.
+	stage(t, p, 4096)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.flushThreshold(); got != 8192 {
+		t.Fatalf("threshold after half-full barrier = %d, want unchanged 8192", got)
+	}
+
+	// A barrier with nothing buffered at all must not shrink either —
+	// only a barrier that actually flushed something proves the round's
+	// traffic ran far under the threshold.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.flushThreshold(); got != 8192 {
+		t.Fatalf("threshold after empty barrier = %d, want unchanged 8192", got)
+	}
+
+	// Near-empty barriers halve it down to the floor, never below.
+	for want := 4096; want >= adaptiveFlushMin; want /= 2 {
+		stage(t, p, 1)
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got := e.flushThreshold()
+		if want >= adaptiveFlushMin && got != want {
+			t.Fatalf("threshold after near-empty barrier = %d, want halved %d", got, want)
+		}
+	}
+	stage(t, p, 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.flushThreshold(); got != adaptiveFlushMin {
+		t.Fatalf("threshold after barrier at floor = %d, want clamped %d", got, adaptiveFlushMin)
+	}
+}
+
+func TestFixedThresholdIgnoresAdaptiveDynamics(t *testing.T) {
+	e, p := newAdaptiveTestEndpoint(nil)
+	e.cfg.AdaptiveFlush = false
+	e.cfg.FlushThreshold = 1024
+
+	stage(t, p, 4096)
+	if err := e.maybeFlushLocked(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.flushThreshold(); got != 1024 {
+		t.Fatalf("fixed threshold = %d, want 1024 (no adaptive drift)", got)
+	}
+}
