@@ -1,0 +1,605 @@
+// Shard-ownership invariants for the handoff engine (internal/shard): a
+// deterministic, single-threaded simulator drives client puts, live
+// handoffs, and seeded message reordering over a node group sharing one
+// handoff log, killing handoff participants at the three mid-handoff
+// crash points — source after HANDOFF_START, target after
+// HANDOFF_STATE (before or after its commit), and both mid-transfer —
+// and checks
+//
+//   - exactly one owner per (shard, epoch): no two processes ever act
+//     as owner of the same shard epoch, and the log admits at most one
+//     start and one terminal record per epoch ("shard-epoch-owner",
+//     "shard-handoff-atomicity");
+//   - handoffs are atomic: at quiescence every logged start has exactly
+//     one terminal record — end, abort, or adoption ("shard-handoff-
+//     atomicity");
+//   - no acked write is lost across a migration: once a handoff's
+//     write-ahead snapshot captures an acknowledged put, the resolved
+//     owner of its shard holds it at or above its version no matter who
+//     crashes; writes acked after the last snapshot are pinned only
+//     while their acker lives — fail-stop loss of unreplicated state is
+//     the checkpoint stream's domain, not the handoff protocol's
+//     ("shard-lost-write");
+//   - no region is orphaned or double-owned: at quiescence the resolved
+//     owner is live and every live node's cached view names it
+//     ("shard-orphan", "shard-view-divergence").
+//
+// The simulator plugs into Explore via ShardRunner, so violations
+// shrink to printed repros exactly like the protocol and quorum
+// schedules.
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sdso/internal/shard"
+	"sdso/internal/store"
+	"sdso/internal/wire"
+)
+
+// ShardRunner returns an Explore Runner that drives the shard handoff
+// engine with the given shard count through one seeded schedule per
+// Scenario. Scenario.Ticks is the step count, Scenario.Teams the node
+// count, and Scenario.Faults arms the mid-handoff crash schedule.
+func ShardRunner(shards int) Runner {
+	return shardRunner(shards, shardSabotage{})
+}
+
+// shardSabotage exists so tests can break the engine's guarantees and
+// prove the invariants catch it.
+type shardSabotage struct {
+	// dropSnaps erases the write-ahead snapshot from every logged start
+	// record, so crash recovery loses pre-handoff writes.
+	dropSnaps bool
+	// forgeTerminal appends a rival terminal record after each commit,
+	// violating the exactly-one-terminal rule.
+	forgeTerminal bool
+}
+
+func shardRunner(shards int, sab shardSabotage) Runner {
+	return func(sc Scenario) (*Report, error) {
+		if shards < 1 {
+			return nil, fmt.Errorf("check: shard count must be >= 1, got %d", shards)
+		}
+		sim, err := newShardSim(shards, sab, sc)
+		if err != nil {
+			return nil, err
+		}
+		return sim.run(), nil
+	}
+}
+
+// shardEpoch keys the acting-owner bookkeeping.
+type shardEpoch struct {
+	shard int
+	epoch int64
+}
+
+// putKey identifies one client put across retries.
+type putKey struct {
+	obj     store.ID
+	version int64
+}
+
+// ackedPut is a put some owner acknowledged. covered marks it captured
+// by a logged region snapshot: from then on it must survive any crash.
+// An uncovered put is durable only as long as its acker lives —
+// fail-stop loses unreplicated state; what the handoff protocol
+// guarantees is that every write acked before a migration's write-ahead
+// snapshot survives the migration and any crash within it.
+type ackedPut struct {
+	put     shard.Put
+	proc    int
+	epoch   int64
+	covered bool
+}
+
+// Crash plans for one handoff, covering the chaos matrix's three
+// mid-handoff kill points.
+const (
+	shardCrashNone = iota
+	shardCrashSourceAfterStart
+	shardCrashTargetAfterState
+	shardCrashBoth
+	shardCrashPlans
+)
+
+type shardSim struct {
+	shards int
+	nodes  int
+	sab    shardSabotage
+	part   *shard.Partition
+	log    *shard.MemLog
+	ns     []*shard.Node
+	dead   map[int]bool
+	rng    *rand.Rand
+	faults bool
+	steps  int
+
+	queue       []*wire.Msg
+	parked      []shard.Put          // puts awaiting (re)issue
+	outstanding map[putKey]stalledAt // puts stalled inside a node
+	vers        map[store.ID]int64   // per-object version counter
+	acked       map[putKey]ackedPut  // every acknowledged put
+	ownerAt     map[shardEpoch]int   // acting owner per shard epoch
+	killOnState map[int]stateKill    // node -> armed kill at one State delivery
+
+	rep *Report
+}
+
+type stalledAt struct {
+	put  shard.Put
+	proc int
+}
+
+// stateKill arms a target's death at one specific HANDOFF_STATE
+// delivery: mode 1 dies before processing, mode 2 right after its
+// commit.
+type stateKill struct {
+	shard int
+	epoch int64
+	mode  int
+}
+
+func newShardSim(shards int, sab shardSabotage, sc Scenario) (*shardSim, error) {
+	nodes := sc.Teams
+	if nodes < 3 {
+		nodes = 3
+	}
+	part, err := shard.New(32, 24, shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &shardSim{
+		shards:      shards,
+		nodes:       nodes,
+		sab:         sab,
+		part:        part,
+		log:         shard.NewMemLog(),
+		ns:          make([]*shard.Node, nodes),
+		dead:        make(map[int]bool),
+		rng:         rand.New(rand.NewSource(sc.Seed)),
+		faults:      sc.Faults,
+		steps:       sc.Ticks,
+		outstanding: make(map[putKey]stalledAt),
+		vers:        make(map[store.ID]int64),
+		acked:       make(map[putKey]ackedPut),
+		ownerAt:     make(map[shardEpoch]int),
+		killOnState: make(map[int]stateKill),
+		rep:         &Report{},
+	}
+	objects := 2 * shards
+	for i := range s.ns {
+		s.ns[i] = shard.NewNode(i, nodes, part, s.log, store.New())
+		for o := 0; o < objects; o++ {
+			s.ns[i].Bind(store.ID(o), o%shards)
+		}
+	}
+	return s, nil
+}
+
+func (s *shardSim) violate(class string, proc int, format string, args ...any) {
+	s.rep.Violations = append(s.rep.Violations, Violation{
+		Class:  class,
+		Proc:   proc,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (s *shardSim) live() []int {
+	var out []int
+	for i := 0; i < s.nodes; i++ {
+		if !s.dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// recordOwner notes that proc acted as owner of shard at epoch and
+// checks no other process ever did.
+func (s *shardSim) recordOwner(sh int, epoch int64, proc int) {
+	key := shardEpoch{shard: sh, epoch: epoch}
+	if prev, ok := s.ownerAt[key]; ok && prev != proc {
+		s.violate("shard-epoch-owner", proc,
+			"shard %d epoch %d owned by both %d and %d", sh, epoch, prev, proc)
+		return
+	}
+	s.ownerAt[key] = proc
+}
+
+// ack records an acknowledged put. Coverage survives a re-ack: once a
+// logged snapshot captured the write it stays pinned.
+func (s *shardSim) ack(p shard.Put, proc int, epoch int64) {
+	sh, _ := s.ns[proc].ShardOf(p.Obj)
+	s.recordOwner(sh, epoch, proc)
+	key := putKey{p.Obj, p.Version}
+	ap := ackedPut{put: p, proc: proc, epoch: epoch}
+	if old, ok := s.acked[key]; ok {
+		ap.covered = old.covered
+	}
+	s.acked[key] = ap
+}
+
+// coverShard pins every acked put on shard sh: a start record carrying
+// the region snapshot was just logged, so those writes are now in the
+// write-ahead log and must survive any crash from here on.
+func (s *shardSim) coverShard(sh int) {
+	for key, a := range s.acked {
+		if h, _ := s.ns[a.proc].ShardOf(key.obj); h == sh {
+			a.covered = true
+			s.acked[key] = a
+		}
+	}
+}
+
+// handleOutcome folds an engine Outcome back into the simulation.
+func (s *shardSim) handleOutcome(proc int, out shard.Outcome) {
+	s.queue = append(s.queue, out.Msgs...)
+	for _, p := range out.Acked {
+		delete(s.outstanding, putKey{p.Obj, p.Version})
+		sh, _ := s.ns[proc].ShardOf(p.Obj)
+		s.ack(p, proc, s.ns[proc].Owner(sh).Epoch)
+	}
+	for _, p := range out.Replay {
+		delete(s.outstanding, putKey{p.Obj, p.Version})
+		s.parked = append(s.parked, p)
+	}
+}
+
+// kill fail-stops proc (keeping at least two nodes alive), loses its
+// stalled puts back to the clients, and runs crash resolution on every
+// survivor. Messages proc already sent stay in flight; mail addressed
+// to it drops at delivery.
+func (s *shardSim) kill(proc int) bool {
+	if s.dead[proc] || len(s.live()) <= 2 {
+		return false
+	}
+	s.dead[proc] = true
+	delete(s.killOnState, proc)
+	// Acked writes that no logged snapshot has captured yet live only in
+	// the acker's store; fail-stop loses them. That loss is the
+	// checkpoint machinery's problem (PR 6), not the handoff protocol's —
+	// the no-lost-write invariant covers exactly the writes a migration's
+	// write-ahead snapshot pinned, so uncovered acks die with their node.
+	for key, a := range s.acked {
+		if a.proc == proc && !a.covered {
+			delete(s.acked, key)
+		}
+	}
+	// Losing the dead node's stall queue back to the clients must not
+	// leak map-iteration order into the schedule: park in key order.
+	var lost []putKey
+	for key, st := range s.outstanding {
+		if st.proc == proc {
+			lost = append(lost, key)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool {
+		if lost[i].obj != lost[j].obj {
+			return lost[i].obj < lost[j].obj
+		}
+		return lost[i].version < lost[j].version
+	})
+	for _, key := range lost {
+		s.parked = append(s.parked, s.outstanding[key].put)
+		delete(s.outstanding, key)
+	}
+	live := s.live()
+	for _, p := range live {
+		s.handleOutcome(p, s.ns[p].PeerCrashed(proc, live))
+	}
+	s.checkLog()
+	return true
+}
+
+// issuePut routes one put from a random entry node, following
+// redirects; unplaceable puts (stale views naming a dead owner) park
+// for retry.
+func (s *shardSim) issuePut(p shard.Put) {
+	live := s.live()
+	cur := live[s.rng.Intn(len(live))]
+	for hop := 0; hop <= s.nodes+1; hop++ {
+		res := s.ns[cur].Put(p)
+		switch res.Status {
+		case shard.PutApplied:
+			s.ack(p, cur, res.Epoch)
+			return
+		case shard.PutStalled:
+			s.outstanding[putKey{p.Obj, p.Version}] = stalledAt{put: p, proc: cur}
+			return
+		case shard.PutRedirect:
+			if res.Owner == cur || res.Owner < 0 || res.Owner >= s.nodes || s.dead[res.Owner] {
+				s.parked = append(s.parked, p)
+				return
+			}
+			cur = res.Owner
+		}
+	}
+	s.parked = append(s.parked, p)
+}
+
+// newPut mints a put against a random object at the next version.
+func (s *shardSim) newPut() shard.Put {
+	obj := store.ID(s.rng.Intn(2 * s.shards))
+	s.vers[obj]++
+	v := s.vers[obj]
+	return shard.Put{
+		Obj:     obj,
+		Data:    []byte(fmt.Sprintf("o%d-v%d", obj, v)),
+		Version: v,
+		Client:  s.rng.Intn(s.nodes),
+	}
+}
+
+// startHandoff picks a live, non-migrating shard owner and a target,
+// opens the handoff, and arms one of the three crash plans when faults
+// are on.
+func (s *shardSim) startHandoff() {
+	var candidates []int
+	for sh := 0; sh < s.shards; sh++ {
+		v, pending := shard.Resolve(s.log.Records(), sh, s.nodes)
+		if pending != nil || s.dead[v.Owner] || s.ns[v.Owner].Migrating(sh) {
+			continue
+		}
+		candidates = append(candidates, sh)
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	sh := candidates[s.rng.Intn(len(candidates))]
+	v, _ := shard.Resolve(s.log.Records(), sh, s.nodes)
+	src := v.Owner
+	var targets []int
+	for _, p := range s.live() {
+		if p != src {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	dst := targets[s.rng.Intn(len(targets))]
+	out, err := s.ns[src].StartHandoff(sh, dst)
+	if err != nil {
+		return
+	}
+	s.recordOwner(sh, v.Epoch, src)
+	s.coverShard(sh)
+	s.sabotageLog()
+	plan := shardCrashNone
+	if s.faults {
+		plan = s.rng.Intn(shardCrashPlans)
+	}
+	// A kill refused by the crash budget (at least two nodes stay live)
+	// must not strand the handoff: the State message then flows normally.
+	switch plan {
+	case shardCrashSourceAfterStart:
+		// HANDOFF_START is delivered; HANDOFF_STATE dies with the source.
+		s.queue = append(s.queue, out.Msgs[0])
+		if !s.kill(src) {
+			s.queue = append(s.queue, out.Msgs[1])
+		}
+	case shardCrashTargetAfterState:
+		// The target dies at HANDOFF_STATE processing time: before its
+		// commit (the transfer never lands) or right after (the end
+		// record is logged and the end broadcast is in flight).
+		s.queue = append(s.queue, out.Msgs...)
+		s.killOnState[dst] = stateKill{
+			shard: sh, epoch: v.Epoch + 1, mode: 1 + s.rng.Intn(2),
+		}
+	case shardCrashBoth:
+		s.queue = append(s.queue, out.Msgs[0])
+		if s.kill(src) {
+			s.kill(dst)
+		} else {
+			s.queue = append(s.queue, out.Msgs[1])
+		}
+	default:
+		s.queue = append(s.queue, out.Msgs...)
+	}
+	s.checkLog()
+}
+
+// sabotageLog mutates the freshest log record per the armed sabotage.
+func (s *shardSim) sabotageLog() {
+	recs := s.log.Records()
+	if len(recs) == 0 {
+		return
+	}
+	last := &recs[len(recs)-1]
+	if s.sab.dropSnaps && last.Kind == shard.RecStart {
+		last.Snap = store.New().Snapshot(0)
+	}
+}
+
+// deliverOne delivers one random queued message.
+func (s *shardSim) deliverOne() {
+	if len(s.queue) == 0 {
+		return
+	}
+	i := s.rng.Intn(len(s.queue))
+	m := s.queue[i]
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	dst := int(m.Dst)
+	if s.dead[dst] {
+		return
+	}
+	if m.Kind == wire.KindHandoffState {
+		if k, armed := s.killOnState[dst]; armed && k.shard == int(m.Obj) && k.epoch == m.Stamp {
+			delete(s.killOnState, dst)
+			switch k.mode {
+			case 1: // die before processing: the transfer never lands
+				if s.kill(dst) {
+					return
+				}
+				// Budget refused the kill; fall through to a normal
+				// delivery so the handoff is not stranded.
+			case 2: // die right after committing
+				s.handleOutcome(dst, s.ns[dst].Deliver(m))
+				if s.sab.forgeTerminal {
+					s.forgeTerminal(m)
+				}
+				s.checkLog()
+				s.kill(dst)
+				return
+			}
+		}
+	}
+	s.handleOutcome(dst, s.ns[dst].Deliver(m))
+	if m.Kind == wire.KindHandoffState && s.sab.forgeTerminal {
+		s.forgeTerminal(m)
+	}
+	s.checkLog()
+}
+
+// forgeTerminal appends a rival abort for the epoch the target just
+// committed (sabotage only).
+func (s *shardSim) forgeTerminal(m *wire.Msg) {
+	s.log.Append(shard.Rec{
+		Kind: shard.RecAbort, Shard: int(m.Obj),
+		From: int(m.Src), To: int(m.Dst), Epoch: m.Stamp,
+	})
+}
+
+// checkLog applies the structural log invariants: at most one start and
+// at most one terminal record per (shard, epoch), and the acting-owner
+// history must agree with the log's owner per epoch.
+func (s *shardSim) checkLog() {
+	starts := make(map[shardEpoch]int)
+	terminals := make(map[shardEpoch]int)
+	for _, r := range s.log.Records() {
+		key := shardEpoch{shard: r.Shard, epoch: r.Epoch}
+		switch r.Kind {
+		case shard.RecStart:
+			starts[key]++
+			if starts[key] > 1 {
+				s.violate("shard-handoff-atomicity", r.From,
+					"shard %d epoch %d started %d times", r.Shard, r.Epoch, starts[key])
+			}
+		case shard.RecEnd, shard.RecAbort, shard.RecAssign:
+			terminals[key]++
+			if terminals[key] > 1 {
+				s.violate("shard-handoff-atomicity", r.To,
+					"shard %d epoch %d has %d terminal records", r.Shard, r.Epoch, terminals[key])
+			}
+			owner := r.To
+			if r.Kind == shard.RecAbort {
+				owner = r.From // the source keeps the shard
+			}
+			if prev, ok := s.ownerAt[key]; ok && prev != owner {
+				s.violate("shard-epoch-owner", owner,
+					"shard %d epoch %d: log says %d, %d already acted as owner", r.Shard, r.Epoch, owner, prev)
+			}
+			s.ownerAt[key] = owner
+		}
+	}
+}
+
+// drain delivers every queued message and retries parked puts until the
+// system quiesces.
+func (s *shardSim) drain() {
+	for round := 0; round < 4*(s.nodes+s.shards)+8; round++ {
+		for len(s.queue) > 0 {
+			s.deliverOne()
+		}
+		if len(s.parked) == 0 {
+			return
+		}
+		retry := s.parked
+		s.parked = nil
+		for _, p := range retry {
+			s.issuePut(p)
+		}
+		if len(s.queue) == 0 && len(s.parked) == len(retry) {
+			return // stuck puts (no live owner view yet); give up
+		}
+	}
+}
+
+// checkQuiescent applies the whole-system invariants once no messages
+// are in flight.
+func (s *shardSim) checkQuiescent() {
+	recs := s.log.Records()
+	for sh := 0; sh < s.shards; sh++ {
+		v, pending := shard.Resolve(recs, sh, s.nodes)
+		if pending != nil {
+			// Participants both live would have completed during drain;
+			// a dead participant resolves in kill. A pending start at
+			// quiescence means the handoff neither finished nor aborted.
+			s.violate("shard-handoff-atomicity", pending.From,
+				"shard %d epoch %d still pending at quiescence (src %d dst %d)",
+				sh, pending.Epoch, pending.From, pending.To)
+			continue
+		}
+		if s.dead[v.Owner] {
+			s.violate("shard-orphan", v.Owner,
+				"shard %d resolved owner %d is dead at quiescence", sh, v.Owner)
+			continue
+		}
+		for _, p := range s.live() {
+			if got := s.ns[p].Owner(sh); got.Owner != v.Owner {
+				s.violate("shard-view-divergence", p,
+					"node %d believes shard %d belongs to %d, log says %d", p, sh, got.Owner, v.Owner)
+			}
+		}
+	}
+	// No lost writes: the resolved owner holds every acked put. Walk in
+	// key order so any violations report deterministically.
+	keys := make([]putKey, 0, len(s.acked))
+	for key := range s.acked {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].obj != keys[j].obj {
+			return keys[i].obj < keys[j].obj
+		}
+		return keys[i].version < keys[j].version
+	})
+	for _, key := range keys {
+		a := s.acked[key]
+		sh, _ := s.ns[a.proc].ShardOf(key.obj)
+		v, _ := shard.Resolve(recs, sh, s.nodes)
+		if s.dead[v.Owner] {
+			continue // already reported as an orphan
+		}
+		st := s.ns[v.Owner].Store()
+		ver, err := st.Version(key.obj)
+		if err != nil || ver < key.version {
+			s.violate("shard-lost-write", v.Owner,
+				"obj %d acked at v%d by %d (epoch %d); owner %d holds v%d (err %v)",
+				key.obj, key.version, a.proc, a.epoch, v.Owner, ver, err)
+		}
+	}
+}
+
+func (s *shardSim) run() *Report {
+	for i := 0; i < s.steps; i++ {
+		if retry := s.parked; len(retry) > 0 && s.rng.Intn(2) == 0 {
+			s.parked = nil
+			for _, p := range retry {
+				s.issuePut(p)
+			}
+		}
+		switch r := s.rng.Intn(10); {
+		case r < 5:
+			s.issuePut(s.newPut())
+		case r < 7:
+			s.startHandoff()
+		default:
+			for n := 1 + s.rng.Intn(3); n > 0; n-- {
+				s.deliverOne()
+			}
+		}
+		s.rep.Events++
+		if i%8 == 7 {
+			s.drain()
+			s.checkQuiescent()
+		}
+	}
+	s.drain()
+	s.checkQuiescent()
+	return s.rep
+}

@@ -1,0 +1,150 @@
+package check
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestShardRunnerCleanGrid sweeps fault-free schedules across shard
+// counts: handoffs interleaved with puts and reordered deliveries must
+// never trip an invariant.
+func TestShardRunnerCleanGrid(t *testing.T) {
+	for _, shards := range []int{1, 4, 8, 16} {
+		res := Explore(ExploreConfig{
+			Schedules: 12, BaseSeed: 1, Ticks: 64, Teams: 4, FaultEvery: 0,
+		}, ShardRunner(shards))
+		if !res.Ok() {
+			t.Fatalf("shards=%d: %v", shards, res.Failures[0])
+		}
+		if res.Events == 0 {
+			t.Fatalf("shards=%d: no events explored", shards)
+		}
+	}
+}
+
+// TestShardRunnerFaultGrid arms the three mid-handoff crash points over
+// the chaos seeds and checks ownership always resolves with no lost
+// acked writes.
+func TestShardRunnerFaultGrid(t *testing.T) {
+	for _, shards := range []int{4, 8, 16} {
+		for _, seed := range []int64{7, 13, 21, 33, 57} {
+			res := Explore(ExploreConfig{
+				Schedules: 6, BaseSeed: seed, Ticks: 96, Teams: 5, FaultEvery: 1,
+			}, ShardRunner(shards))
+			if !res.Ok() {
+				t.Fatalf("shards=%d seed=%d: %v", shards, seed, res.Failures[0])
+			}
+		}
+	}
+}
+
+// TestShardRunnerRejectsBadCounts pins the config errors.
+func TestShardRunnerRejectsBadCounts(t *testing.T) {
+	for _, shards := range []int{0, -1, 3, 513} {
+		if _, err := ShardRunner(shards)(Scenario{Seed: 1, Ticks: 8, Teams: 3}); err == nil {
+			t.Errorf("shards=%d accepted", shards)
+		}
+	}
+}
+
+// TestShardOracleCatchesDroppedSnapshots breaks the write-ahead rule —
+// start records logged without the region snapshot — and requires the
+// lost-write invariant to notice once a source dies mid-handoff.
+func TestShardOracleCatchesDroppedSnapshots(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 40 && !found; seed++ {
+		rep, err := shardRunner(4, shardSabotage{dropSnaps: true})(
+			Scenario{Seed: seed, Ticks: 96, Teams: 5, Faults: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Violations {
+			if v.Class == "shard-lost-write" {
+				found = true
+			}
+			if !strings.HasPrefix(v.Class, "shard-") {
+				t.Fatalf("unexpected violation class %q", v.Class)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dropped write-ahead snapshots never produced a shard-lost-write violation")
+	}
+}
+
+// TestShardOracleCatchesForgedTerminals appends rival terminal records
+// and requires the atomicity invariant to notice.
+func TestShardOracleCatchesForgedTerminals(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 20 && !found; seed++ {
+		rep, err := shardRunner(4, shardSabotage{forgeTerminal: true})(
+			Scenario{Seed: seed, Ticks: 48, Teams: 4, Faults: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Violations {
+			if v.Class == "shard-handoff-atomicity" || v.Class == "shard-epoch-owner" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("forged terminal records never produced an atomicity violation")
+	}
+}
+
+// TestShardChaosMatrix is the CI shard-chaos-matrix entry point:
+// CHAOS_SEED picks the base seed (default 13) and the test explores the
+// faulted handoff grid — every shard count, every mid-handoff crash
+// point armed — twice per count, demanding clean reports, real crash
+// coverage, and byte-identical replays.
+func TestShardChaosMatrix(t *testing.T) {
+	seed := int64(13)
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	for _, shards := range []int{4, 8, 16} {
+		cfg := ExploreConfig{
+			Schedules: 8, BaseSeed: seed, Ticks: 96, Teams: 5, FaultEvery: 1,
+		}
+		a := Explore(cfg, ShardRunner(shards))
+		if !a.Ok() {
+			t.Fatalf("shards=%d seed=%d: %v", shards, seed, a.Failures[0])
+		}
+		if a.Events == 0 {
+			t.Fatalf("shards=%d seed=%d: no events explored", shards, seed)
+		}
+		b := Explore(cfg, ShardRunner(shards))
+		if a.Events != b.Events || len(a.Failures) != len(b.Failures) {
+			t.Fatalf("shards=%d seed=%d: replay diverged: %d/%d events, %d/%d failures",
+				shards, seed, a.Events, b.Events, len(a.Failures), len(b.Failures))
+		}
+	}
+}
+
+// TestShardSimDeterministic reruns one faulted schedule and requires
+// byte-identical reports and event counts.
+func TestShardSimDeterministic(t *testing.T) {
+	sc := Scenario{Seed: 21, Ticks: 128, Teams: 5, Faults: true}
+	a, err := ShardRunner(8)(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShardRunner(8)(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("same scenario diverged: %d/%d events, %d/%d violations",
+			a.Events, b.Events, len(a.Violations), len(b.Violations))
+	}
+	if a.String() != b.String() {
+		t.Fatalf("reports differ:\n%s\n%s", a, b)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sdso/internal/game"
 	"sdso/internal/metrics"
 	"sdso/internal/netmodel"
+	"sdso/internal/shard"
 )
 
 // PaperNs are the process counts on the paper's x-axes.
@@ -46,6 +47,56 @@ type SweepConfig struct {
 	// execution exactly. Every cell is an independent vtime simulation,
 	// so the assembled Sweep is identical for any worker count.
 	Workers int
+	// Shards partitions every cell's world into this many regions and
+	// intersects the DATA fanout with shard residency (see
+	// Config.Shards); only the lookahead protocols honor it. Zero or one
+	// means unsharded — byte-identical to the flat sweep.
+	Shards int
+}
+
+// SweepConfigError is the typed error RunSweep returns for a sweep that
+// could never run: a process count the world cannot place, an unknown
+// protocol, a shard count the partition rejects. It is returned up
+// front, before any cell is dispatched to the worker pool — historically
+// a bad process count (e.g. a negative n) panicked deep inside a worker
+// goroutine instead.
+type SweepConfigError struct {
+	Field  string // the SweepConfig field at fault
+	Reason string
+}
+
+func (e *SweepConfigError) Error() string {
+	return fmt.Sprintf("harness: sweep config: %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the sweep (with defaults applied) names a runnable
+// grid, returning a *SweepConfigError describing the first problem.
+// RunSweep calls it before dispatching any cell.
+func (sc SweepConfig) Validate() error {
+	sc = sc.withDefaults()
+	for _, p := range sc.Protocols {
+		switch p {
+		case BSYNC, MSYNC, MSYNC2, EC, LRC, Causal, Central:
+		default:
+			return &SweepConfigError{Field: "Protocols", Reason: fmt.Sprintf("unknown protocol %q", p)}
+		}
+	}
+	if sc.Workers < 0 {
+		return &SweepConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", sc.Workers)}
+	}
+	for _, n := range sc.Ns {
+		g := game.DefaultConfig(n, sc.Range)
+		g.MaxTicks = sc.MaxTicks
+		if err := g.Validate(); err != nil {
+			return &SweepConfigError{Field: "Ns", Reason: fmt.Sprintf("n=%d: %v", n, err)}
+		}
+		if sc.Shards > 1 {
+			if err := shard.Validate(g.Width, g.Height, sc.Shards); err != nil {
+				return &SweepConfigError{Field: "Shards", Reason: err.Error()}
+			}
+		}
+	}
+	return nil
 }
 
 func (sc SweepConfig) withDefaults() SweepConfig {
@@ -98,7 +149,7 @@ func runCell(sc SweepConfig, c sweepCell) (*Result, error) {
 	g.Seed = c.seed
 	g.MaxTicks = sc.MaxTicks
 	g.EndOnFirstGoal = true // the paper's race semantics
-	res, err := Run(Config{Game: g, Protocol: c.proto, Net: sc.Net, SuspectTimeout: sc.SuspectTimeout})
+	res, err := Run(Config{Game: g, Protocol: c.proto, Net: sc.Net, SuspectTimeout: sc.SuspectTimeout, Shards: sc.Shards})
 	if err != nil {
 		return nil, fmt.Errorf("sweep %s n=%d range=%d seed=%d: %w", c.proto, c.n, sc.Range, c.seed, err)
 	}
@@ -115,6 +166,9 @@ func runCell(sc SweepConfig, c sweepCell) (*Result, error) {
 // first failing cell in grid order is reported, matching the sequential
 // path's choice.
 func RunSweep(sc SweepConfig) (*Sweep, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	sc = sc.withDefaults()
 	cells := sc.cells()
 	results := make([]*Result, len(cells))

@@ -83,6 +83,11 @@ type Config struct {
 	// lookahead.PlayerConfig.Interest); only the lookahead protocols
 	// honor it.
 	Interest bool
+	// Shards partitions the world into this many regions and intersects
+	// the DATA fanout with shard residency (see
+	// lookahead.PlayerConfig.Shards); only the lookahead protocols honor
+	// it. Zero or one means unsharded.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +172,7 @@ func runLookahead(cfg Config) (*Result, error) {
 				MaxBatchTicks:     cfg.MaxBatchTicks,
 				PiggybackSync:     cfg.PiggybackSync,
 				Interest:          cfg.Interest,
+				Shards:            cfg.Shards,
 			})
 		})
 	}

@@ -1,0 +1,432 @@
+// The per-node handoff engine: a pure state machine in the lockmgr
+// idiom — no I/O, no clock; inputs are puts, handoff commands, message
+// deliveries, and crash notices, outputs are wire messages plus the
+// stalled puts released by a completed or aborted migration. A
+// deterministic service loop (the simulator, the chaos harness, the
+// microbench) drives it.
+//
+// Protocol, per shard s owned by src at epoch e:
+//
+//	src:  snapshot region -> log RecStart{s, src, dst, e+1, snap}
+//	      -> send HANDOFF_START, HANDOFF_STATE(snap) to dst
+//	      puts against s now stall in src's queue
+//	dst:  on HANDOFF_STATE: guarded-commit RecEnd{s, dst, e+1};
+//	      if the commit wins: store.Merge(snap), own s at e+1,
+//	      broadcast HANDOFF_END
+//	src:  on HANDOFF_END: release stalled puts for replay at dst
+//
+// Crash resolution replays the log: a dead src after RecStart lets dst
+// complete from the logged snapshot; a dead dst lets src guarded-commit
+// RecAbort and apply its stalled puts itself; both dead lets any
+// survivor guarded-commit RecAssign and adopt from the logged snapshot.
+// The guarded commit admits exactly one terminal record per (shard,
+// epoch), so none of those races can double-own or orphan the region.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"sdso/internal/store"
+	"sdso/internal/wire"
+)
+
+// Put is one client write against a sharded object.
+type Put struct {
+	Obj     store.ID
+	Data    []byte
+	Version int64
+	Client  int
+}
+
+// PutStatus is the engine's verdict on a Put.
+type PutStatus int
+
+const (
+	// PutApplied means the put landed in the owner's store: acked.
+	PutApplied PutStatus = iota
+	// PutStalled means the shard is mid-handoff; the put is queued and
+	// will come back in Outcome.Replay or Outcome.Acked when the
+	// migration resolves.
+	PutStalled
+	// PutRedirect means this node does not own the shard; retry at
+	// Owner.
+	PutRedirect
+)
+
+// PutResult reports what happened to a Put.
+type PutResult struct {
+	Status PutStatus
+	// Owner is the believed owner to retry at, for PutRedirect.
+	Owner int
+	// Epoch is the shard epoch the put was applied under, for PutApplied.
+	Epoch int64
+}
+
+// Outcome carries everything an engine step wants the service loop to
+// do: messages to send, stalled puts the node just applied itself
+// (acked), and stalled puts the client must re-issue to the new owner.
+type Outcome struct {
+	Msgs   []*wire.Msg
+	Acked  []Put
+	Replay []Put
+}
+
+func (o *Outcome) merge(other Outcome) {
+	o.Msgs = append(o.Msgs, other.Msgs...)
+	o.Acked = append(o.Acked, other.Acked...)
+	o.Replay = append(o.Replay, other.Replay...)
+}
+
+// migration is one in-flight outgoing handoff (this node is source).
+type migration struct {
+	to    int
+	epoch int64
+}
+
+// Node is one process's shard engine: the cached ownership view, the
+// region-bound object map, and the stall queues.
+type Node struct {
+	id    int
+	nodes int
+	part  *Partition
+	log   Log
+	st    *store.Store
+
+	owner    map[int]View       // shard -> believed owner/epoch
+	objShard map[store.ID]int   // object -> home shard
+	shardObj map[int][]store.ID // home shard -> sorted objects
+	outgoing map[int]*migration // shard -> in-flight handoff I source
+	incoming map[int]Rec        // shard -> start I received as target
+	stalled  map[int][]Put      // shard -> queued puts while migrating
+	dead     map[int]bool
+
+	// Handoffs counts migrations this node committed as target; Stalls
+	// counts puts that went through a stall queue. The microbench reads
+	// them.
+	Handoffs int
+	Stalls   int
+}
+
+// NewNode builds the engine for process id of nodes total, over a
+// shared partition and handoff log. Every node derives the same
+// epoch-0 ownership: shard s belongs to process s mod nodes.
+func NewNode(id, nodes int, part *Partition, log Log, st *store.Store) *Node {
+	n := &Node{
+		id:       id,
+		nodes:    nodes,
+		part:     part,
+		log:      log,
+		st:       st,
+		owner:    make(map[int]View, part.Shards()),
+		objShard: make(map[store.ID]int),
+		shardObj: make(map[int][]store.ID),
+		outgoing: make(map[int]*migration),
+		incoming: make(map[int]Rec),
+		stalled:  make(map[int][]Put),
+		dead:     make(map[int]bool),
+	}
+	for s := 0; s < part.Shards(); s++ {
+		n.owner[s] = View{Owner: InitialOwner(s, nodes), Epoch: 0}
+	}
+	return n
+}
+
+// Bind homes an object in a shard. Every node must bind identically
+// (object placement is derived from world position, which all replicas
+// share).
+func (n *Node) Bind(obj store.ID, shard int) {
+	n.objShard[obj] = shard
+	ids := append(n.shardObj[shard], obj)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n.shardObj[shard] = ids
+}
+
+// ShardOf returns the home shard of a bound object.
+func (n *Node) ShardOf(obj store.ID) (int, bool) {
+	s, ok := n.objShard[obj]
+	return s, ok
+}
+
+// Owner returns this node's believed ownership view for a shard.
+func (n *Node) Owner(shard int) View { return n.owner[shard] }
+
+// Store exposes the node's object store (oracle and bench access).
+func (n *Node) Store() *store.Store { return n.st }
+
+// Migrating reports whether this node is mid-handoff for shard, on
+// either side.
+func (n *Node) Migrating(shard int) bool {
+	if _, out := n.outgoing[shard]; out {
+		return true
+	}
+	_, in := n.incoming[shard]
+	return in
+}
+
+// Put routes one client write. Only the shard's current owner applies
+// it; an owner mid-handoff stalls it (lockmgr idiom: queue now, drain
+// at resolution); everyone else redirects.
+func (n *Node) Put(p Put) PutResult {
+	shard, ok := n.objShard[p.Obj]
+	if !ok {
+		return PutResult{Status: PutRedirect, Owner: n.id}
+	}
+	v := n.owner[shard]
+	if v.Owner != n.id {
+		return PutResult{Status: PutRedirect, Owner: v.Owner}
+	}
+	if _, migrating := n.outgoing[shard]; migrating {
+		n.stalled[shard] = append(n.stalled[shard], p)
+		n.Stalls++
+		return PutResult{Status: PutStalled, Owner: n.id}
+	}
+	n.apply(p)
+	return PutResult{Status: PutApplied, Owner: n.id, Epoch: v.Epoch}
+}
+
+// apply installs a put highest-version-wins, the same gate store.Merge
+// uses: a stalled put replayed after a newer write must not regress it.
+func (n *Node) apply(p Put) {
+	if !n.st.Has(p.Obj) {
+		n.st.Register(p.Obj, nil)
+	}
+	if cur, err := n.st.Version(p.Obj); err == nil && cur >= p.Version {
+		return
+	}
+	n.st.SetStateFrom(p.Obj, p.Data, p.Version, p.Client)
+}
+
+// regionSnapshot serializes the current state of a shard's objects (a
+// sub-store snapshot, reusing the store checkpoint codec).
+func (n *Node) regionSnapshot(shard int) []byte {
+	tmp := store.New()
+	for _, obj := range n.shardObj[shard] {
+		if !n.st.Has(obj) {
+			continue
+		}
+		data, _ := n.st.Get(obj)
+		ver, _ := n.st.Version(obj)
+		tmp.Register(obj, nil)
+		tmp.SetState(obj, data, ver)
+	}
+	return tmp.Snapshot(0)
+}
+
+// StartHandoff begins transferring shard to node `to`. The region
+// snapshot is logged durably in the start record before either message
+// is sent — the write-ahead step that makes every crash below
+// recoverable.
+func (n *Node) StartHandoff(shard, to int) (Outcome, error) {
+	var out Outcome
+	if shard < 0 || shard >= n.part.Shards() {
+		return out, fmt.Errorf("shard: no shard %d", shard)
+	}
+	if to == n.id || to < 0 || to >= n.nodes || n.dead[to] {
+		return out, fmt.Errorf("shard: bad handoff target %d", to)
+	}
+	v := n.owner[shard]
+	if v.Owner != n.id {
+		return out, fmt.Errorf("shard: node %d does not own shard %d (owner %d)", n.id, shard, v.Owner)
+	}
+	if n.Migrating(shard) {
+		return out, fmt.Errorf("shard: shard %d already migrating", shard)
+	}
+	rec := Rec{
+		Kind: RecStart, Shard: shard, From: n.id, To: to,
+		Epoch: v.Epoch + 1, Snap: n.regionSnapshot(shard),
+	}
+	if !commitRec(n.log, rec, n.nodes) {
+		return out, fmt.Errorf("shard: start of shard %d epoch %d rejected by log", shard, rec.Epoch)
+	}
+	n.outgoing[shard] = &migration{to: to, epoch: rec.Epoch}
+	out.Msgs = append(out.Msgs,
+		&wire.Msg{
+			Kind: wire.KindHandoffStart, Src: int32(n.id), Dst: int32(to),
+			Obj: uint32(shard), Stamp: rec.Epoch,
+			Ints: []int64{int64(n.id), int64(to)},
+		},
+		&wire.Msg{
+			Kind: wire.KindHandoffState, Src: int32(n.id), Dst: int32(to),
+			Obj: uint32(shard), Stamp: rec.Epoch, Payload: rec.Snap,
+		})
+	return out, nil
+}
+
+// Deliver feeds one handoff message to the engine.
+func (n *Node) Deliver(m *wire.Msg) Outcome {
+	var out Outcome
+	shard := int(m.Obj)
+	switch m.Kind {
+	case wire.KindHandoffStart:
+		if len(m.Ints) == 2 && int(m.Ints[1]) == n.id {
+			n.incoming[shard] = Rec{
+				Kind: RecStart, Shard: shard,
+				From: int(m.Ints[0]), To: n.id, Epoch: m.Stamp,
+			}
+		}
+	case wire.KindHandoffState:
+		out.merge(n.completeIncoming(shard, m.Stamp, int(m.Src), m.Payload))
+	case wire.KindHandoffEnd:
+		if len(m.Ints) != 1 {
+			return out
+		}
+		out.merge(n.learnOwner(shard, int(m.Ints[0]), m.Stamp))
+	}
+	return out
+}
+
+// completeIncoming is the target's commit step: guarded-append RecEnd,
+// and only if that wins, merge the region state and take ownership.
+// A lost commit means an abort beat us — the source presumed us dead —
+// and adopting anyway would double-own the region, so the state is
+// dropped on the floor.
+func (n *Node) completeIncoming(shard int, epoch int64, from int, snap []byte) Outcome {
+	var out Outcome
+	rec := Rec{Kind: RecEnd, Shard: shard, From: from, To: n.id, Epoch: epoch}
+	if !commitRec(n.log, rec, n.nodes) {
+		delete(n.incoming, shard)
+		return out
+	}
+	n.st.Merge(snap)
+	delete(n.incoming, shard)
+	n.Handoffs++
+	out.merge(n.learnOwner(shard, n.id, epoch))
+	for p := 0; p < n.nodes; p++ {
+		if p == n.id || n.dead[p] {
+			continue
+		}
+		out.Msgs = append(out.Msgs, &wire.Msg{
+			Kind: wire.KindHandoffEnd, Src: int32(n.id), Dst: int32(p),
+			Obj: uint32(shard), Stamp: epoch, Ints: []int64{int64(n.id)},
+		})
+	}
+	return out
+}
+
+// learnOwner installs a (shard, owner, epoch) fact, releasing the stall
+// queue if this node was the source of the migration that just
+// resolved: puts drain to the new owner (Replay) or, when the node
+// itself kept or adopted the shard, apply locally (Acked).
+func (n *Node) learnOwner(shard, owner int, epoch int64) Outcome {
+	var out Outcome
+	if v := n.owner[shard]; epoch < v.Epoch {
+		return out
+	}
+	n.owner[shard] = View{Owner: owner, Epoch: epoch}
+	if mig := n.outgoing[shard]; mig != nil && epoch >= mig.epoch {
+		delete(n.outgoing, shard)
+		queued := n.stalled[shard]
+		delete(n.stalled, shard)
+		if owner == n.id {
+			for _, p := range queued {
+				n.apply(p)
+			}
+			out.Acked = append(out.Acked, queued...)
+		} else {
+			out.Replay = append(out.Replay, queued...)
+		}
+	}
+	return out
+}
+
+// PeerCrashed tells the engine that proc failed (fail-stop). The
+// survivor resolves any handoff the dead proc was party to by replaying
+// the log:
+//
+//   - dead source, this node target: complete from the logged snapshot;
+//   - dead target, this node source: abort, reclaim, drain stalls;
+//   - both participants dead: the lowest-id survivor adopts via
+//     RecAssign from the logged snapshot.
+func (n *Node) PeerCrashed(proc int, live []int) Outcome {
+	var out Outcome
+	n.dead[proc] = true
+	recs := n.log.Records()
+	for shard := 0; shard < n.part.Shards(); shard++ {
+		v, pending := Resolve(recs, shard, n.nodes)
+		if pending != nil {
+			srcDead, dstDead := n.dead[pending.From], n.dead[pending.To]
+			switch {
+			case pending.To == n.id && srcDead:
+				// Source died after write-ahead logging the snapshot:
+				// finish its handoff for it.
+				out.merge(n.completeIncoming(shard, pending.Epoch, pending.From, pending.Snap))
+			case pending.From == n.id && dstDead:
+				rec := Rec{Kind: RecAbort, Shard: shard, From: n.id, To: pending.To, Epoch: pending.Epoch}
+				if commitRec(n.log, rec, n.nodes) {
+					out.merge(n.learnOwner(shard, n.id, pending.Epoch))
+				}
+			case srcDead && dstDead && n.successor(live) == n.id:
+				rec := Rec{
+					Kind: RecAssign, Shard: shard, From: pending.From, To: n.id,
+					Epoch: pending.Epoch, Snap: pending.Snap,
+				}
+				if commitRec(n.log, rec, n.nodes) {
+					n.st.Merge(pending.Snap)
+					n.Handoffs++
+					out.merge(n.learnOwner(shard, n.id, pending.Epoch))
+					for _, p := range live {
+						if p == n.id {
+							continue
+						}
+						out.Msgs = append(out.Msgs, &wire.Msg{
+							Kind: wire.KindHandoffEnd, Src: int32(n.id), Dst: int32(p),
+							Obj: uint32(shard), Stamp: pending.Epoch, Ints: []int64{int64(n.id)},
+						})
+					}
+				}
+			}
+			continue
+		}
+		if v.Owner == proc && n.successor(live) == n.id {
+			// Idle owner died: the successor adopts at a fresh epoch,
+			// recovering whatever the log last snapshotted for the
+			// region (possibly nothing — fail-stop loses unreplicated
+			// state; the checkpoint machinery bounds that window).
+			snap := lastSnap(recs, shard)
+			rec := Rec{Kind: RecAssign, Shard: shard, From: proc, To: n.id, Epoch: v.Epoch + 1, Snap: snap}
+			if commitRec(n.log, rec, n.nodes) {
+				if len(snap) > 0 {
+					n.st.Merge(snap)
+				}
+				out.merge(n.learnOwner(shard, n.id, v.Epoch+1))
+				for _, p := range live {
+					if p == n.id {
+						continue
+					}
+					out.Msgs = append(out.Msgs, &wire.Msg{
+						Kind: wire.KindHandoffEnd, Src: int32(n.id), Dst: int32(p),
+						Obj: uint32(shard), Stamp: v.Epoch + 1, Ints: []int64{int64(n.id)},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// successor picks the deterministic adopter among the live procs.
+func (n *Node) successor(live []int) int {
+	best := -1
+	for _, p := range live {
+		if n.dead[p] {
+			continue
+		}
+		if best == -1 || p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// lastSnap returns the most recently logged snapshot for shard, nil if
+// none.
+func lastSnap(recs []Rec, shard int) []byte {
+	var snap []byte
+	for _, r := range recs {
+		if r.Shard == shard && len(r.Snap) > 0 {
+			snap = r.Snap
+		}
+	}
+	return snap
+}

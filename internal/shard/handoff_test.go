@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sdso/internal/store"
+	"sdso/internal/wire"
+)
+
+// cluster builds n engine nodes over a shared MemLog and a k-shard
+// 32x24 partition, binding objects 0..objs-1 round-robin to shards.
+func cluster(t *testing.T, nodes, shards, objs int) ([]*Node, *MemLog, *Partition) {
+	t.Helper()
+	part, err := New(32, 24, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewMemLog()
+	out := make([]*Node, nodes)
+	for i := range out {
+		out[i] = NewNode(i, nodes, part, log, store.New())
+		for o := 0; o < objs; o++ {
+			out[i].Bind(store.ID(o), o%shards)
+		}
+	}
+	return out, log, part
+}
+
+// deliver routes every message (roundtripped through the wire codec, so
+// the handoff kinds stay frame-compatible) to its destination, chasing
+// the cascade to quiescence. Dead destinations drop their mail.
+func deliver(t *testing.T, ns []*Node, out Outcome, dead map[int]bool) Outcome {
+	t.Helper()
+	var total Outcome
+	queue := out.Msgs
+	total.Acked = append(total.Acked, out.Acked...)
+	total.Replay = append(total.Replay, out.Replay...)
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		enc, err := wire.EncodeFrame(m)
+		if err != nil {
+			t.Fatalf("encode %v: %v", m, err)
+		}
+		dec := &wire.Msg{}
+		err = enc.DecodeInto(dec)
+		enc.Release()
+		if err != nil {
+			t.Fatalf("decode %v: %v", m, err)
+		}
+		if dead[int(dec.Dst)] {
+			continue
+		}
+		o := ns[dec.Dst].Deliver(dec)
+		queue = append(queue, o.Msgs...)
+		total.Acked = append(total.Acked, o.Acked...)
+		total.Replay = append(total.Replay, o.Replay...)
+	}
+	return total
+}
+
+func TestHandoffMovesStateAndReplaysStalledPuts(t *testing.T) {
+	ns, _, _ := cluster(t, 3, 4, 8)
+	// Objects 0 and 4 live in shard 0, owned by node 0 at epoch 0.
+	for i, obj := range []store.ID{0, 4} {
+		res := ns[0].Put(Put{Obj: obj, Data: []byte{byte(i + 1)}, Version: int64(i + 1), Client: 9})
+		if res.Status != PutApplied {
+			t.Fatalf("pre-handoff put of obj %d: %+v", obj, res)
+		}
+	}
+	out, err := ns[0].StartHandoff(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Msgs) != 2 || out.Msgs[0].Kind != wire.KindHandoffStart || out.Msgs[1].Kind != wire.KindHandoffState {
+		t.Fatalf("start messages: %v", out.Msgs)
+	}
+	// A put against the migrating shard stalls.
+	res := ns[0].Put(Put{Obj: 4, Data: []byte{42}, Version: 3, Client: 9})
+	if res.Status != PutStalled {
+		t.Fatalf("mid-handoff put: %+v", res)
+	}
+	total := deliver(t, ns, out, nil)
+	if len(total.Replay) != 1 || total.Replay[0].Version != 3 {
+		t.Fatalf("stalled put not released for replay: %+v", total.Replay)
+	}
+	for i, n := range ns {
+		if v := n.Owner(0); v.Owner != 1 || v.Epoch != 1 {
+			t.Fatalf("node %d view of shard 0: %+v", i, v)
+		}
+	}
+	// The replayed put now applies at the new owner, on top of the
+	// migrated state.
+	if res := ns[1].Put(total.Replay[0]); res.Status != PutApplied {
+		t.Fatalf("replayed put: %+v", res)
+	}
+	for obj, wantVer := range map[store.ID]int64{0: 1, 4: 3} {
+		ver, err := ns[1].st.Version(obj)
+		if err != nil || ver != wantVer {
+			t.Fatalf("obj %d at new owner: version %d err %v, want %d", obj, ver, err, wantVer)
+		}
+	}
+	if ns[1].Handoffs != 1 || ns[0].Stalls != 1 {
+		t.Fatalf("counters: handoffs=%d stalls=%d", ns[1].Handoffs, ns[0].Stalls)
+	}
+}
+
+func TestSourceCrashAfterStartResolvesToTarget(t *testing.T) {
+	ns, _, _ := cluster(t, 3, 4, 8)
+	ns[0].Put(Put{Obj: 0, Data: []byte{7}, Version: 1, Client: 9})
+	out, err := ns[0].StartHandoff(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source dies before HANDOFF_STATE reaches the target: drop both
+	// messages, announce the crash.
+	_ = out
+	live := []int{1, 2}
+	for _, p := range live {
+		deliver(t, ns, ns[p].PeerCrashed(0, live), map[int]bool{0: true})
+	}
+	if v := ns[1].Owner(0); v.Owner != 1 || v.Epoch != 1 {
+		t.Fatalf("target did not complete from log: %+v", v)
+	}
+	if v := ns[2].Owner(0); v.Owner != 1 {
+		t.Fatalf("bystander view: %+v", v)
+	}
+	// The pre-handoff write survived via the logged snapshot.
+	ver, err := ns[1].st.Version(0)
+	if err != nil || ver != 1 {
+		t.Fatalf("pre-handoff write lost: version %d err %v", ver, err)
+	}
+}
+
+func TestTargetCrashAbortsAndDrainsStalls(t *testing.T) {
+	ns, _, _ := cluster(t, 3, 4, 8)
+	out, err := ns[0].StartHandoff(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out // target never processes the transfer
+	if res := ns[0].Put(Put{Obj: 0, Data: []byte{5}, Version: 1, Client: 9}); res.Status != PutStalled {
+		t.Fatalf("mid-handoff put: %+v", res)
+	}
+	live := []int{0, 2}
+	var total Outcome
+	for _, p := range live {
+		total.merge(deliver(t, ns, ns[p].PeerCrashed(1, live), map[int]bool{1: true}))
+	}
+	if v := ns[0].Owner(0); v.Owner != 0 || v.Epoch != 1 {
+		t.Fatalf("source did not reclaim: %+v", v)
+	}
+	if len(total.Acked) != 1 {
+		t.Fatalf("stalled put not drained locally: %+v", total)
+	}
+	if ver, err := ns[0].st.Version(0); err != nil || ver != 1 {
+		t.Fatalf("drained put not applied: version %d err %v", ver, err)
+	}
+	// The shard migrates cleanly on the next attempt.
+	out, err = ns[0].StartHandoff(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, ns, out, map[int]bool{1: true})
+	if v := ns[0].Owner(0); v.Owner != 2 || v.Epoch != 2 {
+		t.Fatalf("re-handoff after abort: %+v", v)
+	}
+}
+
+func TestBothCrashMidTransferAdoptsViaLog(t *testing.T) {
+	ns, _, _ := cluster(t, 4, 4, 8)
+	ns[0].Put(Put{Obj: 0, Data: []byte{9}, Version: 2, Client: 9})
+	if _, err := ns[0].StartHandoff(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	live := []int{2, 3}
+	dead := map[int]bool{0: true, 1: true}
+	for _, p := range live {
+		deliver(t, ns, ns[p].PeerCrashed(0, live), dead)
+		deliver(t, ns, ns[p].PeerCrashed(1, live), dead)
+	}
+	// The lowest live id adopts at the pending epoch; everyone agrees.
+	for _, p := range live {
+		if v := ns[p].Owner(0); v.Owner != 2 || v.Epoch != 1 {
+			t.Fatalf("node %d view: %+v", p, v)
+		}
+	}
+	if ver, err := ns[2].st.Version(0); err != nil || ver != 2 {
+		t.Fatalf("adopted state lost the pre-handoff write: version %d err %v", ver, err)
+	}
+}
+
+// TestEndAbortRaceAdmitsOneWinner pins the guarded commit: once the
+// target logs RecEnd, a source-side abort must lose, and vice versa.
+func TestEndAbortRaceAdmitsOneWinner(t *testing.T) {
+	ns, log, _ := cluster(t, 3, 4, 8)
+	out, err := ns[0].StartHandoff(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target commits End first.
+	deliver(t, ns, out, nil)
+	if ok := commitRec(log, Rec{Kind: RecAbort, Shard: 0, From: 0, To: 1, Epoch: 1}, 3); ok {
+		t.Fatal("abort committed after end")
+	}
+
+	// Reverse order on another shard: objects of shard 1 are owned by
+	// node 1.
+	out, err = ns[1].StartHandoff(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := commitRec(log, Rec{Kind: RecAbort, Shard: 1, From: 1, To: 2, Epoch: 1}, 3); !ok {
+		t.Fatal("abort did not commit on a pending handoff")
+	}
+	// The state message arrives late: the target's End must now lose,
+	// and it must not adopt.
+	deliver(t, ns, Outcome{Msgs: out.Msgs}, nil)
+	if v := ns[2].Owner(1); v.Owner == 2 {
+		t.Fatalf("target adopted a shard whose handoff aborted: %+v", v)
+	}
+}
+
+func TestRecordsCodecRoundtrip(t *testing.T) {
+	recs := []Rec{
+		{Kind: RecStart, Shard: 3, From: 0, To: 2, Epoch: 1, Snap: []byte{1, 2, 3}},
+		{Kind: RecAbort, Shard: 3, From: 0, To: 2, Epoch: 1},
+		{Kind: RecAssign, Shard: 1, From: -1, To: 4, Epoch: 7, Snap: []byte{9}},
+		{Kind: RecEnd, Shard: 0, From: 1, To: 0, Epoch: 2},
+	}
+	got, err := DecodeRecords(EncodeRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("roundtrip count %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], got[i]
+		if a.Kind != b.Kind || a.Shard != b.Shard || a.From != b.From ||
+			a.To != b.To || a.Epoch != b.Epoch || !bytes.Equal(a.Snap, b.Snap) {
+			t.Fatalf("record %d: %v != %v", i, a, b)
+		}
+	}
+	if _, err := DecodeRecords([]byte{0, 0}); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := DecodeRecords(append(EncodeRecords(recs), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestQuorumLogBacksTheEngine swaps the MemLog for the ABD-replicated
+// log and reruns a full handoff: the layering on the PR 6 quorum
+// machinery is real, not nominal.
+func TestQuorumLogBacksTheEngine(t *testing.T) {
+	part, err := New(32, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qlog := NewQuorumLog(1)
+	ns := make([]*Node, 3)
+	for i := range ns {
+		ns[i] = NewNode(i, 3, part, qlog, store.New())
+		for o := 0; o < 8; o++ {
+			ns[i].Bind(store.ID(o), o%4)
+		}
+	}
+	ns[0].Put(Put{Obj: 0, Data: []byte{1}, Version: 1, Client: 5})
+	out, err := ns[0].StartHandoff(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, ns, out, nil)
+	if v := ns[1].Owner(0); v.Owner != 2 || v.Epoch != 1 {
+		t.Fatalf("handoff over quorum log: %+v", v)
+	}
+	recs := qlog.Records()
+	if len(recs) != 2 || recs[0].Kind != RecStart || recs[1].Kind != RecEnd {
+		t.Fatalf("quorum log records: %v", recs)
+	}
+}
+
+func TestStartHandoffRejectsBadArgs(t *testing.T) {
+	ns, _, _ := cluster(t, 3, 4, 4)
+	cases := []struct {
+		node, shard, to int
+	}{
+		{0, -1, 1}, {0, 4, 1}, {0, 0, 0}, {0, 0, 3}, {1, 0, 2},
+	}
+	for _, c := range cases {
+		if _, err := ns[c.node].StartHandoff(c.shard, c.to); err == nil {
+			t.Errorf("node %d StartHandoff(%d,%d) accepted", c.node, c.shard, c.to)
+		}
+	}
+	// Double-start of the same shard is rejected.
+	if _, err := ns[0].StartHandoff(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns[0].StartHandoff(0, 2); err == nil {
+		t.Error("second start of a migrating shard accepted")
+	}
+}
+
+func ExampleResolve() {
+	recs := []Rec{
+		{Kind: RecStart, Shard: 2, From: 2, To: 1, Epoch: 1},
+		{Kind: RecEnd, Shard: 2, From: 2, To: 1, Epoch: 1},
+		{Kind: RecStart, Shard: 2, From: 1, To: 3, Epoch: 2},
+	}
+	v, pending := Resolve(recs, 2, 4)
+	fmt.Println(v.Owner, v.Epoch, pending != nil)
+	// Output: 1 1 true
+}

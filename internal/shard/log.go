@@ -1,0 +1,315 @@
+// The handoff log: the durable, shared record of every ownership
+// transfer. A handoff is write-ahead logged — the source appends a
+// start record carrying the region snapshot BEFORE any state moves, the
+// target appends the end record to commit, and an abort record cancels
+// a transfer whose target died. Appends are guarded: a terminal record
+// (end, assign, or abort) for a (shard, epoch) admits no rival, so the
+// log is the single arbiter of who owns what and a crashed source or
+// target resolves by replaying it.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sdso/internal/quorum"
+	"sdso/internal/store"
+)
+
+// RecKind classifies handoff log records.
+type RecKind uint8
+
+const (
+	// RecStart opens a handoff: From transfers Shard to To, committing
+	// as Epoch. Snap carries the region snapshot taken before the
+	// transfer, so the pre-handoff state survives any single crash.
+	RecStart RecKind = iota + 1
+	// RecEnd commits a handoff: To owns Shard as of Epoch.
+	RecEnd
+	// RecAbort cancels a pending handoff at Epoch; the source keeps the
+	// shard and adopts Epoch itself, so every start's epoch stays unique.
+	RecAbort
+	// RecAssign installs To as owner of Shard at Epoch outside the
+	// two-party protocol: a survivor adopting a region whose source and
+	// target both died mid-transfer, recovering state from the pending
+	// start's snapshot.
+	RecAssign
+)
+
+var recNames = map[RecKind]string{
+	RecStart: "START", RecEnd: "END", RecAbort: "ABORT", RecAssign: "ASSIGN",
+}
+
+func (k RecKind) String() string {
+	if s, ok := recNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("RecKind(%d)", uint8(k))
+}
+
+// Rec is one handoff log record.
+type Rec struct {
+	Kind  RecKind
+	Shard int
+	From  int // RecStart: source; RecAssign: the proc being succeeded
+	To    int // new owner for RecStart/RecEnd/RecAssign
+	Epoch int64
+	Snap  []byte // region snapshot for RecStart/RecAssign
+}
+
+func (r Rec) String() string {
+	return fmt.Sprintf("%s shard=%d from=%d to=%d epoch=%d snap=%dB",
+		r.Kind, r.Shard, r.From, r.To, r.Epoch, len(r.Snap))
+}
+
+// Log is the durable append-only handoff record store shared by every
+// node. Implementations must make Append durable before returning and
+// serialize Append against Records — the guarded-commit helpers read,
+// check, then append, and that sequence must be atomic (the in-memory
+// log runs under the deterministic simulator's single thread; the
+// quorum log serializes through its single client loop).
+type Log interface {
+	Append(Rec)
+	Records() []Rec
+}
+
+// MemLog is the trivial in-process Log.
+type MemLog struct {
+	recs []Rec
+}
+
+// NewMemLog returns an empty in-memory handoff log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements Log.
+func (l *MemLog) Append(r Rec) {
+	r.Snap = append([]byte(nil), r.Snap...)
+	l.recs = append(l.recs, r)
+}
+
+// Records implements Log.
+func (l *MemLog) Records() []Rec { return l.recs }
+
+// View is a shard's ownership as resolved from the log.
+type View struct {
+	Owner int
+	Epoch int64
+}
+
+// InitialOwner is the derived epoch-0 assignment every node computes
+// identically before any record is logged: shard s belongs to process
+// s mod n.
+func InitialOwner(s, nodes int) int { return s % nodes }
+
+// Resolve replays the log for one shard: the current owner and epoch,
+// plus the pending start record of an uncommitted in-flight handoff
+// (nil when none).
+func Resolve(recs []Rec, shard, nodes int) (View, *Rec) {
+	v := View{Owner: InitialOwner(shard, nodes), Epoch: 0}
+	var pending *Rec
+	for i := range recs {
+		r := &recs[i]
+		if r.Shard != shard {
+			continue
+		}
+		switch r.Kind {
+		case RecStart:
+			if pending == nil && r.Epoch == v.Epoch+1 && r.From == v.Owner {
+				pending = r
+			}
+		case RecEnd, RecAssign:
+			if pending != nil && r.Epoch == pending.Epoch {
+				v = View{Owner: r.To, Epoch: r.Epoch}
+				pending = nil
+			} else if r.Kind == RecAssign && pending == nil && r.Epoch == v.Epoch+1 {
+				// Succession of a dead idle owner: no start record to
+				// terminate, the assign alone advances the epoch.
+				v = View{Owner: r.To, Epoch: r.Epoch}
+			}
+		case RecAbort:
+			if pending != nil && r.Epoch == pending.Epoch {
+				// The source keeps the shard and claims the aborted
+				// epoch, so the next start's epoch is fresh.
+				v = View{Owner: v.Owner, Epoch: r.Epoch}
+				pending = nil
+			}
+		}
+	}
+	return v, pending
+}
+
+// commitRec is the guarded append: it re-resolves the shard from the
+// log and appends r only if r is still legal — the exactly-one-terminal
+// rule that makes a crashed source and a slow target unable to both win
+// the same epoch. It reports whether the append happened.
+func commitRec(l Log, r Rec, nodes int) bool {
+	v, pending := Resolve(l.Records(), r.Shard, nodes)
+	switch r.Kind {
+	case RecStart:
+		if pending != nil || v.Owner != r.From || r.Epoch != v.Epoch+1 {
+			return false
+		}
+	case RecEnd:
+		if pending == nil || pending.Epoch != r.Epoch || pending.To != r.To {
+			return false
+		}
+	case RecAbort:
+		if pending == nil || pending.Epoch != r.Epoch {
+			return false
+		}
+	case RecAssign:
+		// Adoption: either completes a pending transfer on behalf of dead
+		// participants, or succeeds a dead idle owner at a fresh epoch.
+		if pending != nil {
+			if pending.Epoch != r.Epoch {
+				return false
+			}
+		} else if r.Epoch != v.Epoch+1 {
+			return false
+		}
+	default:
+		return false
+	}
+	l.Append(r)
+	return true
+}
+
+// Record codec, so the log can live in a replicated register: kind(1)
+// shard(4) from(4) to(4) epoch(8) snapLen(4) snap.
+const recHeaderSize = 1 + 4 + 4 + 4 + 8 + 4
+
+// ErrBadRecords reports a record blob that fails structural validation.
+var ErrBadRecords = errors.New("shard: malformed handoff records")
+
+// EncodeRecords serializes a record list.
+func EncodeRecords(recs []Rec) []byte {
+	size := 4
+	for _, r := range recs {
+		size += recHeaderSize + len(r.Snap)
+	}
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf, uint32(len(recs)))
+	off := 4
+	for _, r := range recs {
+		buf[off] = byte(r.Kind)
+		binary.BigEndian.PutUint32(buf[off+1:], uint32(r.Shard))
+		binary.BigEndian.PutUint32(buf[off+5:], uint32(int32(r.From)))
+		binary.BigEndian.PutUint32(buf[off+9:], uint32(int32(r.To)))
+		binary.BigEndian.PutUint64(buf[off+13:], uint64(r.Epoch))
+		binary.BigEndian.PutUint32(buf[off+21:], uint32(len(r.Snap)))
+		off += recHeaderSize
+		copy(buf[off:], r.Snap)
+		off += len(r.Snap)
+	}
+	return buf
+}
+
+// DecodeRecords parses a record list serialized by EncodeRecords.
+func DecodeRecords(buf []byte) ([]Rec, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadRecords, len(buf))
+	}
+	count := binary.BigEndian.Uint32(buf)
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: %d records", ErrBadRecords, count)
+	}
+	recs := make([]Rec, 0, count)
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		if len(buf)-off < recHeaderSize {
+			return nil, fmt.Errorf("%w: truncated record %d", ErrBadRecords, i)
+		}
+		r := Rec{
+			Kind:  RecKind(buf[off]),
+			Shard: int(binary.BigEndian.Uint32(buf[off+1:])),
+			From:  int(int32(binary.BigEndian.Uint32(buf[off+5:]))),
+			To:    int(int32(binary.BigEndian.Uint32(buf[off+9:]))),
+			Epoch: int64(binary.BigEndian.Uint64(buf[off+13:])),
+		}
+		n := int(binary.BigEndian.Uint32(buf[off+21:]))
+		off += recHeaderSize
+		if n > store.MaxSnapshotObjectBytes || len(buf)-off < n {
+			return nil, fmt.Errorf("%w: record %d claims %d snap bytes", ErrBadRecords, i, n)
+		}
+		if n > 0 {
+			r.Snap = append([]byte(nil), buf[off:off+n]...)
+		}
+		off += n
+		recs = append(recs, r)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecords, len(buf)-off)
+	}
+	return recs, nil
+}
+
+// QuorumLog keeps the handoff log in a single replicated register
+// driven through the ABD engine (internal/quorum), the same machinery
+// that replicates the EC lock managers' ownership records: appends
+// survive up to f replica crashes because every append is a majority
+// write of the full encoded record list at a fresh version. It is the
+// durability story behind the Log interface; the deterministic
+// simulators use MemLog and model the log service as stable.
+type QuorumLog struct {
+	members  []int
+	majority int
+	replicas map[int]*quorum.Replica
+}
+
+// logObj is the register the encoded record list lives in.
+const logObj = store.ID(0)
+
+// NewQuorumLog builds a 2f+1-replica handoff log.
+func NewQuorumLog(f int) *QuorumLog {
+	n := 2*f + 1
+	l := &QuorumLog{
+		members:  quorum.Group(0, n, f),
+		majority: quorum.Majority(n),
+		replicas: make(map[int]*quorum.Replica, n),
+	}
+	for _, m := range l.members {
+		l.replicas[m] = quorum.NewReplica()
+	}
+	return l
+}
+
+// runOp drives one ABD op synchronously over the local replicas.
+func (l *QuorumLog) runOp(op *quorum.Op) quorum.Value {
+	for _, m := range l.members {
+		v, _ := l.replicas[m].Read(op.Obj())
+		if wb, targets, ok := op.OnVersion(m, v); ok {
+			for _, t := range targets {
+				l.replicas[t].Apply(op.Obj(), wb)
+				if op.OnAck(t) {
+					return op.Result()
+				}
+			}
+			break
+		}
+	}
+	return op.Result()
+}
+
+// Append implements Log: read the register through a majority, append
+// the record, write the longer list back at the next version.
+func (l *QuorumLog) Append(r Rec) {
+	cur := l.runOp(quorum.NewRead(logObj, l.members, l.majority))
+	recs, err := DecodeRecords(cur.Data)
+	if err != nil {
+		recs = nil // empty register before the first append
+	}
+	recs = append(recs, r)
+	w := quorum.NewWrite(logObj, l.members, l.majority, EncodeRecords(recs), 0)
+	l.runOp(w)
+}
+
+// Records implements Log via a majority read.
+func (l *QuorumLog) Records() []Rec {
+	v := l.runOp(quorum.NewRead(logObj, l.members, l.majority))
+	recs, err := DecodeRecords(v.Data)
+	if err != nil {
+		return nil
+	}
+	return recs
+}

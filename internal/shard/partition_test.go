@@ -1,0 +1,240 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+
+	"sdso/internal/game"
+)
+
+// worlds under test: the default board plus the fixed-density scaled
+// boards the harness uses at n=64/128/256.
+var worlds = [][2]int{{32, 24}, {64, 48}, {96, 64}, {128, 96}, {7, 5}}
+
+// TestCellsMapToExactlyOneShard brute-forces the tiling property: every
+// cell of the world is inside exactly one region, and ShardOf names it.
+func TestCellsMapToExactlyOneShard(t *testing.T) {
+	for _, wh := range worlds {
+		w, h := wh[0], wh[1]
+		for k := 1; k <= 16; k *= 2 {
+			p, err := New(w, h, k)
+			if err != nil {
+				t.Fatalf("New(%d,%d,%d): %v", w, h, k, err)
+			}
+			for x := 0; x < w; x++ {
+				for y := 0; y < h; y++ {
+					pos := game.Pos{X: x, Y: y}
+					owner := -1
+					for s, r := range p.Regions() {
+						if !r.Contains(pos) {
+							continue
+						}
+						if owner != -1 {
+							t.Fatalf("%dx%d k=%d: cell %v in shards %d and %d", w, h, k, pos, owner, s)
+						}
+						owner = s
+					}
+					if owner == -1 {
+						t.Fatalf("%dx%d k=%d: cell %v in no shard", w, h, k, pos)
+					}
+					if got := p.ShardOf(pos); got != owner {
+						t.Fatalf("%dx%d k=%d: ShardOf(%v)=%d, containing region is %d", w, h, k, pos, got, owner)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRegionsTileWithoutGapsOrOverlaps checks the tiling by area: the
+// region areas sum exactly to the world, every region is non-empty, and
+// no pair of regions intersects.
+func TestRegionsTileWithoutGapsOrOverlaps(t *testing.T) {
+	for _, wh := range worlds {
+		w, h := wh[0], wh[1]
+		for k := 1; k <= 32 && k <= w*h; k *= 2 {
+			if Validate(w, h, k) != nil {
+				continue // e.g. 32 shards over 7x5 strands an empty region
+			}
+			p, err := New(w, h, k)
+			if err != nil {
+				t.Fatalf("New(%d,%d,%d): %v", w, h, k, err)
+			}
+			total := 0
+			regs := p.Regions()
+			for s, r := range regs {
+				if r.Area() <= 0 {
+					t.Fatalf("%dx%d k=%d: shard %d region %v is empty", w, h, k, s, r)
+				}
+				total += r.Area()
+				for s2 := s + 1; s2 < len(regs); s2++ {
+					r2 := regs[s2]
+					if r.X0 < r2.X1 && r2.X0 < r.X1 && r.Y0 < r2.Y1 && r2.Y0 < r.Y1 {
+						t.Fatalf("%dx%d k=%d: regions %d %v and %d %v overlap", w, h, k, s, r, s2, r2)
+					}
+				}
+			}
+			if total != w*h {
+				t.Fatalf("%dx%d k=%d: region areas sum to %d, want %d", w, h, k, total, w*h)
+			}
+		}
+	}
+}
+
+// TestRemapMovesMinimalSet pins the growth property for 4 -> 8 -> 16:
+// doubling the shard count renumbers exactly the cells of each parent's
+// smaller half — the brute-force minimum, since refining any region in
+// two forces at least min(|A|, |B|) cells onto a new number — and the
+// surviving half keeps its number (ancestry: fine mod coarse == coarse).
+func TestRemapMovesMinimalSet(t *testing.T) {
+	for _, wh := range worlds {
+		w, h := wh[0], wh[1]
+		for k := 4; k <= 8; k *= 2 {
+			coarse, err := New(w, h, k)
+			if err != nil {
+				t.Fatalf("New(%d,%d,%d): %v", w, h, k, err)
+			}
+			fine, err := New(w, h, 2*k)
+			if err != nil {
+				t.Fatalf("New(%d,%d,%d): %v", w, h, 2*k, err)
+			}
+			moved := 0
+			// minMoved brute-forces the floor: per parent shard, the cell
+			// counts of its two children in the fine partition, taking the
+			// smaller.
+			children := make(map[int][]int) // parent -> child cell counts
+			for x := 0; x < w; x++ {
+				for y := 0; y < h; y++ {
+					pos := game.Pos{X: x, Y: y}
+					c, f := coarse.ShardOf(pos), fine.ShardOf(pos)
+					if f%k != c {
+						t.Fatalf("%dx%d %d->%d: cell %v ancestry broken: fine %d mod %d != coarse %d",
+							w, h, k, 2*k, pos, f, k, c)
+					}
+					if f != c {
+						moved++
+					}
+					for len(children[c]) < 2 {
+						children[c] = append(children[c], 0)
+					}
+					if f == c {
+						children[c][0]++
+					} else {
+						children[c][1]++
+					}
+				}
+			}
+			minMoved := 0
+			for parent, counts := range children {
+				lo, hi := counts[0], counts[1]
+				if lo == 0 || hi == 0 {
+					t.Fatalf("%dx%d %d->%d: parent %d did not split in two (children %d/%d)",
+						w, h, k, 2*k, parent, lo, hi)
+				}
+				if lo < hi {
+					lo, hi = hi, lo
+				}
+				minMoved += hi
+			}
+			if moved != minMoved {
+				t.Fatalf("%dx%d %d->%d: remap moved %d cells, minimum is %d", w, h, k, 2*k, moved, minMoved)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []struct {
+		w, h, k int
+	}{
+		{32, 24, 0}, {32, 24, 3}, {32, 24, 12}, {32, 24, 512},
+		{0, 24, 4}, {32, -1, 4}, {2, 2, 8},
+	}
+	for _, c := range bad {
+		if err := Validate(c.w, c.h, c.k); err == nil {
+			t.Errorf("Validate(%d,%d,%d) accepted a bad config", c.w, c.h, c.k)
+		}
+		if _, err := New(c.w, c.h, c.k); err == nil {
+			t.Errorf("New(%d,%d,%d) accepted a bad config", c.w, c.h, c.k)
+		}
+	}
+	for _, k := range []int{1, 2, 4, 8, 16, 256} {
+		if err := Validate(32, 24, k); err != nil {
+			t.Errorf("Validate(32,24,%d): %v", k, err)
+		}
+	}
+}
+
+// TestResident cross-checks the rectangle-distance residency against a
+// brute-force per-cell scan, and pins the blind full-fanout degrade.
+func TestResident(t *testing.T) {
+	p, err := New(32, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tanks := []game.Pos{{X: 3, Y: 3}, {X: 20, Y: 10}}
+	for _, reach := range []int{0, 2, 5, 11} {
+		got := p.Resident(tanks, reach)
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("reach %d: residency %v not sorted", reach, got)
+		}
+		want := map[int]bool{}
+		for x := 0; x < 32; x++ {
+			for y := 0; y < 24; y++ {
+				for _, t := range tanks {
+					if t.Manhattan(game.Pos{X: x, Y: y}) <= reach {
+						want[p.ShardOf(game.Pos{X: x, Y: y})] = true
+						break
+					}
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("reach %d: residency %v, brute force wants %d shards", reach, got, len(want))
+		}
+		for _, s := range got {
+			if !want[s] {
+				t.Fatalf("reach %d: shard %d resident but no cell within reach", reach, s)
+			}
+		}
+	}
+	if got := p.Resident(nil, 2); len(got) != 8 {
+		t.Fatalf("blind residency %v, want all 8 shards", got)
+	}
+}
+
+// TestOverlaps cross-checks the fanout intersection test against
+// residency-set intersection.
+func TestOverlaps(t *testing.T) {
+	p, err := New(64, 48, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b   []game.Pos
+		ra, rb int
+	}{
+		{[]game.Pos{{X: 2, Y: 2}}, []game.Pos{{X: 60, Y: 40}}, 3, 3},
+		{[]game.Pos{{X: 2, Y: 2}}, []game.Pos{{X: 5, Y: 5}}, 3, 3},
+		{[]game.Pos{{X: 30, Y: 20}}, []game.Pos{{X: 34, Y: 26}}, 6, 6},
+		{[]game.Pos{{X: 0, Y: 0}, {X: 63, Y: 47}}, []game.Pos{{X: 32, Y: 24}}, 2, 2},
+	}
+	for _, c := range cases {
+		ra := p.Resident(c.a, c.ra)
+		rb := p.Resident(c.b, c.rb)
+		want := false
+		for _, s := range ra {
+			for _, s2 := range rb {
+				if s == s2 {
+					want = true
+				}
+			}
+		}
+		if got := p.Overlaps(c.a, c.ra, c.b, c.rb); got != want {
+			t.Errorf("Overlaps(%v r%d, %v r%d) = %v, residency sets say %v", c.a, c.ra, c.b, c.rb, got, want)
+		}
+	}
+	if !p.Overlaps(nil, 1, []game.Pos{{X: 1, Y: 1}}, 1) {
+		t.Error("blind side must never be vetoed")
+	}
+}
